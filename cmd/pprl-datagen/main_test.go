@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pprl"
+)
+
+func TestRunStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 20, 1, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 21 { // header + 20 rows
+		t.Fatalf("emitted %d lines, want 21", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "entity_id,age,") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunSplit(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	if err := run(nil, 90, 2, "", a+","+b); err != nil {
+		t.Fatal(err)
+	}
+	schema := pprl.AdultSchema()
+	read := func(path string) *pprl.Dataset {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		d, err := pprl.ReadCSV(schema, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	da, db := read(a), read(b)
+	if da.Len() != 60 || db.Len() != 60 {
+		t.Errorf("split sizes %d, %d, want 60, 60", da.Len(), db.Len())
+	}
+	seen := map[int]bool{}
+	for _, r := range da.Records() {
+		seen[r.EntityID] = true
+	}
+	shared := 0
+	for _, r := range db.Records() {
+		if seen[r.EntityID] {
+			shared++
+		}
+	}
+	if shared != 30 {
+		t.Errorf("shared entities = %d, want 30", shared)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, 0, 1, "", ""); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if err := run(nil, 10, 1, "", "only-one-path"); err == nil {
+		t.Error("malformed -split should fail")
+	}
+	if err := run(nil, 10, 1, "/nonexistent/dir/x.csv", ""); err == nil {
+		t.Error("unwritable output should fail")
+	}
+}

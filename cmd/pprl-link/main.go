@@ -1,0 +1,139 @@
+// Command pprl-link runs the full hybrid private record linkage pipeline
+// between two Adult-schema CSV files and prints the matched entity pairs.
+//
+// Usage:
+//
+//	pprl-link -a alice.csv -b bob.csv
+//	pprl-link -a alice.csv -b bob.csv -k 64 -theta 0.05 -allowance 0.02 \
+//	    -heuristic maxLast -strategy precision -secure -keybits 1024 -eval
+//
+// With -secure the Unknown pairs are resolved by the real three-party
+// Paillier protocol; without it the plaintext cost-model oracle is used
+// (same verdicts, no cryptography — see DESIGN.md §3). -eval additionally
+// scores the result against exact ground truth, which is only possible
+// because this command happens to hold both files.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pprl"
+	"pprl/internal/cliutil"
+	"pprl/internal/heuristic"
+)
+
+func main() {
+	var (
+		aPath      = flag.String("a", "", "first data holder's CSV (required)")
+		bPath      = flag.String("b", "", "second data holder's CSV (required)")
+		k          = flag.Int("k", 32, "anonymity requirement for both holders")
+		theta      = flag.Float64("theta", 0.05, "matching threshold θ for every attribute")
+		allowance  = flag.Float64("allowance", 0.015, "SMC allowance as a fraction of all record pairs")
+		heurName   = flag.String("heuristic", "minAvgFirst", "SMC selection heuristic: minFirst, maxLast, minAvgFirst")
+		strategy   = flag.String("strategy", "precision", "residual labeling: precision, recall, classifier")
+		qids       = flag.String("qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "comma-separated quasi-identifier attributes")
+		secure     = flag.Bool("secure", false, "run the real Paillier SMC protocol instead of the cost-model oracle")
+		keyBits    = flag.Int("keybits", 1024, "Paillier key size for -secure")
+		evalFlag   = flag.Bool("eval", false, "score against exact ground truth (requires both files, which this command has)")
+		showPairs  = flag.Bool("pairs", false, "print matched entity-ID pairs")
+		schemaPath = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *schemaPath, *aPath, *bPath, *k, *theta, *allowance, *heurName, *strategy, *qids, *secure, *keyBits, *evalFlag, *showPairs); err != nil {
+		fmt.Fprintln(os.Stderr, "pprl-link:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance float64, heurName, strategy, qidList string, secure bool, keyBits int, evalFlag, showPairs bool) error {
+	if aPath == "" || bPath == "" {
+		return fmt.Errorf("-a and -b are required")
+	}
+	schema, err := loadSchema(schemaPath)
+	if err != nil {
+		return err
+	}
+	alice, err := readCSV(schema, aPath)
+	if err != nil {
+		return err
+	}
+	bob, err := readCSV(schema, bPath)
+	if err != nil {
+		return err
+	}
+
+	cfg := pprl.DefaultConfig(strings.Split(qidList, ","))
+	cfg.AliceK, cfg.BobK = k, k
+	cfg.Theta = theta
+	cfg.AllowanceFraction = allowance
+	switch strings.ToLower(heurName) {
+	case "minfirst":
+		cfg.Heuristic = heuristic.MinFirst{}
+	case "maxlast":
+		cfg.Heuristic = heuristic.MaxLast{}
+	case "minavgfirst":
+		cfg.Heuristic = heuristic.MinAvgFirst{}
+	default:
+		return fmt.Errorf("unknown heuristic %q", heurName)
+	}
+	switch strings.ToLower(strategy) {
+	case "precision":
+		cfg.Strategy = pprl.MaximizePrecision
+	case "recall":
+		cfg.Strategy = pprl.MaximizeRecall
+	case "classifier":
+		cfg.Strategy = pprl.TrainClassifier
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	if secure {
+		cfg.Comparator = pprl.SecureComparatorFactory(keyBits)
+	}
+
+	res, err := pprl.Link(pprl.Holder{Data: alice}, pprl.Holder{Data: bob}, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res.Summary())
+	fmt.Fprintf(out, "timings: anonymize=%v+%v blocking=%v smc=%v\n",
+		res.Timings.AnonymizeAlice, res.Timings.AnonymizeBob, res.Timings.Blocking, res.Timings.SMC)
+
+	if evalFlag {
+		truth, err := pprl.TruePairs(alice, bob, res.QIDs(), res.Rule())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "evaluation: %v (|truth|=%d)\n", res.Evaluate(truth), len(truth))
+	}
+	if showPairs {
+		w := bufio.NewWriter(out)
+		defer w.Flush()
+		for i := 0; i < alice.Len(); i++ {
+			for j := 0; j < bob.Len(); j++ {
+				if res.PairMatched(i, j) {
+					fmt.Fprintf(w, "%d\t%d\n", alice.Record(i).EntityID, bob.Record(j).EntityID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func readCSV(schema *pprl.Schema, path string) (*pprl.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pprl.ReadCSV(schema, bufio.NewReader(f))
+}
+
+// loadSchema resolves the -schema flag.
+func loadSchema(path string) (*pprl.Schema, error) {
+	return cliutil.LoadSchemaOrAdult(path)
+}

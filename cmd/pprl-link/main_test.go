@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pprl"
+)
+
+// writePair writes two small overlapping Adult CSVs.
+func writePair(t *testing.T) (a, b string) {
+	t.Helper()
+	schema := pprl.AdultSchema()
+	full := pprl.GenerateAdult(schema, 120, 9)
+	da, db := pprl.SplitOverlap(full, rand.New(rand.NewSource(10)))
+	dir := t.TempDir()
+	write := func(d *pprl.Dataset, name string) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := d.WriteCSV(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write(da, "a.csv"), write(db, "b.csv")
+}
+
+func TestRunLink(t *testing.T) {
+	a, b := writePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, "", a, b, 8, 0.05, 1.0, "minAvgFirst", "precision",
+		strings.Join(pprl.DefaultAdultQIDs(), ","), false, 0, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "strategy=maximize-precision") {
+		t.Errorf("summary missing: %q", out)
+	}
+	if !strings.Contains(out, "precision=1.0000") {
+		t.Errorf("evaluation missing or imprecise: %q", out)
+	}
+	// -pairs emits matched entity pairs; with full allowance and shared
+	// entities there must be some.
+	pairLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Count(line, "\t") == 1 {
+			pairLines++
+		}
+	}
+	if pairLines == 0 {
+		t.Error("expected matched pairs in output")
+	}
+}
+
+func TestRunLinkSecure(t *testing.T) {
+	a, b := writePair(t)
+	var buf bytes.Buffer
+	// Tiny allowance keeps the number of real crypto ops low; 256-bit
+	// keys keep the test fast.
+	err := run(&buf, "", a, b, 8, 0.05, 0.0005, "maxLast", "recall",
+		strings.Join(pprl.DefaultAdultQIDs(), ","), true, 256, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "strategy=maximize-recall") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestRunLinkErrors(t *testing.T) {
+	a, b := writePair(t)
+	qids := strings.Join(pprl.DefaultAdultQIDs(), ",")
+	if err := run(nil, "", "", b, 8, 0.05, 0.01, "minAvgFirst", "precision", qids, false, 0, false, false); err == nil {
+		t.Error("missing -a should fail")
+	}
+	if err := run(nil, "", a, b, 8, 0.05, 0.01, "bogus", "precision", qids, false, 0, false, false); err == nil {
+		t.Error("bad heuristic should fail")
+	}
+	if err := run(nil, "", a, b, 8, 0.05, 0.01, "minAvgFirst", "bogus", qids, false, 0, false, false); err == nil {
+		t.Error("bad strategy should fail")
+	}
+	if err := run(nil, "", a, b, 8, 0.05, 0.01, "minAvgFirst", "classifier", "nope", false, 0, false, false); err == nil {
+		t.Error("bad QIDs should fail")
+	}
+	if err := run(nil, "", "/nonexistent.csv", b, 8, 0.05, 0.01, "minFirst", "precision", qids, false, 0, false, false); err == nil {
+		t.Error("missing file should fail")
+	}
+}

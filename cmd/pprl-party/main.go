@@ -1,0 +1,251 @@
+// Command pprl-party runs one role of the distributed hybrid protocol
+// over TCP: the two data holders and the querying party as three
+// processes, possibly on three machines. Raw records never leave their
+// holder; the wire carries classifier parameters, anonymized views, and
+// Paillier ciphertexts.
+//
+// Topology: the querying party listens; both holders dial it and announce
+// their role. Alice additionally listens for Bob's direct link (used for
+// the encrypted shares of the SMC circuit).
+//
+//	# machine Q
+//	pprl-party -role query -listen :9000 -theta 0.05 -allowance 0.015
+//	# machine A
+//	pprl-party -role alice -query q:9000 -peer-listen :9001 -data a.csv -k 32
+//	# machine B
+//	pprl-party -role bob -query q:9000 -peer a:9001 -data b.csv -k 32
+//
+// The querying party prints the matched record-index pairs; the holders
+// map indexes back to their records.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"pprl"
+	"pprl/internal/cliutil"
+	"pprl/internal/heuristic"
+	"pprl/internal/session"
+	"pprl/internal/smc"
+)
+
+func main() {
+	var (
+		role       = flag.String("role", "", "query, alice, or bob (required)")
+		listen     = flag.String("listen", "", "query: address to accept the two holders on")
+		queryAddr  = flag.String("query", "", "holders: the querying party's address")
+		peerListen = flag.String("peer-listen", "", "alice: address to accept bob's peer link on")
+		peerAddr   = flag.String("peer", "", "bob: alice's peer-link address")
+		data       = flag.String("data", "", "holders: CSV file with this holder's relation")
+		k          = flag.Int("k", 32, "holders: anonymity requirement")
+		method     = flag.String("method", "entropy", "holders: anonymization method (entropy, tds, datafly, mondrian)")
+		qids       = flag.String("qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "query: quasi-identifier attributes")
+		theta      = flag.Float64("theta", 0.05, "query: matching threshold")
+		allowance  = flag.Float64("allowance", 0.015, "query: SMC allowance fraction")
+		heurName   = flag.String("heuristic", "minAvgFirst", "query: selection heuristic")
+		keyBits    = flag.Int("keybits", 1024, "query: Paillier key size")
+		shuffle    = flag.Bool("shuffle", true, "query: hide which attribute failed (attribute shuffling)")
+		schemaPath = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
+	)
+	flag.Parse()
+	var err error
+	switch *role {
+	case "query":
+		err = runQuery(os.Stdout, *schemaPath, *listen, *qids, *theta, *allowance, *heurName, *keyBits, *shuffle)
+	case "alice":
+		err = runHolder(*schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, session.RoleAlice)
+	case "bob":
+		err = runHolder(*schemaPath, *queryAddr, "", *peerAddr, *data, *k, *method, session.RoleBob)
+	default:
+		err = fmt.Errorf("-role must be query, alice, or bob")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprl-party:", err)
+		os.Exit(1)
+	}
+}
+
+// runQuery accepts both holders, identifies them, runs the session and
+// prints the results.
+func runQuery(out io.Writer, schemaPath, listen, qidList string, theta, allowance float64, heurName string, keyBits int, shuffle bool) error {
+	schema, err := cliutil.LoadSchemaOrAdult(schemaPath)
+	if err != nil {
+		return err
+	}
+	if listen == "" {
+		return fmt.Errorf("query role needs -listen")
+	}
+	h, err := heuristicByName(heurName)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "query: waiting for two holders on %s\n", l.Addr())
+
+	var alice, bob smc.Conn
+	for alice == nil || bob == nil {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		conn := smc.NewNetConn(c)
+		role, err := session.Identify(conn)
+		if err != nil {
+			return err
+		}
+		switch {
+		case role == session.RoleAlice && alice == nil:
+			alice = conn
+		case role == session.RoleBob && bob == nil:
+			bob = conn
+		default:
+			conn.Close()
+			return fmt.Errorf("duplicate hello for role %q", role)
+		}
+		fmt.Fprintf(os.Stderr, "query: %s connected\n", role)
+	}
+
+	res, err := session.RunQuery(alice, bob, session.QueryConfig{
+		Schema:            schema,
+		QIDs:              strings.Split(qidList, ","),
+		Theta:             theta,
+		AllowanceFraction: allowance,
+		Heuristic:         h,
+		KeyBits:           keyBits,
+		ShuffleAttributes: shuffle,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "views: alice %s k=%d (%d sequences), bob %s k=%d (%d sequences)\n",
+		res.AliceView.Method, res.AliceView.K, res.AliceView.NumSequences(),
+		res.BobView.Method, res.BobView.K, res.BobView.NumSequences())
+	fmt.Fprintf(out, "blocking: %.2f%% of %d pairs decided; %d unknown\n",
+		100*res.BlockingEfficiency, res.TotalPairs, res.UnknownPairs)
+	fmt.Fprintf(out, "smc: %d invocations of %d allowed\n", res.Invocations, res.Allowance)
+	fmt.Fprintf(out, "matches: %d record pairs\n", len(res.Matches))
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for _, p := range res.Matches {
+		fmt.Fprintf(w, "%d\t%d\n", p.I, p.J)
+	}
+	return nil
+}
+
+// runHolder connects to the querying party, establishes the peer link,
+// and serves the session.
+func runHolder(schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k int, method, role string) error {
+	schema, err := cliutil.LoadSchemaOrAdult(schemaPath)
+	if err != nil {
+		return err
+	}
+	if queryAddr == "" || dataPath == "" {
+		return fmt.Errorf("holder roles need -query and -data")
+	}
+	anon, err := anonymizerByName(method)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	data, err := pprl.ReadCSV(schema, bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	qc, err := dialRetry(queryAddr, 20)
+	if err != nil {
+		return fmt.Errorf("dialing querying party: %w", err)
+	}
+	query := smc.NewNetConn(qc)
+	if err := session.Hello(query, role); err != nil {
+		return err
+	}
+
+	var peer smc.Conn
+	if role == session.RoleAlice {
+		if peerListen == "" {
+			return fmt.Errorf("alice needs -peer-listen")
+		}
+		pl, err := net.Listen("tcp", peerListen)
+		if err != nil {
+			return err
+		}
+		defer pl.Close()
+		fmt.Fprintf(os.Stderr, "alice: waiting for bob on %s\n", pl.Addr())
+		pc, err := pl.Accept()
+		if err != nil {
+			return err
+		}
+		peer = smc.NewNetConn(pc)
+	} else {
+		if peerAddr == "" {
+			return fmt.Errorf("bob needs -peer")
+		}
+		pc, err := dialRetry(peerAddr, 20)
+		if err != nil {
+			return fmt.Errorf("dialing alice: %w", err)
+		}
+		peer = smc.NewNetConn(pc)
+	}
+
+	cfg := session.HolderConfig{Data: data, K: k, Anonymizer: anon}
+	return session.RunHolder(query, peer, cfg, role == session.RoleAlice)
+}
+
+// dialRetry dials with backoff: the peer may not be listening yet when
+// the parties start in arbitrary order.
+func dialRetry(addr string, attempts int) (net.Conn, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(250 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+func anonymizerByName(name string) (pprl.Anonymizer, error) {
+	switch strings.ToLower(name) {
+	case "entropy":
+		return pprl.NewMaxEntropy(), nil
+	case "tds":
+		return pprl.NewTDS(), nil
+	case "datafly":
+		return pprl.NewDataFly(), nil
+	case "mondrian":
+		return pprl.NewMondrian(), nil
+	default:
+		return nil, fmt.Errorf("unknown anonymization method %q", name)
+	}
+}
+
+func heuristicByName(name string) (heuristic.Heuristic, error) {
+	switch strings.ToLower(name) {
+	case "minfirst":
+		return heuristic.MinFirst{}, nil
+	case "maxlast":
+		return heuristic.MaxLast{}, nil
+	case "minavgfirst":
+		return heuristic.MinAvgFirst{}, nil
+	default:
+		return nil, fmt.Errorf("unknown heuristic %q", name)
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pprl"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestMatchOverTCP(t *testing.T) {
+	// Holder A uses the built-in Adult schema; holder B a custom schema
+	// sharing age and sex.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "sex.vgh"),
+		[]byte(pprl.AdultSchema().Attr(6).Hierarchy.Dump()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ward.vgh"), []byte("ANY\n  icu\n  er\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := "continuous age 17 81 2 3\ncategorical sex sex.vgh\ncategorical ward ward.vgh\n"
+	bPath := filepath.Join(dir, "schema.txt")
+	if err := os.WriteFile(bPath, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freePort(t)
+	var aOut, bOut bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- run(&aOut, addr, "", "") }() // Adult side listens
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		bOut.Reset()
+		if err = run(&bOut, "", addr, bPath); err == nil || !strings.Contains(err.Error(), "connection refused") {
+			break
+		}
+		time.Sleep(20 * time.Millisecond) // listener goroutine still starting
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(aOut.String(), "matched 2 of 8") {
+		t.Errorf("initiator output: %q", aOut.String())
+	}
+	if !strings.Contains(bOut.String(), "matched 2 of 3") {
+		t.Errorf("responder output: %q", bOut.String())
+	}
+	for _, want := range []string{"age", "sex"} {
+		if !strings.Contains(bOut.String(), want) {
+			t.Errorf("responder missing %q: %q", want, bOut.String())
+		}
+	}
+	if strings.Contains(bOut.String(), "ward") {
+		t.Error("private attribute leaked into the intersection")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil, "", "", ""); err == nil {
+		t.Error("neither -listen nor -connect should fail")
+	}
+	if err := run(nil, "x", "y", ""); err == nil {
+		t.Error("both -listen and -connect should fail")
+	}
+	if err := run(nil, "127.0.0.1:0", "", "/nonexistent/schema.txt"); err == nil {
+		t.Error("bad schema path should fail")
+	}
+}

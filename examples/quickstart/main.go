@@ -1,0 +1,47 @@
+// Quickstart: link two overlapping relations with the paper's default
+// configuration and evaluate the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pprl"
+)
+
+func main() {
+	// Two data holders with overlapping Adult-like relations (each holds
+	// 800 records; 400 entities appear in both).
+	schema := pprl.AdultSchema()
+	full := pprl.GenerateAdult(schema, 1200, 42)
+	alice, bob := pprl.SplitOverlap(full, rand.New(rand.NewSource(7)))
+	fmt.Printf("Alice holds %d records, Bob holds %d.\n", alice.Len(), bob.Len())
+
+	// The querying party's classifier: the paper's defaults — θ = 0.05
+	// on {age, workclass, education, marital status, occupation},
+	// k = 32 anonymity for both holders, SMC allowance 1.5%.
+	cfg := pprl.DefaultConfig(pprl.DefaultAdultQIDs())
+
+	res, err := pprl.Link(pprl.Holder{Data: alice}, pprl.Holder{Data: bob}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("blocking decided %.2f%% of the %d pairs for free;\n",
+		100*res.BlockingEfficiency(), res.Block.TotalPairs())
+	fmt.Printf("the SMC step resolved %d pairs within the %d-pair allowance.\n",
+		res.SMCResolvedPairs(), res.Allowance)
+
+	// Because this example owns both relations it can score the result
+	// against exact ground truth (a real deployment cannot).
+	truth, err := pprl.TruePairs(alice, bob, res.QIDs(), res.Rule())
+	if err != nil {
+		log.Fatal(err)
+	}
+	conf := res.Evaluate(truth)
+	fmt.Printf("evaluation: %v\n", conf)
+	fmt.Println("precision is 100% by construction: the hybrid method never guesses a match.")
+}

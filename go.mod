@@ -1,0 +1,3 @@
+module pprl
+
+go 1.22

@@ -1,0 +1,185 @@
+package adult
+
+import (
+	"math"
+	"testing"
+
+	"pprl/internal/dataset"
+)
+
+func TestHierarchiesValid(t *testing.T) {
+	for _, h := range []interface {
+		Validate() error
+		Name() string
+		NumLeaves() int
+	}{
+		WorkclassHierarchy(), EducationHierarchy(), MaritalStatusHierarchy(),
+		OccupationHierarchy(), RaceHierarchy(), SexHierarchy(), NativeCountryHierarchy(),
+	} {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: %v", h.Name(), err)
+		}
+	}
+	// Domain sizes match the published Adult domains.
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{WorkclassHierarchy().Name(), 8},
+		{EducationHierarchy().Name(), 16},
+		{MaritalStatusHierarchy().Name(), 7},
+		{OccupationHierarchy().Name(), 14},
+		{RaceHierarchy().Name(), 5},
+		{SexHierarchy().Name(), 2},
+	}
+	got := map[string]int{
+		AttrWorkclass:     WorkclassHierarchy().NumLeaves(),
+		AttrEducation:     EducationHierarchy().NumLeaves(),
+		AttrMaritalStatus: MaritalStatusHierarchy().NumLeaves(),
+		AttrOccupation:    OccupationHierarchy().NumLeaves(),
+		AttrRace:          RaceHierarchy().NumLeaves(),
+		AttrSex:           SexHierarchy().NumLeaves(),
+	}
+	for _, c := range cases {
+		if got[c.name] != c.n {
+			t.Errorf("%s domain size = %d, want %d", c.name, got[c.name], c.n)
+		}
+	}
+}
+
+func TestAgeHierarchyMatchesPaper(t *testing.T) {
+	h := AgeHierarchy()
+	if got := h.LeafWidth(); got != 8 {
+		t.Errorf("leaf width = %v, want 8 (paper: equi-width leaf nodes cover 8-unit intervals)", got)
+	}
+	// 4 levels: root + 3 below.
+	if got := h.Depth(); got != 3 {
+		t.Errorf("depth = %d, want 3", got)
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if s.Len() != 8 {
+		t.Fatalf("schema has %d attributes, want 8", s.Len())
+	}
+	for i, name := range QIDOrder {
+		if s.Attr(i).Name != name {
+			t.Errorf("attribute %d = %q, want %q", i, s.Attr(i).Name, name)
+		}
+	}
+	if s.Attr(0).Kind != dataset.Continuous {
+		t.Error("age must be continuous")
+	}
+	if _, err := s.Resolve(DefaultQIDs()); err != nil {
+		t.Errorf("default QIDs unresolvable: %v", err)
+	}
+}
+
+func TestTopQIDs(t *testing.T) {
+	if got := len(TopQIDs(3)); got != 3 {
+		t.Errorf("TopQIDs(3) len = %d", got)
+	}
+	if got := len(TopQIDs(0)); got != 1 {
+		t.Errorf("TopQIDs(0) should clamp to 1, got %d", got)
+	}
+	if got := len(TopQIDs(99)); got != 8 {
+		t.Errorf("TopQIDs(99) should clamp to 8, got %d", got)
+	}
+	if TopQIDs(5)[4] != AttrOccupation {
+		t.Errorf("fifth QID = %q, want occupation", TopQIDs(5)[4])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(200, 42)
+	s := Schema()
+	b := GenerateInto(s, 200, 42)
+	if a.Len() != 200 || b.Len() != 200 {
+		t.Fatalf("sizes: %d, %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.Record(i), b.Record(i)
+		if ra.EntityID != rb.EntityID || ra.Class != rb.Class {
+			t.Fatalf("record %d differs in meta", i)
+		}
+		for j := range ra.Cells {
+			va, vb := ra.Value(j).String(), rb.Value(j).String()
+			if va != vb {
+				t.Fatalf("record %d cell %d: %q vs %q", i, j, va, vb)
+			}
+		}
+	}
+}
+
+func TestGenerateMarginals(t *testing.T) {
+	d := Generate(20000, 7)
+	s := d.Schema()
+	wcIdx, _ := s.Index(AttrWorkclass)
+	sexIdx, _ := s.Index(AttrSex)
+	ageIdx, _ := s.Index(AttrAge)
+
+	counts := map[string]int{}
+	var ageSum float64
+	positives := 0
+	for _, r := range d.Records() {
+		counts[r.Cells[wcIdx].Node.Value]++
+		counts[r.Cells[sexIdx].Node.Value]++
+		ageSum += r.Cells[ageIdx].Num
+		if r.Class == ClassPositive {
+			positives++
+		}
+	}
+	frac := func(v string) float64 { return float64(counts[v]) / float64(d.Len()) }
+	if f := frac("Private"); math.Abs(f-0.737) > 0.03 {
+		t.Errorf("Private fraction = %v, want ≈0.74", f)
+	}
+	if f := frac("Male"); math.Abs(f-0.675) > 0.03 {
+		t.Errorf("Male fraction = %v, want ≈0.675", f)
+	}
+	mean := ageSum / float64(d.Len())
+	if mean < 32 || mean > 44 {
+		t.Errorf("mean age = %v, want in [32,44]", mean)
+	}
+	posFrac := float64(positives) / float64(d.Len())
+	if posFrac < 0.15 || posFrac > 0.40 {
+		t.Errorf(">50K fraction = %v, want ≈0.25", posFrac)
+	}
+	// Ages stay inside the hierarchy domain.
+	for _, r := range d.Records() {
+		age := r.Cells[ageIdx].Num
+		if age < 17 || age >= 81 {
+			t.Fatalf("age %v outside [17,81)", age)
+		}
+	}
+}
+
+func TestGenerateCorrelation(t *testing.T) {
+	d := Generate(20000, 11)
+	s := d.Schema()
+	eduIdx, _ := s.Index(AttrEducation)
+	occIdx, _ := s.Index(AttrOccupation)
+	profGivenDoc, docCount := 0, 0
+	profGivenLow, lowCount := 0, 0
+	for _, r := range d.Records() {
+		edu := r.Cells[eduIdx].Node.Value
+		occ := r.Cells[occIdx].Node.Value
+		if edu == "Doctorate" || edu == "Masters" || edu == "Bachelors" || edu == "Prof-school" {
+			docCount++
+			if occ == "Prof-specialty" || occ == "Exec-managerial" {
+				profGivenDoc++
+			}
+		}
+		if educationTier[edu] == "low" {
+			lowCount++
+			if occ == "Prof-specialty" || occ == "Exec-managerial" {
+				profGivenLow++
+			}
+		}
+	}
+	pHigh := float64(profGivenDoc) / float64(docCount)
+	pLow := float64(profGivenLow) / float64(lowCount)
+	if pHigh < 2*pLow {
+		t.Errorf("education/occupation correlation too weak: P(prof|high)=%v, P(prof|low)=%v", pHigh, pLow)
+	}
+}

@@ -1,0 +1,221 @@
+package adult
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pprl/internal/dataset"
+)
+
+// weighted is a categorical distribution over string outcomes.
+type weighted struct {
+	values  []string
+	cumul   []float64
+	total   float64
+	byValue map[string]float64
+}
+
+func newWeighted(pairs ...any) *weighted {
+	if len(pairs)%2 != 0 {
+		panic("adult: newWeighted needs value/weight pairs")
+	}
+	w := &weighted{byValue: make(map[string]float64)}
+	for i := 0; i < len(pairs); i += 2 {
+		v := pairs[i].(string)
+		p := pairs[i+1].(float64)
+		w.total += p
+		w.values = append(w.values, v)
+		w.cumul = append(w.cumul, w.total)
+		w.byValue[v] = p
+	}
+	return w
+}
+
+func (w *weighted) sample(rng *rand.Rand) string {
+	x := rng.Float64() * w.total
+	lo, hi := 0, len(w.cumul)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cumul[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return w.values[lo]
+}
+
+// Published Adult marginals (fractions of the 30,162 complete records),
+// rounded; exact proportions are irrelevant — skew is what shapes the
+// anonymization partitions.
+var (
+	workclassDist = newWeighted(
+		"Private", 0.7369, "Self-emp-not-inc", 0.0828, "Local-gov", 0.0690,
+		"State-gov", 0.0421, "Self-emp-inc", 0.0359, "Federal-gov", 0.0315,
+		"Without-pay", 0.0010, "Never-worked", 0.0008,
+	)
+	educationDist = newWeighted(
+		"HS-grad", 0.3266, "Some-college", 0.2219, "Bachelors", 0.1664,
+		"Masters", 0.0534, "Assoc-voc", 0.0441, "11th", 0.0357,
+		"Assoc-acdm", 0.0329, "10th", 0.0272, "7th-8th", 0.0185,
+		"Prof-school", 0.0180, "9th", 0.0150, "12th", 0.0127,
+		"Doctorate", 0.0123, "5th-6th", 0.0096, "1st-4th", 0.0047,
+		"Preschool", 0.0010,
+	)
+	maritalDist = newWeighted(
+		"Married-civ-spouse", 0.4637, "Never-married", 0.3241,
+		"Divorced", 0.1387, "Separated", 0.0311, "Widowed", 0.0276,
+		"Married-spouse-absent", 0.0125, "Married-AF-spouse", 0.0023,
+	)
+	raceDist = newWeighted(
+		"White", 0.8594, "Black", 0.0935, "Asian-Pac-Islander", 0.0290,
+		"Amer-Indian-Eskimo", 0.0095, "Other", 0.0086,
+	)
+	sexDist = newWeighted("Male", 0.6751, "Female", 0.3249)
+
+	countryDist = newWeighted(
+		"United-States", 0.9120, "Mexico", 0.0210, "Philippines", 0.0065,
+		"Germany", 0.0045, "Puerto-Rico", 0.0040, "Canada", 0.0038,
+		"India", 0.0033, "El-Salvador", 0.0033, "Cuba", 0.0031,
+		"England", 0.0028, "Jamaica", 0.0027, "South", 0.0024,
+		"China", 0.0024, "Italy", 0.0023, "Dominican-Republic", 0.0022,
+		"Vietnam", 0.0021, "Guatemala", 0.0020, "Japan", 0.0019,
+		"Poland", 0.0018, "Columbia", 0.0018, "Taiwan", 0.0014,
+		"Haiti", 0.0014, "Iran", 0.0014, "Portugal", 0.0012,
+		"Nicaragua", 0.0011, "Peru", 0.0010, "Greece", 0.0009,
+		"France", 0.0009, "Ecuador", 0.0008, "Ireland", 0.0008,
+		"Hong", 0.0006, "Cambodia", 0.0006, "Trinadad&Tobago", 0.0006,
+		"Thailand", 0.0006, "Laos", 0.0006, "Yugoslavia", 0.0005,
+		"Outlying-US(Guam-USVI-etc)", 0.0005, "Hungary", 0.0004,
+		"Honduras", 0.0004, "Scotland", 0.0004, "Holand-Netherlands", 0.0001,
+		"Unknown-Country", 0.0010,
+	)
+
+	// Occupation conditioned on a coarse education tier; the Adult data's
+	// strongest QID correlation and the one that matters for entropy- and
+	// information-gain-driven anonymizers.
+	occupationByTier = map[string]*weighted{
+		"low": newWeighted(
+			"Craft-repair", 0.17, "Other-service", 0.16, "Machine-op-inspct", 0.13,
+			"Handlers-cleaners", 0.11, "Transport-moving", 0.10, "Sales", 0.09,
+			"Adm-clerical", 0.08, "Farming-fishing", 0.07, "Exec-managerial", 0.04,
+			"Priv-house-serv", 0.02, "Protective-serv", 0.02, "Prof-specialty", 0.005,
+			"Tech-support", 0.005, "Armed-Forces", 0.001,
+		),
+		"mid": newWeighted(
+			"Adm-clerical", 0.16, "Craft-repair", 0.14, "Sales", 0.13,
+			"Exec-managerial", 0.11, "Other-service", 0.10, "Machine-op-inspct", 0.07,
+			"Transport-moving", 0.06, "Handlers-cleaners", 0.05, "Tech-support", 0.05,
+			"Prof-specialty", 0.05, "Protective-serv", 0.03, "Farming-fishing", 0.03,
+			"Priv-house-serv", 0.01, "Armed-Forces", 0.001,
+		),
+		"high": newWeighted(
+			"Prof-specialty", 0.35, "Exec-managerial", 0.27, "Sales", 0.10,
+			"Adm-clerical", 0.07, "Tech-support", 0.05, "Other-service", 0.04,
+			"Craft-repair", 0.04, "Protective-serv", 0.02, "Machine-op-inspct", 0.02,
+			"Transport-moving", 0.02, "Handlers-cleaners", 0.01, "Farming-fishing", 0.01,
+			"Priv-house-serv", 0.002, "Armed-Forces", 0.001,
+		),
+	}
+
+	educationTier = map[string]string{
+		"Preschool": "low", "1st-4th": "low", "5th-6th": "low", "7th-8th": "low",
+		"9th": "low", "10th": "low", "11th": "low", "12th": "low",
+		"HS-grad": "mid", "Some-college": "mid", "Assoc-voc": "mid", "Assoc-acdm": "mid",
+		"Bachelors": "high", "Masters": "high", "Prof-school": "high", "Doctorate": "high",
+	}
+)
+
+// Generate synthesizes n Adult-like records with entity IDs 0..n-1,
+// deterministic for a given seed. Class labels (income) are assigned with
+// probabilities that increase with education tier, age, and marriage,
+// reproducing the correlations TDS exploits.
+func Generate(n int, seed int64) *dataset.Dataset {
+	schema := Schema()
+	return GenerateInto(schema, n, seed)
+}
+
+// GenerateInto is Generate against a caller-provided schema instance, so
+// several datasets can share one schema (a requirement for Concat and for
+// linking two relations). The schema must be adult.Schema()-shaped.
+func GenerateInto(schema *dataset.Schema, n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(schema)
+	idx := make(map[string]int, schema.Len())
+	for _, name := range schema.Names() {
+		i, _ := schema.Index(name)
+		idx[name] = i
+	}
+	for i := 0; i < n; i++ {
+		rec := dataset.Record{EntityID: i, Cells: make([]dataset.Cell, schema.Len())}
+
+		age := sampleAge(rng)
+		edu := educationDist.sample(rng)
+		tier := educationTier[edu]
+		occ := occupationByTier[tier].sample(rng)
+		marital := sampleMarital(rng, age)
+
+		rec.Cells[idx[AttrAge]] = dataset.NumCell(age)
+		rec.Cells[idx[AttrWorkclass]] = catCell(schema, idx[AttrWorkclass], workclassDist.sample(rng))
+		rec.Cells[idx[AttrEducation]] = catCell(schema, idx[AttrEducation], edu)
+		rec.Cells[idx[AttrMaritalStatus]] = catCell(schema, idx[AttrMaritalStatus], marital)
+		rec.Cells[idx[AttrOccupation]] = catCell(schema, idx[AttrOccupation], occ)
+		rec.Cells[idx[AttrRace]] = catCell(schema, idx[AttrRace], raceDist.sample(rng))
+		rec.Cells[idx[AttrSex]] = catCell(schema, idx[AttrSex], sexDist.sample(rng))
+		rec.Cells[idx[AttrNativeCountry]] = catCell(schema, idx[AttrNativeCountry], countryDist.sample(rng))
+		rec.Class = sampleClass(rng, tier, age, marital)
+
+		if err := d.Append(rec); err != nil {
+			panic(fmt.Sprintf("adult: generator produced invalid record: %v", err))
+		}
+	}
+	return d
+}
+
+func catCell(schema *dataset.Schema, attr int, leaf string) dataset.Cell {
+	return dataset.Cell{Node: schema.Attr(attr).Hierarchy.MustLookup(leaf)}
+}
+
+// sampleAge draws an integer age with the Adult data's right-skewed shape
+// (median ≈ 37), clamped into the hierarchy domain [17, 81).
+func sampleAge(rng *rand.Rand) float64 {
+	// Log-normal-ish: 17 + Gamma-shaped offset.
+	v := 17 + 22*math.Abs(rng.NormFloat64()) + rng.Float64()*8
+	age := math.Floor(v)
+	if age < 17 {
+		age = 17
+	}
+	if age > 80 {
+		age = 80
+	}
+	return age
+}
+
+func sampleMarital(rng *rand.Rand, age float64) string {
+	// Younger people skew strongly to Never-married.
+	if age < 25 && rng.Float64() < 0.75 {
+		return "Never-married"
+	}
+	return maritalDist.sample(rng)
+}
+
+func sampleClass(rng *rand.Rand, tier string, age float64, marital string) string {
+	p := 0.08
+	switch tier {
+	case "mid":
+		p = 0.20
+	case "high":
+		p = 0.45
+	}
+	if age >= 35 {
+		p += 0.08
+	}
+	if marital == "Married-civ-spouse" {
+		p += 0.10
+	}
+	if rng.Float64() < p {
+		return ClassPositive
+	}
+	return ClassNegative
+}

@@ -1,0 +1,52 @@
+package anonymize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pprl/internal/adult"
+)
+
+// FuzzReadView checks that arbitrary view files never panic the parser
+// and that accepted views are structurally consistent (every record in
+// exactly one class).
+func FuzzReadView(f *testing.F) {
+	schema := adult.Schema()
+	// Seed with a real view.
+	d := adult.Generate(40, 1)
+	qids, err := schema.Resolve(adult.DefaultQIDs())
+	if err != nil {
+		f.Fatal(err)
+	}
+	res, err := NewMaxEntropy().Anonymize(d, qids, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteView(&buf, schema, res); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("pprl-view\t1\nqids\tage\nclass\tp:4\t0\n")
+	f.Add("pprl-view\t1\nk\t-3\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		view, err := ReadView(strings.NewReader(input), schema)
+		if err != nil {
+			return
+		}
+		seen := make(map[int]bool)
+		for _, c := range view.Classes {
+			for _, m := range c.Members {
+				if seen[m] {
+					t.Fatalf("accepted view has duplicate member %d", m)
+				}
+				seen[m] = true
+			}
+		}
+		if len(seen) != len(view.ClassOf) {
+			t.Fatalf("ClassOf covers %d records, classes cover %d", len(view.ClassOf), len(seen))
+		}
+	})
+}

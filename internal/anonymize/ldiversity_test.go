@@ -1,0 +1,67 @@
+package anonymize
+
+import (
+	"testing"
+
+	"pprl/internal/dataset"
+)
+
+func TestLDiverseSatisfiesBothGuarantees(t *testing.T) {
+	d, qids := adultSample(t, 500)
+	for _, l := range []int{1, 2} {
+		a := NewLDiverseEntropy(l)
+		res, err := a.Anonymize(d, qids, 8)
+		if err != nil {
+			t.Fatalf("l=%d: %v", l, err)
+		}
+		if err := res.Validate(d); err != nil {
+			t.Errorf("l=%d: %v", l, err)
+		}
+		if min := res.MinClassSize(); min < 8 && res.NumSequences() > 1 {
+			t.Errorf("l=%d: min class size %d < k", l, min)
+		}
+		if got := Diversity(d, res); got < l {
+			t.Errorf("l=%d: achieved diversity %d", l, got)
+		}
+	}
+}
+
+func TestLDiversityReducesSequences(t *testing.T) {
+	// Demanding diversity can only forbid specializations, so sequence
+	// counts cannot increase.
+	d, qids := adultSample(t, 500)
+	plain, err := NewMaxEntropy().Anonymize(d, qids, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverse, err := NewLDiverseEntropy(2).Anonymize(d, qids, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diverse.NumSequences() > plain.NumSequences() {
+		t.Errorf("2-diverse produced %d sequences, plain %d; diversity should not add sequences",
+			diverse.NumSequences(), plain.NumSequences())
+	}
+}
+
+func TestLDiverseImpossible(t *testing.T) {
+	// All records share one sensitive value: 2-diversity is unachievable.
+	d, qids := adultSample(t, 60)
+	mono := dataset.New(d.Schema())
+	for _, r := range d.Records() {
+		r.Class = "same"
+		mono.MustAppend(r)
+	}
+	if _, err := NewLDiverseEntropy(2).Anonymize(mono, qids, 4); err == nil {
+		t.Error("2-diversity over a single sensitive value should fail")
+	}
+	if _, err := NewLDiverseEntropy(0).Anonymize(d, qids, 4); err == nil {
+		t.Error("l=0 should be rejected")
+	}
+}
+
+func TestLDiverseName(t *testing.T) {
+	if got := NewLDiverseEntropy(3).Name(); got != "Entropy+3-diverse" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,241 @@
+package anonymize
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pprl/internal/dataset"
+	"pprl/internal/vgh"
+)
+
+// The view exchange format is what a data holder actually publishes in
+// the hybrid protocol: generalization sequences, class membership (record
+// indexes — the handles the SMC step addresses records by), and the
+// anonymization parameters. It deliberately cannot carry raw cell values.
+//
+// Layout (tab-separated lines):
+//
+//	pprl-view	1
+//	method	Entropy
+//	k	32
+//	qids	age	workclass	…
+//	suppressed	4	17            (optional)
+//	class	c:Masters␟n:35:37	0,1,2
+//	…
+//
+// Sequence values are prefixed by kind — c: categorical label,
+// n:<lo>:<hi> interval, p:<v> point — and joined with the unit separator
+// (U+001F), so labels containing spaces or punctuation round-trip.
+
+const viewMagic = "pprl-view"
+
+// WriteView serializes an anonymized view against its schema.
+func WriteView(w io.Writer, schema *dataset.Schema, res *Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\t1\n", viewMagic)
+	fmt.Fprintf(bw, "method\t%s\n", res.Method)
+	fmt.Fprintf(bw, "k\t%d\n", res.K)
+	names := make([]string, len(res.QIDs))
+	for i, q := range res.QIDs {
+		names[i] = schema.Attr(q).Name
+	}
+	fmt.Fprintf(bw, "qids\t%s\n", strings.Join(names, "\t"))
+	if len(res.Suppressed) > 0 {
+		parts := make([]string, len(res.Suppressed))
+		for i, s := range res.Suppressed {
+			parts[i] = strconv.Itoa(s)
+		}
+		fmt.Fprintf(bw, "suppressed\t%s\n", strings.Join(parts, "\t"))
+	}
+	for ci, c := range res.Classes {
+		vals := make([]string, len(c.Sequence))
+		for i, v := range c.Sequence {
+			vals[i] = encodeValue(v)
+		}
+		members := make([]string, len(c.Members))
+		for i, m := range c.Members {
+			members[i] = strconv.Itoa(m)
+		}
+		if _, err := fmt.Fprintf(bw, "class\t%s\t%s\n",
+			strings.Join(vals, "\x1f"), strings.Join(members, ",")); err != nil {
+			return fmt.Errorf("anonymize: writing class %d: %w", ci, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadView parses a view written by WriteView, resolving categorical
+// labels against the schema's hierarchies and rebuilding the ClassOf
+// index.
+func ReadView(r io.Reader, schema *dataset.Schema) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	next := func() ([]string, bool) {
+		for sc.Scan() {
+			line++
+			text := sc.Text()
+			if text == "" {
+				continue
+			}
+			return strings.Split(text, "\t"), true
+		}
+		return nil, false
+	}
+	fields, ok := next()
+	if !ok || len(fields) < 2 || fields[0] != viewMagic || fields[1] != "1" {
+		return nil, fmt.Errorf("anonymize: not a pprl-view v1 file")
+	}
+	res := &Result{}
+	maxMember := -1
+	for {
+		fields, ok := next()
+		if !ok {
+			break
+		}
+		switch fields[0] {
+		case "method":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("anonymize: line %d: malformed method", line)
+			}
+			res.Method = fields[1]
+		case "k":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("anonymize: line %d: malformed k", line)
+			}
+			k, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("anonymize: line %d: bad k: %w", line, err)
+			}
+			res.K = k
+		case "qids":
+			for _, name := range fields[1:] {
+				idx, ok := schema.Index(name)
+				if !ok {
+					return nil, fmt.Errorf("anonymize: line %d: schema has no attribute %q", line, name)
+				}
+				res.QIDs = append(res.QIDs, idx)
+			}
+		case "suppressed":
+			for _, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("anonymize: line %d: bad suppressed index: %w", line, err)
+				}
+				res.Suppressed = append(res.Suppressed, v)
+			}
+		case "class":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("anonymize: line %d: class needs sequence and members", line)
+			}
+			if len(res.QIDs) == 0 {
+				return nil, fmt.Errorf("anonymize: line %d: class before qids", line)
+			}
+			rawVals := strings.Split(fields[1], "\x1f")
+			if len(rawVals) != len(res.QIDs) {
+				return nil, fmt.Errorf("anonymize: line %d: %d values for %d QIDs", line, len(rawVals), len(res.QIDs))
+			}
+			seq := make(vgh.Sequence, len(rawVals))
+			for i, raw := range rawVals {
+				v, err := decodeValue(schema.Attr(res.QIDs[i]), raw)
+				if err != nil {
+					return nil, fmt.Errorf("anonymize: line %d: %w", line, err)
+				}
+				seq[i] = v
+			}
+			var members []int
+			for _, f := range strings.Split(fields[2], ",") {
+				m, err := strconv.Atoi(f)
+				if err != nil || m < 0 {
+					return nil, fmt.Errorf("anonymize: line %d: bad member %q", line, f)
+				}
+				if m > maxMember {
+					maxMember = m
+				}
+				members = append(members, m)
+			}
+			res.Classes = append(res.Classes, Class{Sequence: seq, Members: members})
+		default:
+			return nil, fmt.Errorf("anonymize: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("anonymize: reading view: %w", err)
+	}
+	if len(res.Classes) == 0 {
+		return nil, fmt.Errorf("anonymize: view has no classes")
+	}
+	res.ClassOf = make([]int, maxMember+1)
+	for i := range res.ClassOf {
+		res.ClassOf[i] = -1
+	}
+	for ci, c := range res.Classes {
+		for _, m := range c.Members {
+			if res.ClassOf[m] != -1 {
+				return nil, fmt.Errorf("anonymize: record %d appears in classes %d and %d", m, res.ClassOf[m], ci)
+			}
+			res.ClassOf[m] = ci
+		}
+	}
+	for m, ci := range res.ClassOf {
+		if ci == -1 {
+			return nil, fmt.Errorf("anonymize: record %d missing from the view", m)
+		}
+	}
+	return res, nil
+}
+
+func encodeValue(v vgh.Value) string {
+	if v.Node != nil {
+		return "c:" + v.Node.Value
+	}
+	if v.Iv.IsPoint() {
+		return "p:" + strconv.FormatFloat(v.Iv.Lo, 'g', -1, 64)
+	}
+	return fmt.Sprintf("n:%s:%s",
+		strconv.FormatFloat(v.Iv.Lo, 'g', -1, 64),
+		strconv.FormatFloat(v.Iv.Hi, 'g', -1, 64))
+}
+
+func decodeValue(attr dataset.Attribute, raw string) (vgh.Value, error) {
+	switch {
+	case strings.HasPrefix(raw, "c:"):
+		if attr.Kind != dataset.Categorical {
+			return vgh.Value{}, fmt.Errorf("categorical value for continuous attribute %q", attr.Name)
+		}
+		label := raw[2:]
+		n := attr.Hierarchy.Lookup(label)
+		if n == nil {
+			return vgh.Value{}, fmt.Errorf("attribute %q has no value %q", attr.Name, label)
+		}
+		return vgh.CatValue(n), nil
+	case strings.HasPrefix(raw, "p:"):
+		if attr.Kind != dataset.Continuous {
+			return vgh.Value{}, fmt.Errorf("numeric value for categorical attribute %q", attr.Name)
+		}
+		v, err := strconv.ParseFloat(raw[2:], 64)
+		if err != nil {
+			return vgh.Value{}, fmt.Errorf("bad point value %q: %w", raw, err)
+		}
+		return vgh.NumValue(vgh.Point(v)), nil
+	case strings.HasPrefix(raw, "n:"):
+		if attr.Kind != dataset.Continuous {
+			return vgh.Value{}, fmt.Errorf("numeric value for categorical attribute %q", attr.Name)
+		}
+		parts := strings.Split(raw[2:], ":")
+		if len(parts) != 2 {
+			return vgh.Value{}, fmt.Errorf("bad interval %q", raw)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || hi < lo {
+			return vgh.Value{}, fmt.Errorf("bad interval %q", raw)
+		}
+		return vgh.NumValue(vgh.Interval{Lo: lo, Hi: hi}), nil
+	default:
+		return vgh.Value{}, fmt.Errorf("unknown value encoding %q", raw)
+	}
+}

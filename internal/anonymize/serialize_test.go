@@ -1,0 +1,123 @@
+package anonymize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestViewRoundTrip(t *testing.T) {
+	d, qids := adultSample(t, 300)
+	for _, a := range []Anonymizer{NewMaxEntropy(), NewDataFly(), NewMondrian()} {
+		res, err := a.Anonymize(d, qids, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteView(&buf, d.Schema(), res); err != nil {
+			t.Fatalf("%s: WriteView: %v", a.Name(), err)
+		}
+		got, err := ReadView(&buf, d.Schema())
+		if err != nil {
+			t.Fatalf("%s: ReadView: %v", a.Name(), err)
+		}
+		if got.Method != res.Method || got.K != res.K {
+			t.Errorf("%s: metadata changed: %q/%d", a.Name(), got.Method, got.K)
+		}
+		if got.NumSequences() != res.NumSequences() {
+			t.Fatalf("%s: %d sequences after round trip, want %d", a.Name(), got.NumSequences(), res.NumSequences())
+		}
+		for ci := range res.Classes {
+			if !got.Classes[ci].Sequence.Equal(res.Classes[ci].Sequence) {
+				t.Errorf("%s: class %d sequence %v != %v", a.Name(),
+					ci, got.Classes[ci].Sequence, res.Classes[ci].Sequence)
+			}
+			if len(got.Classes[ci].Members) != len(res.Classes[ci].Members) {
+				t.Errorf("%s: class %d members differ", a.Name(), ci)
+			}
+		}
+		for i := range res.ClassOf {
+			if got.ClassOf[i] != res.ClassOf[i] {
+				t.Fatalf("%s: ClassOf[%d] = %d, want %d", a.Name(), i, got.ClassOf[i], res.ClassOf[i])
+			}
+		}
+		if len(got.Suppressed) != len(res.Suppressed) {
+			t.Errorf("%s: suppressed list changed", a.Name())
+		}
+		// The round-tripped view still validates against the data.
+		if err := got.Validate(d); err != nil {
+			t.Errorf("%s: round-tripped view invalid: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestViewContainsNoRawCells(t *testing.T) {
+	// The published artifact must not leak exact continuous values when
+	// classes are generalized (k > 1 forces intervals or shared points).
+	d, qids := adultSample(t, 300)
+	res, err := NewMaxEntropy().Anonymize(d, qids, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteView(&buf, d.Schema(), res); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasPrefix(text, "pprl-view\t1\n") {
+		t.Error("missing magic header")
+	}
+	// Header carries only attribute names, parameters and generalized
+	// values; spot-check that the class labels (sensitive values) never
+	// appear.
+	if strings.Contains(text, ">50K") || strings.Contains(text, "<=50K") {
+		t.Error("view leaks sensitive class labels")
+	}
+}
+
+func TestReadViewErrors(t *testing.T) {
+	d, _ := adultSample(t, 10)
+	schema := d.Schema()
+	cases := []struct{ name, text string }{
+		{"bad magic", "nope\t1\nqids\tage\nclass\tp:4\t0\n"},
+		{"bad version", "pprl-view\t2\n"},
+		{"unknown attr", "pprl-view\t1\nqids\tbogus\nclass\tp:4\t0\n"},
+		{"class before qids", "pprl-view\t1\nclass\tp:4\t0\n"},
+		{"arity mismatch", "pprl-view\t1\nqids\tage\tworkclass\nclass\tp:4\t0\n"},
+		{"bad member", "pprl-view\t1\nqids\tage\nclass\tp:4\tx\n"},
+		{"duplicate member", "pprl-view\t1\nqids\tage\nclass\tp:4\t0,0\n"},
+		{"missing member", "pprl-view\t1\nqids\tage\nclass\tp:4\t0,2\n"},
+		{"unknown directive", "pprl-view\t1\nwat\t1\n"},
+		{"unknown leaf", "pprl-view\t1\nqids\tworkclass\nclass\tc:Nope\t0\n"},
+		{"kind mismatch", "pprl-view\t1\nqids\tage\nclass\tc:Private\t0\n"},
+		{"bad interval", "pprl-view\t1\nqids\tage\nclass\tn:9:1\t0\n"},
+		{"bad encoding", "pprl-view\t1\nqids\tage\nclass\tq:4\t0\n"},
+		{"no classes", "pprl-view\t1\nqids\tage\n"},
+		{"bad k", "pprl-view\t1\nk\tx\nqids\tage\nclass\tp:4\t0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadView(strings.NewReader(c.text), schema); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadViewMinimal(t *testing.T) {
+	d, _ := adultSample(t, 10)
+	text := "pprl-view\t1\nmethod\tmanual\nk\t1\nqids\tage\tworkclass\n" +
+		"class\tn:17:81\x1fc:ANY\t0,1\n"
+	res, err := ReadView(strings.NewReader(text), d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "manual" || res.K != 1 || res.NumSequences() != 1 {
+		t.Errorf("parsed view wrong: %+v", res)
+	}
+	seq := res.Classes[0].Sequence
+	if seq[0].Iv.Lo != 17 || seq[0].Iv.Hi != 81 {
+		t.Errorf("interval = %v", seq[0].Iv)
+	}
+	if seq[1].Node.Value != "ANY" {
+		t.Errorf("node = %v", seq[1])
+	}
+}

@@ -1,0 +1,59 @@
+package blocking
+
+import (
+	"math/rand"
+	"testing"
+
+	"pprl/internal/adult"
+	"pprl/internal/anonymize"
+	"pprl/internal/dataset"
+)
+
+// benchFixture anonymizes a mid-size workload at low k so there are
+// enough equivalence classes for the class-pair loop to matter.
+func benchFixture(b *testing.B) (av, bv *anonymize.Result, rule *Rule) {
+	b.Helper()
+	full := adult.Generate(3000, 13)
+	alice, bob := dataset.SplitOverlap(full, rand.New(rand.NewSource(14)))
+	qids, err := full.Schema().Resolve(adult.DefaultQIDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	anon := anonymize.NewMaxEntropy()
+	av, err = anon.Anonymize(alice, qids, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bv, err = anon.Anonymize(bob, qids, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rule, err = RuleFor(full.Schema(), qids, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return av, bv, rule
+}
+
+func benchBlock(b *testing.B, threshold int) {
+	b.Helper()
+	av, bv, rule := benchFixture(b)
+	old := parallelThreshold
+	parallelThreshold = threshold
+	defer func() { parallelThreshold = old }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Block(av, bv, rule)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalPairs() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkBlockSerial and BenchmarkBlockParallel quantify the fan-out
+// speedup of the class-pair loop.
+func BenchmarkBlockSerial(b *testing.B)   { benchBlock(b, 1<<62) }
+func BenchmarkBlockParallel(b *testing.B) { benchBlock(b, 0) }

@@ -1,0 +1,131 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func enc(t testing.TB) *Encoder {
+	t.Helper()
+	e, err := NewEncoder(1000, 30, 2, []byte("shared-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	cases := []struct{ m, k, q int }{
+		{4, 30, 2}, {1000, 0, 2}, {1000, 30, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewEncoder(c.m, c.k, c.q, []byte("x")); err == nil {
+			t.Errorf("NewEncoder(%v) should fail", c)
+		}
+	}
+	if _, err := NewEncoder(1000, 30, 2, nil); err == nil {
+		t.Error("empty key should fail")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	e := enc(t)
+	a := e.Encode("smith", "john")
+	b := e.Encode("smith", "john")
+	if a.Dice(b) != 1 {
+		t.Errorf("identical records encode differently: dice = %v", a.Dice(b))
+	}
+	if a.Ones() == 0 {
+		t.Error("encoding set no bits")
+	}
+}
+
+func TestKeyChangesEncoding(t *testing.T) {
+	a, _ := NewEncoder(1000, 30, 2, []byte("key1"))
+	b, _ := NewEncoder(1000, 30, 2, []byte("key2"))
+	fa := a.Encode("smith")
+	fb := b.Encode("smith")
+	if fa.Dice(fb) > 0.5 {
+		t.Errorf("different keys should decorrelate encodings: dice = %v", fa.Dice(fb))
+	}
+}
+
+func TestDiceRanksSimilarity(t *testing.T) {
+	e := enc(t)
+	smith := e.Encode("smith")
+	smyth := e.Encode("smyth")
+	jones := e.Encode("jones")
+	if got := smith.Dice(smyth); got <= smith.Dice(jones) {
+		t.Errorf("dice(smith,smyth)=%v should exceed dice(smith,jones)=%v", got, smith.Dice(jones))
+	}
+	if got := smith.Dice(smyth); got < 0.5 {
+		t.Errorf("one-letter typo should stay similar: dice = %v", got)
+	}
+}
+
+func TestEmptyFields(t *testing.T) {
+	e := enc(t)
+	empty := e.Encode("")
+	if empty.Ones() != 0 {
+		t.Errorf("empty record set %d bits", empty.Ones())
+	}
+	if got := empty.Dice(empty); got != 0 {
+		t.Errorf("dice of empty filters = %v, want 0", got)
+	}
+}
+
+func TestGrams(t *testing.T) {
+	e := enc(t)
+	got := e.grams("ab")
+	want := []string{"_a", "ab", "b_"}
+	if len(got) != len(want) {
+		t.Fatalf("grams(ab) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("gram %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if g := e.grams(""); g != nil {
+		t.Errorf("grams of empty string = %v", g)
+	}
+}
+
+func TestDicePanicsOnSizeMismatch(t *testing.T) {
+	small, _ := NewEncoder(64, 4, 2, []byte("x"))
+	big, _ := NewEncoder(128, 4, 2, []byte("x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	small.Encode("a").Dice(big.Encode("a"))
+}
+
+// Dice is symmetric, bounded in [0,1], and 1 on self (for non-empty
+// filters).
+func TestDiceProperty(t *testing.T) {
+	e := enc(t)
+	rng := rand.New(rand.NewSource(9))
+	randStr := func() string {
+		n := 1 + rng.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	f := func() bool {
+		a := e.Encode(randStr(), randStr())
+		b := e.Encode(randStr())
+		d1, d2 := a.Dice(b), b.Dice(a)
+		if d1 != d2 || d1 < 0 || d1 > 1 {
+			return false
+		}
+		return a.Dice(a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

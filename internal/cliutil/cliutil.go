@@ -1,0 +1,16 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"pprl/internal/adult"
+	"pprl/internal/dataset"
+)
+
+// LoadSchemaOrAdult loads a schema manifest, or returns the built-in
+// Adult schema when path is empty.
+func LoadSchemaOrAdult(path string) (*dataset.Schema, error) {
+	if path == "" {
+		return adult.Schema(), nil
+	}
+	return dataset.LoadSchema(path)
+}

@@ -1,0 +1,33 @@
+package cliutil
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pprl/internal/adult"
+	"pprl/internal/dataset"
+)
+
+func TestLoadSchemaOrAdult(t *testing.T) {
+	s, err := LoadSchemaOrAdult("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != adult.Schema().Len() {
+		t.Errorf("default schema has %d attributes", s.Len())
+	}
+	if _, err := LoadSchemaOrAdult("/nonexistent/schema.txt"); err == nil {
+		t.Error("missing manifest should fail")
+	}
+	dir := t.TempDir()
+	if err := dataset.SaveSchema(dir, adult.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	custom, err := LoadSchemaOrAdult(filepath.Join(dir, dataset.SchemaManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Len() != s.Len() {
+		t.Errorf("custom schema has %d attributes, want %d", custom.Len(), s.Len())
+	}
+}

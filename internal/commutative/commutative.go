@@ -1,0 +1,132 @@
+// Package commutative implements commutative encryption by exponentiation
+// in the quadratic-residue subgroup of a safe-prime group (the
+// Pohlig-Hellman construction used by Agrawal, Evfimievski and Srikant,
+// "Information sharing across private databases", SIGMOD 2003 — the
+// paper's reference [15]): for keys a, b and any element x,
+//
+//	E_a(E_b(x)) = E_b(E_a(x)) = x^(a·b) mod p,
+//
+// which is what private set intersection — and through it the private
+// schema matching the paper assumes as a preprocessing step (Section II)
+// — is built on.
+package commutative
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// Group holds the public parameters: a safe prime P = 2Q+1. All protocol
+// participants must share the group.
+type Group struct {
+	// P is the safe prime; arithmetic is in the subgroup of quadratic
+	// residues mod P, which has prime order Q.
+	P *big.Int
+	// Q is the Sophie Germain prime (P-1)/2, the subgroup order.
+	Q *big.Int
+}
+
+// rfc3526Prime1536 is the 1536-bit MODP group prime of RFC 3526 — a
+// well-known safe prime, so no participant can have rigged it.
+const rfc3526Prime1536 = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+	"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+	"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+	"670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+
+// DefaultGroup returns the standard 1536-bit group.
+func DefaultGroup() *Group {
+	p, ok := new(big.Int).SetString(rfc3526Prime1536, 16)
+	if !ok {
+		panic("commutative: invalid built-in prime")
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, one), 1)
+	return &Group{P: p, Q: q}
+}
+
+// NewGroup generates a fresh safe-prime group of the given size; tests
+// use small groups for speed, deployments should prefer DefaultGroup.
+func NewGroup(random io.Reader, bits int) (*Group, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("commutative: group size %d too small", bits)
+	}
+	for {
+		q, err := rand.Prime(random, bits-1)
+		if err != nil {
+			return nil, fmt.Errorf("commutative: generating q: %w", err)
+		}
+		p := new(big.Int).Lsh(q, 1)
+		p.Add(p, one)
+		if p.ProbablyPrime(32) {
+			return &Group{P: p, Q: q}, nil
+		}
+	}
+}
+
+// Valid reports whether the group parameters are a plausible safe-prime
+// pair; participants should check parameters received from a peer.
+func (g *Group) Valid() bool {
+	if g == nil || g.P == nil || g.Q == nil {
+		return false
+	}
+	p := new(big.Int).Lsh(g.Q, 1)
+	p.Add(p, one)
+	return p.Cmp(g.P) == 0 && g.P.ProbablyPrime(20) && g.Q.ProbablyPrime(20)
+}
+
+// Hash maps arbitrary bytes into the quadratic-residue subgroup: SHA-256
+// output interpreted as an integer, reduced mod P and squared. Squaring
+// lands in the QR subgroup, where exponentiation by keys coprime to Q is
+// a bijection.
+func (g *Group) Hash(data []byte) *big.Int {
+	sum := sha256.Sum256(data)
+	x := new(big.Int).SetBytes(sum[:])
+	x.Mod(x, g.P)
+	if x.Sign() == 0 {
+		x.SetInt64(4) // 2² — an arbitrary fixed QR, unreachable by SHA anyway
+		return x
+	}
+	return x.Mul(x, x).Mod(x, g.P)
+}
+
+// Key is one party's secret exponent.
+type Key struct {
+	group *Group
+	e     *big.Int
+}
+
+// NewKey draws a secret exponent in [1, Q) coprime to Q.
+func (g *Group) NewKey(random io.Reader) (*Key, error) {
+	gcd := new(big.Int)
+	for {
+		e, err := rand.Int(random, g.Q)
+		if err != nil {
+			return nil, fmt.Errorf("commutative: drawing key: %w", err)
+		}
+		if e.Sign() == 0 {
+			continue
+		}
+		if gcd.GCD(nil, nil, e, g.Q).Cmp(one) == 0 {
+			return &Key{group: g, e: e}, nil
+		}
+	}
+}
+
+// Encrypt raises a group element to the secret exponent. Applying two
+// parties' Encrypt in either order yields the same value.
+func (k *Key) Encrypt(x *big.Int) *big.Int {
+	return new(big.Int).Exp(x, k.e, k.group.P)
+}
+
+// EncryptBytes hashes data into the group and encrypts it.
+func (k *Key) EncryptBytes(data []byte) *big.Int {
+	return k.Encrypt(k.group.Hash(data))
+}

@@ -1,0 +1,263 @@
+package commutative
+
+import (
+	"crypto/rand"
+	"encoding/gob"
+	"io"
+	"math/big"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func gobEncoder(w io.Writer) *gob.Encoder { return gob.NewEncoder(w) }
+func gobDecoder(r io.Reader) *gob.Decoder { return gob.NewDecoder(r) }
+
+var (
+	groupOnce sync.Once
+	testGrp   *Group
+)
+
+// testGroup is a small (fast) group for protocol tests.
+func testGroup(t testing.TB) *Group {
+	t.Helper()
+	groupOnce.Do(func() {
+		g, err := NewGroup(rand.Reader, 256)
+		if err != nil {
+			t.Fatalf("NewGroup: %v", err)
+		}
+		testGrp = g
+	})
+	return testGrp
+}
+
+func TestDefaultGroupValid(t *testing.T) {
+	g := DefaultGroup()
+	if !g.Valid() {
+		t.Fatal("RFC 3526 group should validate")
+	}
+	if g.P.BitLen() != 1536 {
+		t.Errorf("P has %d bits, want 1536", g.P.BitLen())
+	}
+}
+
+func TestNewGroupValid(t *testing.T) {
+	g := testGroup(t)
+	if !g.Valid() {
+		t.Fatal("generated group invalid")
+	}
+	if _, err := NewGroup(rand.Reader, 16); err == nil {
+		t.Error("tiny groups should be rejected")
+	}
+	if (&Group{}).Valid() {
+		t.Error("empty group should be invalid")
+	}
+}
+
+// Commutativity: E_a(E_b(x)) == E_b(E_a(x)) for random keys and inputs.
+func TestCommutativityProperty(t *testing.T) {
+	g := testGroup(t)
+	f := func(data []byte) bool {
+		a, err := g.NewKey(rand.Reader)
+		if err != nil {
+			return false
+		}
+		b, err := g.NewKey(rand.Reader)
+		if err != nil {
+			return false
+		}
+		x := g.Hash(data)
+		ab := a.Encrypt(b.Encrypt(x))
+		ba := b.Encrypt(a.Encrypt(x))
+		return ab.Cmp(ba) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Injectivity on the test domain: distinct inputs stay distinct through
+// hash + encryption (encryption is a bijection on the subgroup).
+func TestEncryptionInjective(t *testing.T) {
+	g := testGroup(t)
+	k, err := g.NewKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	inputs := []string{"age", "workclass", "education", "a", "b", "ab", ""}
+	for _, in := range inputs {
+		c := string(k.EncryptBytes([]byte(in)).Bytes())
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("collision between %q and %q", prev, in)
+		}
+		seen[c] = in
+	}
+}
+
+func runIntersect(t *testing.T, g *Group, a, b [][]byte) (ia, ib []int) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	type res struct {
+		idx []int
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		idx, err := Intersect(cb, g, b, false, rand.Reader)
+		ch <- res{idx, err}
+	}()
+	ia, err := Intersect(ca, g, a, true, rand.Reader)
+	if err != nil {
+		t.Fatalf("initiator: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("responder: %v", r.err)
+	}
+	return ia, r.idx
+}
+
+func TestIntersect(t *testing.T) {
+	g := testGroup(t)
+	a := [][]byte{[]byte("age"), []byte("workclass"), []byte("ssn"), []byte("education")}
+	b := [][]byte{[]byte("education"), []byte("zip"), []byte("age")}
+	ia, ib := runIntersect(t, g, a, b)
+	sort.Ints(ia)
+	sort.Ints(ib)
+	if len(ia) != 2 || a[ia[0]] == nil {
+		t.Fatalf("initiator matched %v", ia)
+	}
+	gotA := []string{string(a[ia[0]]), string(a[ia[1]])}
+	sort.Strings(gotA)
+	if gotA[0] != "age" || gotA[1] != "education" {
+		t.Errorf("initiator intersection = %v", gotA)
+	}
+	gotB := make([]string, len(ib))
+	for i, idx := range ib {
+		gotB[i] = string(b[idx])
+	}
+	sort.Strings(gotB)
+	if len(gotB) != 2 || gotB[0] != "age" || gotB[1] != "education" {
+		t.Errorf("responder intersection = %v", gotB)
+	}
+}
+
+func TestIntersectEmptyAndDisjoint(t *testing.T) {
+	g := testGroup(t)
+	ia, ib := runIntersect(t, g, [][]byte{[]byte("x")}, [][]byte{[]byte("y")})
+	if len(ia) != 0 || len(ib) != 0 {
+		t.Errorf("disjoint sets intersected: %v, %v", ia, ib)
+	}
+	ia, ib = runIntersect(t, g, nil, [][]byte{[]byte("y")})
+	if len(ia) != 0 || len(ib) != 0 {
+		t.Errorf("empty set intersected: %v, %v", ia, ib)
+	}
+}
+
+// Property: intersection computed privately equals the plain intersection
+// for random small sets.
+func TestIntersectProperty(t *testing.T) {
+	g := testGroup(t)
+	f := func(seedA, seedB uint8) bool {
+		mk := func(seed uint8) [][]byte {
+			var out [][]byte
+			for i := 0; i < 6; i++ {
+				if seed&(1<<i) != 0 {
+					out = append(out, []byte{byte('a' + i)})
+				}
+			}
+			return out
+		}
+		a, b := mk(seedA), mk(seedB)
+		ia, ib := runIntersect(t, g, a, b)
+		want := map[string]bool{}
+		inB := map[string]bool{}
+		for _, e := range b {
+			inB[string(e)] = true
+		}
+		for _, e := range a {
+			if inB[string(e)] {
+				want[string(e)] = true
+			}
+		}
+		if len(ia) != len(want) || len(ib) != len(want) {
+			return false
+		}
+		for _, idx := range ia {
+			if !want[string(a[idx])] {
+				return false
+			}
+		}
+		for _, idx := range ib {
+			if !want[string(b[idx])] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectRejectsInvalidGroup(t *testing.T) {
+	ca, _ := net.Pipe()
+	defer ca.Close()
+	if _, err := Intersect(ca, &Group{}, nil, true, rand.Reader); err == nil {
+		t.Error("invalid group should fail")
+	}
+}
+
+func TestIntersectTransportFailure(t *testing.T) {
+	g := testGroup(t)
+	ca, cb := net.Pipe()
+	cb.Close() // peer gone: the first send must fail cleanly
+	defer ca.Close()
+	if _, err := Intersect(ca, g, [][]byte{[]byte("x")}, true, rand.Reader); err == nil {
+		t.Error("closed peer should fail")
+	}
+}
+
+func TestIntersectRejectsOutOfGroupElements(t *testing.T) {
+	g := testGroup(t)
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	// A misbehaving responder sends an element outside the group.
+	go func() {
+		dec := gobDecoder(cb)
+		var in []*big.Int
+		dec.Decode(&in) // consume initiator's round 1
+		enc := gobEncoder(cb)
+		bad := new(big.Int).Add(g.P, big.NewInt(5))
+		enc.Encode([]*big.Int{bad})
+	}()
+	if _, err := Intersect(ca, g, [][]byte{[]byte("x")}, true, rand.Reader); err == nil {
+		t.Error("out-of-group element should be rejected")
+	}
+}
+
+func TestIntersectPeerShrinksOurList(t *testing.T) {
+	g := testGroup(t)
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	go func() {
+		dec := gobDecoder(cb)
+		enc := gobEncoder(cb)
+		var in []*big.Int
+		dec.Decode(&in)          // round 1 from initiator
+		enc.Encode([]*big.Int{}) // empty own set
+		var dbl []*big.Int
+		dec.Decode(&dbl)                      // initiator's double of our empty set
+		enc.Encode([]*big.Int{big.NewInt(4)}) // wrong arity back
+	}()
+	if _, err := Intersect(ca, g, [][]byte{[]byte("x"), []byte("y")}, true, rand.Reader); err == nil {
+		t.Error("arity mismatch from peer should be rejected")
+	}
+}

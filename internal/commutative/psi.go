@@ -1,0 +1,124 @@
+package commutative
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Intersect runs the two-party private set intersection protocol of
+// Agrawal et al. (SIGMOD 2003) over the stream: both parties end up
+// knowing which of their *own* elements are in the intersection — and
+// nothing about the peer's other elements beyond the set size.
+//
+// Exactly one party must call with initiator = true. The group must be
+// agreed beforehand (DefaultGroup, or exchanged out of band); rw carries
+// gob frames and must be a reliable ordered stream (net.Conn, net.Pipe).
+//
+// The returned slice holds the indexes into elements that are present in
+// the peer's set.
+func Intersect(rw io.ReadWriter, group *Group, elements [][]byte, initiator bool, random io.Reader) ([]int, error) {
+	if !group.Valid() {
+		return nil, fmt.Errorf("commutative: invalid group")
+	}
+	key, err := group.NewKey(random)
+	if err != nil {
+		return nil, err
+	}
+	enc := gob.NewEncoder(rw)
+	dec := gob.NewDecoder(rw)
+
+	// Round 1: exchange singly-encrypted sets. The order of our list is
+	// the order of `elements`, so the doubly-encrypted list we get back
+	// aligns with our indexes.
+	ours := make([]*big.Int, len(elements))
+	for i, e := range elements {
+		ours[i] = key.EncryptBytes(e)
+	}
+	var theirs []*big.Int
+	if initiator {
+		if err := send(enc, ours); err != nil {
+			return nil, err
+		}
+		if theirs, err = recv(dec); err != nil {
+			return nil, err
+		}
+	} else {
+		if theirs, err = recv(dec); err != nil {
+			return nil, err
+		}
+		if err := send(enc, ours); err != nil {
+			return nil, err
+		}
+	}
+
+	// Round 2: double-encrypt the peer's list and return it in the
+	// received order; keep our own copy as the comparison set.
+	doubleTheirs := make([]*big.Int, len(theirs))
+	for i, x := range theirs {
+		if err := checkElement(group, x); err != nil {
+			return nil, err
+		}
+		doubleTheirs[i] = key.Encrypt(x)
+	}
+	var doubleOurs []*big.Int
+	if initiator {
+		if err := send(enc, doubleTheirs); err != nil {
+			return nil, err
+		}
+		if doubleOurs, err = recv(dec); err != nil {
+			return nil, err
+		}
+	} else {
+		if doubleOurs, err = recv(dec); err != nil {
+			return nil, err
+		}
+		if err := send(enc, doubleTheirs); err != nil {
+			return nil, err
+		}
+	}
+	if len(doubleOurs) != len(elements) {
+		return nil, fmt.Errorf("commutative: peer returned %d elements, sent %d", len(doubleOurs), len(elements))
+	}
+
+	// Intersection: our elements whose double encryption appears in the
+	// peer's double-encrypted set (commutativity makes the two double
+	// encryptions of a common element identical).
+	peerSet := make(map[string]struct{}, len(doubleTheirs))
+	for _, x := range doubleTheirs {
+		peerSet[string(x.Bytes())] = struct{}{}
+	}
+	var matched []int
+	for i, x := range doubleOurs {
+		if err := checkElement(group, x); err != nil {
+			return nil, err
+		}
+		if _, ok := peerSet[string(x.Bytes())]; ok {
+			matched = append(matched, i)
+		}
+	}
+	return matched, nil
+}
+
+func send(enc *gob.Encoder, elems []*big.Int) error {
+	if err := enc.Encode(elems); err != nil {
+		return fmt.Errorf("commutative: sending elements: %w", err)
+	}
+	return nil
+}
+
+func recv(dec *gob.Decoder) ([]*big.Int, error) {
+	var elems []*big.Int
+	if err := dec.Decode(&elems); err != nil {
+		return nil, fmt.Errorf("commutative: receiving elements: %w", err)
+	}
+	return elems, nil
+}
+
+func checkElement(group *Group, x *big.Int) error {
+	if x == nil || x.Sign() <= 0 || x.Cmp(group.P) >= 0 {
+		return fmt.Errorf("commutative: element outside the group")
+	}
+	return nil
+}

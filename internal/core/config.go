@@ -1,0 +1,192 @@
+// Package core implements the paper's primary contribution: the hybrid
+// private record linkage protocol that combines k-anonymization-based
+// blocking with budgeted SMC resolution (Sections III–V).
+//
+// The pipeline: each data holder anonymizes its relation (with its own k
+// and anonymization method — the paper explicitly allows them to differ);
+// the blocking step labels equivalence-class pairs Match / NonMatch /
+// Unknown with the slack decision rule; Unknown pairs are ordered by a
+// selection heuristic and resolved by the SMC comparator until the SMC
+// allowance is exhausted; the residual-labeling strategy decides the rest.
+// Under the default maximize-precision strategy every reported match is
+// certain, so precision is always 100% and recall varies with the
+// allowance — the paper's privacy/cost/accuracy trade-off.
+package core
+
+import (
+	"fmt"
+
+	"pprl/internal/anonymize"
+	"pprl/internal/blocking"
+	"pprl/internal/dataset"
+	"pprl/internal/distance"
+	"pprl/internal/heuristic"
+	"pprl/internal/smc"
+)
+
+// Strategy selects how record pairs that remain Unknown after the SMC
+// budget runs out are labeled (paper Section V-B).
+type Strategy int
+
+const (
+	// MaximizePrecision labels residual pairs non-match; no false
+	// positives are possible, recall may suffer. This is the paper's
+	// choice ("Since privacy is our primary concern, we choose to follow
+	// the first strategy").
+	MaximizePrecision Strategy = iota
+	// MaximizeRecall spends the budget on probably-mismatching pairs and
+	// labels residual pairs match: full recall, possibly poor precision.
+	MaximizeRecall
+	// TrainClassifier selects SMC pairs at random and trains a
+	// threshold classifier on the SMC outcomes (features are the
+	// expected distances of the generalizations) to label residual
+	// pairs: a compromise the paper argues cannot attain high precision
+	// or recall.
+	TrainClassifier
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case MaximizePrecision:
+		return "maximize-precision"
+	case MaximizeRecall:
+		return "maximize-recall"
+	case TrainClassifier:
+		return "train-classifier"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ComparatorFactory builds the SMC comparator over the holders' encoded
+// records. The default (nil) uses the plaintext oracle with invocation
+// accounting — the paper's own cost model for large sweeps; use
+// SecureComparatorFactory to run real Paillier circuits.
+type ComparatorFactory func(alice, bob [][]int64, spec *smc.Spec) (smc.Comparator, error)
+
+// PlainComparatorFactory is the simulation-mode factory (default).
+func PlainComparatorFactory(alice, bob [][]int64, spec *smc.Spec) (smc.Comparator, error) {
+	return smc.NewPlainComparator(spec, alice, bob), nil
+}
+
+// SecureComparatorFactory returns a factory running the full three-party
+// Paillier protocol in-process with keys of the given size (the paper
+// uses 1024 bits).
+func SecureComparatorFactory(keyBits int) ComparatorFactory {
+	return func(alice, bob [][]int64, spec *smc.Spec) (smc.Comparator, error) {
+		return smc.NewLocalSecure(spec, alice, bob, keyBits)
+	}
+}
+
+// Config parameterizes a linkage run. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// QIDs are the quasi-identifier attribute names, resolved against
+	// the shared schema. The matching rule compares exactly these.
+	QIDs []string
+	// Theta is the uniform matching threshold θ_i applied to every
+	// attribute (paper default 0.05). Ignored when Thresholds is set.
+	Theta float64
+	// Thresholds optionally gives per-attribute thresholds.
+	Thresholds []float64
+
+	// AliceK and BobK are the holders' anonymity requirements; the
+	// participants set them independently (paper default 32 for both).
+	AliceK, BobK int
+	// AliceAnonymizer and BobAnonymizer choose each holder's
+	// anonymization method; nil defaults to the paper's max-entropy
+	// method.
+	AliceAnonymizer, BobAnonymizer anonymize.Anonymizer
+
+	// Heuristic orders Unknown pairs for the SMC budget; nil defaults to
+	// MinAvgFirst (the paper's most robust heuristic on over-perturbed
+	// data).
+	Heuristic heuristic.Heuristic
+	// Strategy picks the residual labeling (default MaximizePrecision).
+	Strategy Strategy
+
+	// Allowance is the absolute SMC budget in record pairs. When 0,
+	// AllowanceFraction of |R|×|S| is used instead.
+	Allowance int64
+	// AllowanceFraction is the budget as a fraction of all record pairs
+	// (paper default 0.015, i.e. 1.5%).
+	AllowanceFraction float64
+
+	// Scale is the fixed-point factor for continuous values in the SMC
+	// circuit; 1 (default via DefaultConfig) is exact for integer data.
+	Scale int64
+	// Comparator builds the SMC back end; nil = plaintext oracle.
+	Comparator ComparatorFactory
+	// Seed drives the random pair selection of TrainClassifier.
+	Seed int64
+	// Progress, when set, receives coarse stage events during Link:
+	// "anonymize-alice", "anonymize-bob", "blocking" (done == total on
+	// completion) and periodic "smc" events with comparisons done vs the
+	// allowance. Called synchronously on the linking goroutine; keep it
+	// fast.
+	Progress func(stage string, done, total int64)
+}
+
+// DefaultConfig returns the paper's Section VI defaults for the given
+// quasi-identifier set: k = 32 for both holders, θ_i = 0.05, SMC
+// allowance 1.5%, max-entropy anonymization, minAvgFirst ordering,
+// maximize-precision labeling.
+func DefaultConfig(qids []string) Config {
+	return Config{
+		QIDs:              qids,
+		Theta:             0.05,
+		AliceK:            32,
+		BobK:              32,
+		AllowanceFraction: 0.015,
+		Scale:             1,
+	}
+}
+
+// normalize fills defaults and validates, returning the resolved QID
+// positions and the rule.
+func (c *Config) normalize(schema *dataset.Schema) ([]int, *blocking.Rule, error) {
+	if len(c.QIDs) == 0 {
+		return nil, nil, fmt.Errorf("core: config has no quasi-identifiers")
+	}
+	qids, err := schema.Resolve(c.QIDs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rule *blocking.Rule
+	if c.Thresholds != nil {
+		if len(c.Thresholds) != len(qids) {
+			return nil, nil, fmt.Errorf("core: %d thresholds for %d QIDs", len(c.Thresholds), len(qids))
+		}
+		rule, err = blocking.NewRule(distance.MetricsFor(schema, qids), c.Thresholds)
+	} else {
+		if c.Theta <= 0 {
+			return nil, nil, fmt.Errorf("core: Theta must be positive (got %v)", c.Theta)
+		}
+		rule, err = blocking.RuleFor(schema, qids, c.Theta)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.AliceK < 1 || c.BobK < 1 {
+		return nil, nil, fmt.Errorf("core: anonymity requirements must be ≥ 1 (got %d, %d)", c.AliceK, c.BobK)
+	}
+	if c.Allowance < 0 || c.AllowanceFraction < 0 {
+		return nil, nil, fmt.Errorf("core: negative SMC allowance")
+	}
+	if c.AliceAnonymizer == nil {
+		c.AliceAnonymizer = anonymize.NewMaxEntropy()
+	}
+	if c.BobAnonymizer == nil {
+		c.BobAnonymizer = anonymize.NewMaxEntropy()
+	}
+	if c.Heuristic == nil {
+		c.Heuristic = heuristic.MinAvgFirst{}
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Comparator == nil {
+		c.Comparator = PlainComparatorFactory
+	}
+	return qids, rule, nil
+}

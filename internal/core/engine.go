@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pprl/internal/blocking"
+	"pprl/internal/dataset"
+	"pprl/internal/heuristic"
+	"pprl/internal/smc"
+)
+
+// Holder wraps a data holder's relation. The struct exists so call sites
+// read Link(alice, bob, …) with named roles and so holder-side options
+// can grow without breaking the signature.
+type Holder struct {
+	Data *dataset.Dataset
+}
+
+// Link runs the full hybrid private record linkage pipeline between two
+// relations sharing a schema instance, and returns the labeling of all
+// |alice|×|bob| record pairs plus cost accounting. The config is taken by
+// value; defaults are filled per DefaultConfig's documentation.
+func Link(alice, bob Holder, cfg Config) (*Result, error) {
+	schema, err := sharedSchema(alice, bob)
+	if err != nil {
+		return nil, err
+	}
+	qids, rule, err := cfg.normalize(schema)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1 — each holder anonymizes its relation independently.
+	var timings Timings
+	start := time.Now()
+	aView, err := cfg.AliceAnonymizer.Anonymize(alice.Data, qids, cfg.AliceK)
+	if err != nil {
+		return nil, fmt.Errorf("core: anonymizing alice: %w", err)
+	}
+	timings.AnonymizeAlice = time.Since(start)
+	cfg.report("anonymize-alice", 1, 1)
+	start = time.Now()
+	bView, err := cfg.BobAnonymizer.Anonymize(bob.Data, qids, cfg.BobK)
+	if err != nil {
+		return nil, fmt.Errorf("core: anonymizing bob: %w", err)
+	}
+	timings.AnonymizeBob = time.Since(start)
+	cfg.report("anonymize-bob", 1, 1)
+
+	// Step 2 — blocking over the exchanged anonymized views.
+	start = time.Now()
+	block, err := blocking.Block(aView, bView, rule)
+	if err != nil {
+		return nil, fmt.Errorf("core: blocking: %w", err)
+	}
+	timings.Blocking = time.Since(start)
+	cfg.report("blocking", 1, 1)
+
+	res, err := resolve(alice, bob, block, rule, qids, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.AnonymizeAlice = timings.AnonymizeAlice
+	res.Timings.AnonymizeBob = timings.AnonymizeBob
+	res.Timings.Blocking = timings.Blocking
+	return res, nil
+}
+
+// LinkPrepared runs only the SMC-selection and residual-labeling phase
+// over a previously computed blocking result. Parameter sweeps use it to
+// reuse the (expensive) anonymization and blocking stages across
+// heuristics, strategies, and allowances: those knobs do not affect the
+// blocked labels, only how the Unknown pairs are spent. The config's rule
+// parameters (QIDs, thresholds) must be the ones the blocking result was
+// built with.
+func LinkPrepared(alice, bob Holder, block *blocking.Result, cfg Config) (*Result, error) {
+	schema, err := sharedSchema(alice, bob)
+	if err != nil {
+		return nil, err
+	}
+	qids, rule, err := cfg.normalize(schema)
+	if err != nil {
+		return nil, err
+	}
+	if len(qids) != len(block.R.QIDs) {
+		return nil, fmt.Errorf("core: config has %d QIDs, blocking result has %d", len(qids), len(block.R.QIDs))
+	}
+	for i := range qids {
+		if qids[i] != block.R.QIDs[i] {
+			return nil, fmt.Errorf("core: config QID %d (%d) disagrees with blocking result (%d)", i, qids[i], block.R.QIDs[i])
+		}
+	}
+	return resolve(alice, bob, block, rule, qids, &cfg)
+}
+
+// resolve implements steps 3-5: heuristic ordering, budgeted SMC, and
+// residual labeling.
+func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qids []int, cfg *Config) (*Result, error) {
+	res := &Result{cfg: *cfg, rule: rule, qids: qids, bobLen: bob.Data.Len(), Block: block}
+
+	// Step 3 — order the Unknown group pairs for the SMC budget.
+	var ordered []blocking.GroupPair
+	switch cfg.Strategy {
+	case MaximizePrecision:
+		ordered = heuristic.Order(block, rule, cfg.Heuristic, false)
+	case MaximizeRecall:
+		// Probably-mismatching pairs first, so the residual "match"
+		// default is as safe as the budget allows.
+		ordered = heuristic.Order(block, rule, cfg.Heuristic, true)
+	case TrainClassifier:
+		ordered = heuristic.Shuffle(block, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+
+	// Step 4 — resolve pairs with the SMC comparator until the allowance
+	// is exhausted.
+	allowance := cfg.Allowance
+	if allowance == 0 {
+		allowance = int64(cfg.AllowanceFraction * float64(block.TotalPairs()))
+	}
+	res.Allowance = allowance
+
+	spec, err := smc.SpecFromRule(rule, cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("core: building SMC spec: %w", err)
+	}
+	cmp, err := cfg.Comparator(
+		smc.EncodeRecords(alice.Data, qids, cfg.Scale),
+		smc.EncodeRecords(bob.Data, qids, cfg.Scale),
+		spec,
+	)
+	if err != nil {
+		return nil, fmt.Errorf("core: building comparator: %w", err)
+	}
+	defer cmp.Close()
+
+	start := time.Now()
+	res.smcLabels = make(map[int64]bool)
+	res.resolvedInGroup = make(map[[2]int]int)
+
+	// Resolve the budgeted pairs in heuristic order, streaming: a small
+	// chunk buffer feeds the pipelined batch path when the comparator
+	// supports it (the real SMC protocol), per-pair calls otherwise —
+	// never materializing the whole budget (which can be millions of
+	// pairs at full allowance).
+	type job struct {
+		i, j  int
+		group [2]int
+	}
+	batcher, batched := cmp.(interface {
+		CompareBatch([][2]int) ([]bool, error)
+	})
+	const chunkSize = 256
+	chunk := make([]job, 0, chunkSize)
+	pairs := make([][2]int, 0, chunkSize)
+	var done int64
+	record := func(jb job, matched bool) {
+		res.smcLabels[pairKey(jb.i, jb.j, res.bobLen)] = matched
+		if matched {
+			res.smcMatched++
+		}
+		res.resolvedInGroup[jb.group]++
+		done++
+		if done%smcProgressStride == 0 {
+			cfg.report("smc", done, allowance)
+		}
+	}
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if batched {
+			pairs = pairs[:0]
+			for _, jb := range chunk {
+				pairs = append(pairs, [2]int{jb.i, jb.j})
+			}
+			verdicts, err := batcher.CompareBatch(pairs)
+			if err != nil {
+				return fmt.Errorf("core: SMC batch: %w", err)
+			}
+			for x, jb := range chunk {
+				record(jb, verdicts[x])
+			}
+		} else {
+			for _, jb := range chunk {
+				matched, err := cmp.Compare(jb.i, jb.j)
+				if err != nil {
+					return fmt.Errorf("core: SMC comparison (%d,%d): %w", jb.i, jb.j, err)
+				}
+				record(jb, matched)
+			}
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+	budget := allowance
+groups:
+	for _, gp := range ordered {
+		rc := &block.R.Classes[gp.RI]
+		sc := &block.S.Classes[gp.SI]
+		for _, i := range rc.Members {
+			for _, j := range sc.Members {
+				if budget <= 0 {
+					break groups
+				}
+				chunk = append(chunk, job{i: i, j: j, group: [2]int{gp.RI, gp.SI}})
+				budget--
+				if len(chunk) == chunkSize {
+					if err := flush(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	cfg.report("smc", done, allowance)
+	res.Invocations = cmp.Invocations()
+	res.SMCBytes = cmp.BytesTransferred()
+	res.Timings.SMC = time.Since(start)
+
+	// Step 5 — residual labeling.
+	switch cfg.Strategy {
+	case MaximizePrecision:
+		// Residual pairs stay non-matched; nothing to record.
+	case MaximizeRecall:
+		res.residualMatch = true
+	case TrainClassifier:
+		res.groupVerdicts = trainResidualClassifier(res, ordered, rule)
+	}
+	return res, nil
+}
+
+func sharedSchema(alice, bob Holder) (*dataset.Schema, error) {
+	if alice.Data == nil || bob.Data == nil {
+		return nil, fmt.Errorf("core: both holders need data")
+	}
+	schema := alice.Data.Schema()
+	if bob.Data.Schema() != schema {
+		return nil, fmt.Errorf("core: holders must share one schema instance (run private schema matching first)")
+	}
+	return schema, nil
+}
+
+// pairKey packs a record pair into an int64 map key.
+func pairKey(i, j, bobLen int) int64 { return int64(i)*int64(bobLen) + int64(j) }
+
+// smcProgressStride is how often the SMC loop emits progress events.
+const smcProgressStride = 4096
+
+// report invokes the progress callback if configured.
+func (c *Config) report(stage string, done, total int64) {
+	if c.Progress != nil {
+		c.Progress(stage, done, total)
+	}
+}

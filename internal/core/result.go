@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pprl/internal/blocking"
+	"pprl/internal/match"
+	"pprl/internal/metrics"
+)
+
+// Timings records wall-clock durations of the pipeline stages, the
+// non-cryptographic costs the paper measures in Section VI.
+type Timings struct {
+	AnonymizeAlice time.Duration
+	AnonymizeBob   time.Duration
+	Blocking       time.Duration
+	SMC            time.Duration
+}
+
+// Result is the complete labeling of the |R|×|S| pair space produced by a
+// linkage run, plus the cost accounting needed to reproduce the paper's
+// measurements.
+type Result struct {
+	// Block is the blocking step's outcome over the anonymized views.
+	Block *blocking.Result
+	// Allowance is the SMC budget that applied (in record pairs).
+	Allowance int64
+	// Invocations is the number of SMC comparisons actually performed.
+	Invocations int64
+	// SMCBytes is the protocol traffic of the SMC step; zero when the
+	// plaintext oracle resolved the pairs.
+	SMCBytes int64
+	// Timings holds per-stage durations.
+	Timings Timings
+
+	cfg    Config
+	rule   *blocking.Rule
+	qids   []int
+	bobLen int
+
+	// smcLabels maps resolved pair keys to their verdicts.
+	smcLabels  map[int64]bool
+	smcMatched int64
+	// resolvedInGroup counts how many pairs of each Unknown group pair
+	// were resolved by SMC.
+	resolvedInGroup map[[2]int]int
+	// residualMatch is true under MaximizeRecall: unresolved Unknown
+	// pairs default to match.
+	residualMatch bool
+	// groupVerdicts, under TrainClassifier, labels whole Unknown group
+	// pairs via the trained classifier.
+	groupVerdicts map[[2]int]bool
+}
+
+// QIDs returns the resolved quasi-identifier positions.
+func (r *Result) QIDs() []int { return r.qids }
+
+// Rule returns the matching rule in effect.
+func (r *Result) Rule() *blocking.Rule { return r.rule }
+
+// PairMatched returns the final label of record pair (i, j): i indexes
+// Alice's relation, j Bob's.
+func (r *Result) PairMatched(i, j int) bool {
+	ri := r.Block.R.ClassOf[i]
+	si := r.Block.S.ClassOf[j]
+	switch r.Block.Labels[ri][si] {
+	case blocking.Match:
+		return true
+	case blocking.NonMatch:
+		return false
+	}
+	if v, ok := r.smcLabels[pairKey(i, j, r.bobLen)]; ok {
+		return v
+	}
+	if r.groupVerdicts != nil {
+		return r.groupVerdicts[[2]int{ri, si}]
+	}
+	return r.residualMatch
+}
+
+// MatchedPairCount returns |reported matches| exactly, without
+// enumerating the pair space.
+func (r *Result) MatchedPairCount() int64 {
+	total := r.Block.MatchedPairs + r.smcMatched
+	switch {
+	case r.groupVerdicts != nil:
+		for key, matched := range r.groupVerdicts {
+			if !matched {
+				continue
+			}
+			gpPairs := int64(r.Block.R.Classes[key[0]].Size()) * int64(r.Block.S.Classes[key[1]].Size())
+			resolved := int64(r.resolvedInGroup[key])
+			total += gpPairs - resolved
+		}
+	case r.residualMatch:
+		resolved := int64(len(r.smcLabels))
+		total += r.Block.UnknownPairs - resolved
+	}
+	return total
+}
+
+// SMCResolvedPairs returns how many pairs the SMC step labeled.
+func (r *Result) SMCResolvedPairs() int64 { return int64(len(r.smcLabels)) }
+
+// BlockingEfficiency is the paper's primary blocking measure.
+func (r *Result) BlockingEfficiency() float64 { return r.Block.Efficiency() }
+
+// Evaluate scores the result against ground truth (the truly matching
+// pairs per the exact decision rule) and returns the confusion summary.
+// Under MaximizePrecision the precision is 1 by construction.
+func (r *Result) Evaluate(truth []match.Pair) metrics.Confusion {
+	var tp int64
+	for _, p := range truth {
+		if r.PairMatched(p.I, p.J) {
+			tp++
+		}
+	}
+	reported := r.MatchedPairCount()
+	return metrics.Confusion{
+		TruePositives:  tp,
+		FalsePositives: reported - tp,
+		FalseNegatives: int64(len(truth)) - tp,
+	}
+}
+
+// Summary renders a one-line overview for logs and CLIs.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("pairs=%d blocked=%.2f%% unknown=%d allowance=%d smc=%d matched=%d strategy=%v",
+		r.Block.TotalPairs(), 100*r.BlockingEfficiency(), r.Block.UnknownPairs,
+		r.Allowance, r.Invocations, r.MatchedPairCount(), r.cfg.Strategy)
+}
+
+// trainResidualClassifier implements the paper's strategy 3 (classifier
+// c3): using the randomly selected SMC outcomes as training data, it
+// learns a threshold τ on the average expected distance of a group pair's
+// generalizations that minimizes training error, then labels every
+// Unknown group pair by comparing its feature to τ. Pairs already
+// resolved by SMC keep their exact labels (PairMatched checks smcLabels
+// first).
+func trainResidualClassifier(res *Result, ordered []blocking.GroupPair, rule *blocking.Rule) map[[2]int]bool {
+	type example struct {
+		feature float64
+		matched bool
+		weight  int
+	}
+	feature := func(gp blocking.GroupPair) float64 {
+		exp := rule.ExpectedDistances(
+			res.Block.R.Classes[gp.RI].Sequence,
+			res.Block.S.Classes[gp.SI].Sequence, nil)
+		sum := 0.0
+		for _, v := range exp {
+			sum += v
+		}
+		return sum / float64(len(exp))
+	}
+	// Build one training example per (group, verdict) with the count of
+	// SMC pairs behind it. Walk the same order the budget was spent in.
+	var examples []example
+	for _, gp := range ordered {
+		resolved := res.resolvedInGroup[[2]int{gp.RI, gp.SI}]
+		if resolved == 0 {
+			break // budget ran out here; later groups are unresolved
+		}
+		f := feature(gp)
+		matchedCount := 0
+		rc := &res.Block.R.Classes[gp.RI]
+		sc := &res.Block.S.Classes[gp.SI]
+		seen := 0
+	count:
+		for _, i := range rc.Members {
+			for _, j := range sc.Members {
+				if seen >= resolved {
+					break count
+				}
+				if res.smcLabels[pairKey(i, j, res.bobLen)] {
+					matchedCount++
+				}
+				seen++
+			}
+		}
+		if matchedCount > 0 {
+			examples = append(examples, example{feature: f, matched: true, weight: matchedCount})
+		}
+		if resolved-matchedCount > 0 {
+			examples = append(examples, example{feature: f, matched: false, weight: resolved - matchedCount})
+		}
+	}
+	verdicts := make(map[[2]int]bool, len(ordered))
+	if len(examples) == 0 {
+		// No training data (allowance 0): conservative all-non-match.
+		for _, gp := range ordered {
+			verdicts[[2]int{gp.RI, gp.SI}] = false
+		}
+		return verdicts
+	}
+	// Sweep candidate thresholds: τ just below/above each feature value.
+	candidates := []float64{-1}
+	for _, e := range examples {
+		candidates = append(candidates, e.feature)
+	}
+	bestTau, bestErr := -1.0, int(^uint(0)>>1)
+	for _, tau := range candidates {
+		errs := 0
+		for _, e := range examples {
+			pred := e.feature <= tau
+			if pred != e.matched {
+				errs += e.weight
+			}
+		}
+		if errs < bestErr {
+			bestErr, bestTau = errs, tau
+		}
+	}
+	for _, gp := range ordered {
+		verdicts[[2]int{gp.RI, gp.SI}] = feature(gp) <= bestTau
+	}
+	return verdicts
+}

@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pprl/internal/vgh"
+)
+
+// csvClassColumn is the reserved header name for the optional class label
+// column in CSV files.
+const csvClassColumn = "class"
+
+// csvEntityColumn is the reserved header name for the optional entity-ID
+// column in CSV files.
+const csvEntityColumn = "entity_id"
+
+// WriteCSV renders the dataset as CSV: a header row of attribute names
+// (plus entity_id first and class last when present), then one row per
+// record. The output round-trips through ReadCSV.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	hasClass := false
+	for _, r := range d.records {
+		if r.Class != "" {
+			hasClass = true
+			break
+		}
+	}
+	header := append([]string{csvEntityColumn}, d.schema.Names()...)
+	if hasClass {
+		header = append(header, csvClassColumn)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, 0, len(header))
+	for _, r := range d.records {
+		row = row[:0]
+		row = append(row, strconv.Itoa(r.EntityID))
+		for i, c := range r.Cells {
+			if d.schema.Attr(i).Kind == Continuous {
+				row = append(row, strconv.FormatFloat(c.Num, 'g', -1, 64))
+			} else {
+				row = append(row, c.Node.Value)
+			}
+		}
+		if hasClass {
+			row = append(row, r.Class)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Missing is the conventional missing-value marker in UCI-style CSV
+// files.
+const Missing = "?"
+
+// ReadCSVDropMissing parses like ReadCSV but silently drops rows with a
+// Missing ("?") marker in any schema column, reproducing the paper's
+// preprocessing of the Adult data set ("we first removed all tuples with
+// missing values"). It reports how many rows were dropped.
+func ReadCSVDropMissing(schema *Schema, r io.Reader) (*Dataset, int, error) {
+	return readCSV(schema, r, true)
+}
+
+// ReadCSV parses a CSV file against the schema. The header must name every
+// schema attribute (any order); an entity_id column and a class column are
+// optional. Categorical values must be leaves of the attribute's
+// hierarchy. Records with unknown categorical values or malformed numbers
+// are rejected with a row-numbered error.
+func ReadCSV(schema *Schema, r io.Reader) (*Dataset, error) {
+	d, _, err := readCSV(schema, r, false)
+	return d, err
+}
+
+func readCSV(schema *Schema, r io.Reader, dropMissing bool) (*Dataset, int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	colFor := make([]int, schema.Len()) // attribute index -> CSV column
+	for i := range colFor {
+		colFor[i] = -1
+	}
+	entityCol, classCol := -1, -1
+	for col, name := range header {
+		switch name {
+		case csvEntityColumn:
+			entityCol = col
+		case csvClassColumn:
+			classCol = col
+		default:
+			idx, ok := schema.Index(name)
+			if !ok {
+				return nil, 0, fmt.Errorf("dataset: CSV column %q not in schema", name)
+			}
+			colFor[idx] = col
+		}
+	}
+	for i, col := range colFor {
+		if col == -1 {
+			return nil, 0, fmt.Errorf("dataset: CSV is missing attribute %q", schema.Attr(i).Name)
+		}
+	}
+
+	d := New(schema)
+	rowNum := 1
+	dropped := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("dataset: reading CSV row %d: %w", rowNum, err)
+		}
+		rowNum++
+		if dropMissing {
+			skip := false
+			for _, col := range colFor {
+				if row[col] == Missing {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				dropped++
+				continue
+			}
+		}
+		rec := Record{EntityID: d.Len(), Cells: make([]Cell, schema.Len())}
+		if entityCol >= 0 {
+			id, err := strconv.Atoi(row[entityCol])
+			if err != nil {
+				return nil, 0, fmt.Errorf("dataset: row %d: bad entity_id %q", rowNum, row[entityCol])
+			}
+			rec.EntityID = id
+		}
+		if classCol >= 0 && classCol < len(row) {
+			rec.Class = row[classCol]
+		}
+		for i := 0; i < schema.Len(); i++ {
+			raw := row[colFor[i]]
+			attr := schema.Attr(i)
+			if attr.Kind == Continuous {
+				v, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					return nil, 0, fmt.Errorf("dataset: row %d, attribute %q: bad number %q", rowNum, attr.Name, raw)
+				}
+				rec.Cells[i] = Cell{Num: v}
+				continue
+			}
+			n := attr.Hierarchy.Lookup(raw)
+			if n == nil || !n.IsLeaf() {
+				return nil, 0, fmt.Errorf("dataset: row %d, attribute %q: %q is not a leaf of the hierarchy", rowNum, attr.Name, raw)
+			}
+			rec.Cells[i] = Cell{Node: n}
+		}
+		if err := d.Append(rec); err != nil {
+			return nil, 0, fmt.Errorf("dataset: row %d: %w", rowNum, err)
+		}
+	}
+	return d, dropped, nil
+}
+
+// CatCell looks up a categorical leaf value in h, for building fixtures.
+func CatCell(h *vgh.Hierarchy, leaf string) Cell {
+	return Cell{Node: h.MustLookup(leaf)}
+}
+
+// NumCell wraps a number as a continuous cell.
+func NumCell(v float64) Cell { return Cell{Num: v} }

@@ -1,0 +1,23 @@
+package distance
+
+import "pprl/internal/dataset"
+
+// MetricFor returns the paper's default metric for an attribute: Hamming
+// for categorical attributes, normalized Euclidean (by the domain range)
+// for continuous ones.
+func MetricFor(attr dataset.Attribute) Metric {
+	if attr.Kind == dataset.Continuous {
+		return Euclidean{Norm: attr.Intervals.Range()}
+	}
+	return Hamming{}
+}
+
+// MetricsFor maps MetricFor over a schema restricted to the given
+// attribute positions (the quasi-identifier set).
+func MetricsFor(schema *dataset.Schema, attrs []int) []Metric {
+	out := make([]Metric, len(attrs))
+	for i, idx := range attrs {
+		out[i] = MetricFor(schema.Attr(idx))
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pprl/internal/vgh"
+)
+
+func education(t testing.TB) *vgh.Hierarchy {
+	t.Helper()
+	return vgh.MustParse("education", `ANY
+  Secondary
+    Junior Sec.
+      9th
+      10th
+    Senior Sec.
+      11th
+      12th
+  University
+    Bachelors
+    Grad School
+      Masters
+      Doctorate
+`)
+}
+
+func TestHammingDistance(t *testing.T) {
+	h := education(t)
+	m := Hamming{}
+	a := vgh.CatValue(h.MustLookup("Masters"))
+	b := vgh.CatValue(h.MustLookup("9th"))
+	if got := m.Distance(a, a); got != 0 {
+		t.Errorf("d(Masters,Masters) = %v, want 0", got)
+	}
+	if got := m.Distance(a, b); got != 1 {
+		t.Errorf("d(Masters,9th) = %v, want 1", got)
+	}
+}
+
+// TestHammingBoundsPaperExample checks the Section III walkthrough:
+// Masters vs Senior Sec. has infimum 1 (no shared specialization), so the
+// pair can be mismatched at θ=0.5.
+func TestHammingBoundsPaperExample(t *testing.T) {
+	h := education(t)
+	m := Hamming{}
+	masters := vgh.CatValue(h.MustLookup("Masters"))
+	senior := vgh.CatValue(h.MustLookup("Senior Sec."))
+	inf, sup := m.Bounds(masters, senior)
+	if inf != 1 || sup != 1 {
+		t.Errorf("Bounds(Masters, Senior Sec.) = %v,%v, want 1,1", inf, sup)
+	}
+	// Masters vs Masters (both specific): sdl = sds = 0 — matchable.
+	inf, sup = m.Bounds(masters, masters)
+	if inf != 0 || sup != 0 {
+		t.Errorf("Bounds(Masters, Masters) = %v,%v, want 0,0", inf, sup)
+	}
+	// Masters vs ANY: could be equal, could differ — undecidable.
+	any := vgh.CatValue(h.Root())
+	inf, sup = m.Bounds(masters, any)
+	if inf != 0 || sup != 1 {
+		t.Errorf("Bounds(Masters, ANY) = %v,%v, want 0,1", inf, sup)
+	}
+	// Two copies of the same internal node still have sup 1.
+	uni := vgh.CatValue(h.MustLookup("University"))
+	inf, sup = m.Bounds(uni, uni)
+	if inf != 0 || sup != 1 {
+		t.Errorf("Bounds(University, University) = %v,%v, want 0,1", inf, sup)
+	}
+}
+
+func TestHammingExpected(t *testing.T) {
+	h := education(t)
+	m := Hamming{}
+	// Eq. 5: E[d] = 1 − |V∩W| / (|V||W|).
+	uni := vgh.CatValue(h.MustLookup("University"))   // 3 leaves
+	grad := vgh.CatValue(h.MustLookup("Grad School")) // 2 leaves, subset
+	masters := vgh.CatValue(h.MustLookup("Masters"))  // 1 leaf
+	sec := vgh.CatValue(h.MustLookup("Secondary"))    // 4 leaves, disjoint
+	if got, want := m.Expected(uni, grad), 1-2.0/(3*2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("E[d](Uni,Grad) = %v, want %v", got, want)
+	}
+	if got := m.Expected(masters, masters); got != 0 {
+		t.Errorf("E[d](Masters,Masters) = %v, want 0", got)
+	}
+	if got := m.Expected(uni, sec); got != 1 {
+		t.Errorf("E[d](Uni,Secondary) = %v, want 1", got)
+	}
+	if got, want := m.Expected(uni, uni), 1-3.0/9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("E[d](Uni,Uni) = %v, want %v", got, want)
+	}
+}
+
+func TestEuclideanDistanceAndBounds(t *testing.T) {
+	e := Euclidean{Norm: 98} // WorkHrs [1,99) from the paper
+	a := vgh.NumValue(vgh.Point(35))
+	b := vgh.NumValue(vgh.Point(36))
+	if got, want := e.Distance(a, b), 1.0/98; math.Abs(got-want) > 1e-12 {
+		t.Errorf("d(35,36) = %v, want %v", got, want)
+	}
+	// Paper: any two values in [35,37) are < 19.6 = 0.2·98 apart.
+	iv := vgh.NumValue(vgh.Interval{Lo: 35, Hi: 37})
+	inf, sup := e.Bounds(iv, iv)
+	if inf != 0 {
+		t.Errorf("inf([35,37),[35,37)) = %v, want 0", inf)
+	}
+	if sup >= 0.2 {
+		t.Errorf("sup([35,37),[35,37)) = %v, want < 0.2 (the pair matches)", sup)
+	}
+	// Disjoint intervals.
+	low := vgh.NumValue(vgh.Interval{Lo: 1, Hi: 35})
+	inf, sup = e.Bounds(iv, low)
+	if inf != 0 {
+		t.Errorf("inf([35,37),[1,35)) = %v, want 0 (touching)", inf)
+	}
+	if got, want := sup, 36.0/98; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sup = %v, want %v", got, want)
+	}
+	far := vgh.NumValue(vgh.Interval{Lo: 90, Hi: 99})
+	inf, _ = e.Bounds(iv, far)
+	if got, want := inf, (90.0-37)/98; math.Abs(got-want) > 1e-12 {
+		t.Errorf("inf([35,37),[90,99)) = %v, want %v", got, want)
+	}
+}
+
+func TestEuclideanExpectedEq8(t *testing.T) {
+	e := Euclidean{Norm: 1}
+	// Hand-check Eq. 8 against Monte Carlo for two intervals.
+	v := vgh.NumValue(vgh.Interval{Lo: 0, Hi: 2})
+	w := vgh.NumValue(vgh.Interval{Lo: 1, Hi: 5})
+	got := e.Expected(v, w)
+	rng := rand.New(rand.NewSource(42))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := 0 + rng.Float64()*2
+		y := 1 + rng.Float64()*4
+		sum += (x - y) * (x - y)
+	}
+	want := math.Sqrt(sum / n)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("Expected = %v, Monte Carlo = %v", got, want)
+	}
+	// Identical points: expected distance 0.
+	p := vgh.NumValue(vgh.Point(3))
+	if got := e.Expected(p, p); got != 0 {
+		t.Errorf("E[d](3,3) = %v, want 0", got)
+	}
+	// Two points: expected = actual.
+	q := vgh.NumValue(vgh.Point(7))
+	if got := e.Expected(p, q); math.Abs(got-4) > 1e-9 {
+		t.Errorf("E[d](3,7) = %v, want 4", got)
+	}
+}
+
+func TestNewEuclidean(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewEuclidean(bad); err == nil {
+			t.Errorf("NewEuclidean(%v) should fail", bad)
+		}
+	}
+	if _, err := NewEuclidean(98); err != nil {
+		t.Errorf("NewEuclidean(98): %v", err)
+	}
+}
+
+func TestMetricPanicsOnKindMismatch(t *testing.T) {
+	h := education(t)
+	cat := vgh.CatValue(h.MustLookup("Masters"))
+	num := vgh.NumValue(vgh.Point(1))
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Hamming.Distance", func() { Hamming{}.Distance(cat, num) })
+	assertPanics("Hamming.Bounds", func() { Hamming{}.Bounds(num, cat) })
+	assertPanics("Hamming.Expected", func() { Hamming{}.Expected(num, num) })
+	assertPanics("Euclidean.Distance", func() { Euclidean{Norm: 1}.Distance(cat, num) })
+	assertPanics("Euclidean.Bounds", func() { Euclidean{Norm: 1}.Bounds(cat, cat) })
+	assertPanics("Euclidean.Distance intervals", func() {
+		Euclidean{Norm: 1}.Distance(vgh.NumValue(vgh.Interval{Lo: 0, Hi: 2}), num)
+	})
+}
+
+// The soundness property behind the paper's 100%-precision claim: for any
+// generalizations v ⊇ {r}, w ⊇ {s}, Bounds(v,w) bracket Distance(r,s),
+// and Expected lies within the bounds.
+func TestHammingSoundnessProperty(t *testing.T) {
+	h := education(t)
+	m := Hamming{}
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		r := h.Leaf(rng.Intn(h.NumLeaves()))
+		s := h.Leaf(rng.Intn(h.NumLeaves()))
+		gr := h.GeneralizeToDepth(r, rng.Intn(h.Height()+1))
+		gs := h.GeneralizeToDepth(s, rng.Intn(h.Height()+1))
+		d := m.Distance(vgh.CatValue(r), vgh.CatValue(s))
+		inf, sup := m.Bounds(vgh.CatValue(gr), vgh.CatValue(gs))
+		exp := m.Expected(vgh.CatValue(gr), vgh.CatValue(gs))
+		return inf <= d && d <= sup && inf <= exp+1e-12 && exp <= sup+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEuclideanSoundnessProperty(t *testing.T) {
+	ih := vgh.MustIntervalHierarchy("age", 0, 64, 2, 3)
+	m := Euclidean{Norm: ih.Range()}
+	rng := rand.New(rand.NewSource(9))
+	f := func() bool {
+		x := rng.Float64() * 63.99
+		y := rng.Float64() * 63.99
+		gx := generalizeNum(ih, x, rng.Intn(ih.Depth()+2))
+		gy := generalizeNum(ih, y, rng.Intn(ih.Depth()+2))
+		d := m.Distance(vgh.NumValue(vgh.Point(x)), vgh.NumValue(vgh.Point(y)))
+		inf, sup := m.Bounds(vgh.NumValue(gx), vgh.NumValue(gy))
+		exp := m.Expected(vgh.NumValue(gx), vgh.NumValue(gy))
+		const eps = 1e-9
+		return inf <= d+eps && d <= sup+eps && inf <= exp+eps && exp <= sup+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// generalizeNum returns x generalized by `steps` levels: 0 keeps the point,
+// 1 gives its leaf interval, and so on up to the root.
+func generalizeNum(ih *vgh.IntervalHierarchy, x float64, steps int) vgh.Interval {
+	if steps == 0 {
+		return vgh.Point(x)
+	}
+	level := ih.Depth() - (steps - 1)
+	return ih.At(x, level)
+}

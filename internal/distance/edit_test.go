@@ -1,0 +1,141 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pprl/internal/vgh"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"smith", "smyth", 1},
+		{"johnson", "johnston", 1},
+		{"abc", "abc", 0},
+		{"abc", "cba", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Levenshtein(c.b, c.a); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// Levenshtein is a metric: triangle inequality and identity.
+func TestLevenshteinMetricProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randStr := func() string {
+		n := rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(4))
+		}
+		return string(b)
+	}
+	f := func() bool {
+		a, b, c := randStr(), randStr(), randStr()
+		dab := Levenshtein(a, b)
+		dbc := Levenshtein(b, c)
+		dac := Levenshtein(a, c)
+		if dac > dab+dbc {
+			return false
+		}
+		return (dab == 0) == (a == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// surnames is a small string-attribute hierarchy clustered by first
+// letter, the kind of generalization mechanism the paper's future-work
+// section contemplates for alphanumeric attributes.
+func surnames(t testing.TB) *vgh.Hierarchy {
+	t.Helper()
+	return vgh.NewBuilder("surname", "ANY").
+		AddAll("ANY", "S*", "J*").
+		AddAll("S*", "smith", "smyth", "stone").
+		AddAll("J*", "jones", "johnson", "johnston").
+		MustBuild()
+}
+
+func TestEditMetric(t *testing.T) {
+	h := surnames(t)
+	e := NewEdit(h)
+	smith := vgh.CatValue(h.MustLookup("smith"))
+	smyth := vgh.CatValue(h.MustLookup("smyth"))
+	jones := vgh.CatValue(h.MustLookup("jones"))
+	if got := e.Distance(smith, smith); got != 0 {
+		t.Errorf("d(smith,smith) = %v, want 0", got)
+	}
+	dSmyth := e.Distance(smith, smyth)
+	dJones := e.Distance(smith, jones)
+	if dSmyth >= dJones {
+		t.Errorf("edit distance should rank smyth (%v) closer to smith than jones (%v)", dSmyth, dJones)
+	}
+	if dSmyth <= 0 || dJones > 1 {
+		t.Errorf("normalized distances out of range: %v, %v", dSmyth, dJones)
+	}
+}
+
+func TestEditBoundsAndExpected(t *testing.T) {
+	h := surnames(t)
+	e := NewEdit(h)
+	sStar := vgh.CatValue(h.MustLookup("S*"))
+	jStar := vgh.CatValue(h.MustLookup("J*"))
+	smith := vgh.CatValue(h.MustLookup("smith"))
+
+	inf, sup := e.Bounds(sStar, jStar)
+	if inf <= 0 {
+		t.Errorf("inf(S*, J*) = %v; disjoint clusters of different spellings should be > 0", inf)
+	}
+	if sup > 1 {
+		t.Errorf("sup = %v > 1", sup)
+	}
+	exp := e.Expected(sStar, jStar)
+	if exp < inf || exp > sup {
+		t.Errorf("Expected %v outside bounds [%v,%v]", exp, inf, sup)
+	}
+
+	inf, sup = e.Bounds(sStar, smith)
+	if inf != 0 {
+		t.Errorf("inf(S*, smith) = %v, want 0 (smith ∈ specSet(S*))", inf)
+	}
+	if sup == 0 {
+		t.Errorf("sup(S*, smith) should be > 0")
+	}
+}
+
+// Soundness of Edit bounds: for any leaves under the generalizations, the
+// concrete distance lies inside the bounds.
+func TestEditSoundnessProperty(t *testing.T) {
+	h := surnames(t)
+	e := NewEdit(h)
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		r := h.Leaf(rng.Intn(h.NumLeaves()))
+		s := h.Leaf(rng.Intn(h.NumLeaves()))
+		gr := h.GeneralizeToDepth(r, rng.Intn(h.Height()+1))
+		gs := h.GeneralizeToDepth(s, rng.Intn(h.Height()+1))
+		d := e.Distance(vgh.CatValue(r), vgh.CatValue(s))
+		inf, sup := e.Bounds(vgh.CatValue(gr), vgh.CatValue(gs))
+		exp := e.Expected(vgh.CatValue(gr), vgh.CatValue(gs))
+		const eps = 1e-12
+		return inf <= d+eps && d <= sup+eps && inf <= exp+eps && exp <= sup+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

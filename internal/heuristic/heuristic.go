@@ -1,0 +1,133 @@
+// Package heuristic implements the SMC selection heuristics of the
+// paper's Sections V-C and VI: orderings over the Unknown group pairs that
+// decide which record pairs get the limited SMC allowance. All three are
+// built on the expected distance dExp between generalized values under the
+// uniform-distribution assumption:
+//
+//   - minFirst:    pairs with minimum attribute-wise expected distance first
+//   - maxLast:     pairs with maximum attribute-wise expected distance last
+//   - minAvgFirst: pairs with minimum average attribute-wise expected
+//     distance first
+//
+// Since residual unlabeled pairs are declared non-matches under the
+// maximize-precision strategy, all three aim the budget at probably-
+// matching pairs; they differ in how they aggregate per-attribute
+// expectations.
+package heuristic
+
+import (
+	"math/rand"
+	"sort"
+
+	"pprl/internal/blocking"
+)
+
+// Heuristic scores a group pair from its per-attribute expected distances;
+// lower scores are sent to the SMC step earlier.
+type Heuristic interface {
+	// Name is the series label used in the paper's figures.
+	Name() string
+	// Score aggregates per-attribute expected distances into a priority.
+	Score(expected []float64) float64
+}
+
+// MinFirst prioritizes by the smallest per-attribute expected distance.
+type MinFirst struct{}
+
+// Name implements Heuristic.
+func (MinFirst) Name() string { return "minFirst" }
+
+// Score implements Heuristic.
+func (MinFirst) Score(expected []float64) float64 {
+	m := expected[0]
+	for _, v := range expected[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxLast prioritizes by the largest per-attribute expected distance, so
+// pairs whose worst attribute looks far apart go last.
+type MaxLast struct{}
+
+// Name implements Heuristic.
+func (MaxLast) Name() string { return "maxLast" }
+
+// Score implements Heuristic.
+func (MaxLast) Score(expected []float64) float64 {
+	m := expected[0]
+	for _, v := range expected[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinAvgFirst prioritizes by the mean expected distance across attributes.
+type MinAvgFirst struct{}
+
+// Name implements Heuristic.
+func (MinAvgFirst) Name() string { return "minAvgFirst" }
+
+// Score implements Heuristic.
+func (MinAvgFirst) Score(expected []float64) float64 {
+	sum := 0.0
+	for _, v := range expected {
+		sum += v
+	}
+	return sum / float64(len(expected))
+}
+
+// All returns the three paper heuristics in figure order.
+func All() []Heuristic {
+	return []Heuristic{MaxLast{}, MinFirst{}, MinAvgFirst{}}
+}
+
+// Order sorts the blocking result's Unknown group pairs by the heuristic,
+// ties broken by class indexes for determinism. reverse=true yields the
+// probably-mismatching-first ordering the maximize-recall strategy needs.
+func Order(res *blocking.Result, rule *blocking.Rule, h Heuristic, reverse bool) []blocking.GroupPair {
+	pairs := res.UnknownGroupPairs()
+	scores := make([]float64, len(pairs))
+	buf := make([]float64, rule.Len())
+	for i, gp := range pairs {
+		buf = rule.ExpectedDistances(res.R.Classes[gp.RI].Sequence, res.S.Classes[gp.SI].Sequence, buf)
+		scores[i] = h.Score(buf)
+	}
+	// Sort an explicit permutation so scores stay aligned with pairs.
+	perm := make([]int, len(pairs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		if scores[pa] != scores[pb] {
+			if reverse {
+				return scores[pa] > scores[pb]
+			}
+			return scores[pa] < scores[pb]
+		}
+		if pairs[pa].RI != pairs[pb].RI {
+			return pairs[pa].RI < pairs[pb].RI
+		}
+		return pairs[pa].SI < pairs[pb].SI
+	})
+	out := make([]blocking.GroupPair, len(pairs))
+	for i, p := range perm {
+		out[i] = pairs[p]
+	}
+	return out
+}
+
+// Shuffle returns the Unknown group pairs in a seeded random order, the
+// selection rule of the paper's third residual-labeling strategy
+// (Section V-B, classifier c3).
+func Shuffle(res *blocking.Result, seed int64) []blocking.GroupPair {
+	pairs := res.UnknownGroupPairs()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	return pairs
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestConfusion(t *testing.T) {
+	c := Confusion{TruePositives: 8, FalsePositives: 2, FalseNegatives: 8}
+	if !almost(c.Precision(), 0.8) {
+		t.Errorf("precision = %v", c.Precision())
+	}
+	if !almost(c.Recall(), 0.5) {
+		t.Errorf("recall = %v", c.Recall())
+	}
+	want := 2 * 0.8 * 0.5 / (0.8 + 0.5)
+	if !almost(c.F1(), want) {
+		t.Errorf("f1 = %v, want %v", c.F1(), want)
+	}
+	if !strings.Contains(c.String(), "precision=0.8000") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var empty Confusion
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty confusion should report perfect precision/recall")
+	}
+	zeroF1 := Confusion{FalsePositives: 1, FalseNegatives: 1}
+	if zeroF1.F1() != 0 {
+		t.Errorf("f1 = %v, want 0", zeroF1.F1())
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{PerInvocation: 430 * time.Millisecond, BytesPerInvocation: 2048}
+	if got := m.Time(100); got != 43*time.Second {
+		t.Errorf("Time(100) = %v, want 43s (the paper's 0.43s per comparison)", got)
+	}
+	if got := m.Bytes(3); got != 6144 {
+		t.Errorf("Bytes(3) = %d", got)
+	}
+}
+
+func TestReductionRatio(t *testing.T) {
+	if got := ReductionRatio(25, 100); !almost(got, 0.75) {
+		t.Errorf("ReductionRatio = %v", got)
+	}
+	if got := ReductionRatio(0, 0); got != 0 {
+		t.Errorf("ReductionRatio(0,0) = %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package names provides the string-attribute workload for the paper's
+// future-work extension to alphanumeric attributes (Section VIII): finite
+// dictionaries of person names, prefix generalization hierarchies over
+// them, and a corruption model that replaces values with close-by
+// dictionary spellings (the classic dirty-linkage scenario that motivates
+// edit distance over exact equality).
+package names
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pprl/internal/dataset"
+	"pprl/internal/distance"
+	"pprl/internal/vgh"
+)
+
+// Surnames is the surname dictionary, including clusters of near-identical
+// spellings (smith/smyth/smithe…) so edit-distance matching has real work
+// to do.
+var Surnames = []string{
+	"smith", "smyth", "smithe", "schmidt", "schmitt", "stone", "stanton",
+	"jones", "johns", "johnson", "johnston", "johnstone", "jonson",
+	"williams", "wilson", "willson", "willis", "walters", "watts", "watson",
+	"brown", "browne", "braun", "bronson", "brennan", "brannon",
+	"taylor", "tayler", "tyler", "thomas", "thompson", "thomson", "tomson",
+	"anderson", "andersen", "andrews", "armstrong", "arnold",
+	"martin", "martins", "martinez", "marsh", "marshall", "mason",
+	"clark", "clarke", "carter", "cartwright", "carson", "clayton",
+	"harris", "harrison", "hart", "hartman", "hayes", "haynes",
+	"lewis", "lucas", "lukas", "lopez", "lowe", "lowell",
+	"miller", "millar", "mills", "milner", "mitchell", "mitchel",
+	"roberts", "robertson", "robinson", "robson", "rogers", "rodgers",
+	"walker", "wallace", "wallis", "ward", "warden", "warner",
+	"young", "yonge", "yates", "yeats",
+}
+
+// GivenNames is the given-name dictionary.
+var GivenNames = []string{
+	"james", "john", "jon", "robert", "michael", "micheal", "william",
+	"david", "richard", "joseph", "thomas", "charles", "christopher",
+	"daniel", "matthew", "mathew", "anthony", "mark", "marc", "donald",
+	"steven", "stephen", "paul", "andrew", "joshua", "kenneth", "kevin",
+	"mary", "patricia", "jennifer", "jenifer", "linda", "elizabeth",
+	"elisabeth", "barbara", "susan", "suzan", "jessica", "sarah", "sara",
+	"karen", "katherine", "catherine", "kathryn", "nancy", "lisa", "betty",
+	"margaret", "sandra", "ashley", "ashleigh", "dorothy", "kimberly",
+}
+
+// Attribute names of the string workload schema.
+const (
+	AttrSurname = "surname"
+	AttrGiven   = "given_name"
+	AttrAge     = "age"
+)
+
+// Schema builds the string workload: surname under a two-level prefix
+// hierarchy, given name under a one-level prefix hierarchy, and age.
+func Schema() *dataset.Schema {
+	sur, err := vgh.PrefixHierarchy(AttrSurname, Surnames, 1, 2)
+	if err != nil {
+		panic(fmt.Sprintf("names: building surname hierarchy: %v", err))
+	}
+	giv, err := vgh.PrefixHierarchy(AttrGiven, GivenNames, 1)
+	if err != nil {
+		panic(fmt.Sprintf("names: building given-name hierarchy: %v", err))
+	}
+	return dataset.MustSchema(
+		dataset.CatAttr(sur),
+		dataset.CatAttr(giv),
+		dataset.NumAttr(vgh.MustIntervalHierarchy(AttrAge, 17, 81, 2, 3)),
+	)
+}
+
+// Generate synthesizes n person records over the schema.
+func Generate(schema *dataset.Schema, n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(schema)
+	surIdx, _ := schema.Index(AttrSurname)
+	givIdx, _ := schema.Index(AttrGiven)
+	ageIdx, _ := schema.Index(AttrAge)
+	sur := schema.Attr(surIdx).Hierarchy
+	giv := schema.Attr(givIdx).Hierarchy
+	for i := 0; i < n; i++ {
+		rec := dataset.Record{EntityID: i, Cells: make([]dataset.Cell, schema.Len())}
+		rec.Cells[surIdx] = dataset.Cell{Node: sur.Leaf(rng.Intn(sur.NumLeaves()))}
+		rec.Cells[givIdx] = dataset.Cell{Node: giv.Leaf(rng.Intn(giv.NumLeaves()))}
+		rec.Cells[ageIdx] = dataset.NumCell(float64(17 + rng.Intn(63)))
+		d.MustAppend(rec)
+	}
+	return d
+}
+
+// Corrupt returns a copy of d in which each surname is, with probability
+// rate, replaced by one of its nearest dictionary neighbours under edit
+// distance — a misspelling that stays inside the finite domain. This is
+// the noise an exact-equality matcher cannot see through but an
+// edit-distance rule with θ ≥ 1 edit can.
+func Corrupt(d *dataset.Dataset, rate float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	schema := d.Schema()
+	surIdx, _ := schema.Index(AttrSurname)
+	sur := schema.Attr(surIdx).Hierarchy
+	neighbours := nearestNeighbours(sur, 3)
+	out := dataset.New(schema)
+	for _, rec := range d.Records() {
+		if rng.Float64() < rate {
+			lo, _ := rec.Cells[surIdx].Node.LeafRange()
+			cands := neighbours[lo]
+			cells := make([]dataset.Cell, len(rec.Cells))
+			copy(cells, rec.Cells)
+			cells[surIdx] = dataset.Cell{Node: sur.Leaf(cands[rng.Intn(len(cands))])}
+			rec.Cells = cells
+		}
+		out.MustAppend(rec)
+	}
+	return out
+}
+
+// nearestNeighbours precomputes, for every leaf, the k leaves at minimal
+// positive edit distance.
+func nearestNeighbours(h *vgh.Hierarchy, k int) [][]int {
+	n := h.NumLeaves()
+	out := make([][]int, n)
+	type cand struct {
+		idx int
+		d   int
+	}
+	for i := 0; i < n; i++ {
+		cands := make([]cand, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			cands = append(cands, cand{idx: j, d: distance.Levenshtein(h.Leaf(i).Value, h.Leaf(j).Value)})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		m := k
+		if m > len(cands) {
+			m = len(cands)
+		}
+		picks := make([]int, m)
+		for x := 0; x < m; x++ {
+			picks[x] = cands[x].idx
+		}
+		out[i] = picks
+	}
+	return out
+}
+
+// Rule builds the string workload's matching rule: normalized edit
+// distance on the surname with threshold editTheta, exact equality on the
+// given name, and age within ageTheta of the range.
+func Rule(schema *dataset.Schema, editTheta, ageTheta float64) (metrics []distance.Metric, thresholds []float64, qids []int, err error) {
+	qids, err = schema.Resolve([]string{AttrSurname, AttrGiven, AttrAge})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sur := schema.Attr(qids[0]).Hierarchy
+	metrics = []distance.Metric{
+		distance.NewEdit(sur),
+		distance.Hamming{},
+		distance.Euclidean{Norm: schema.Attr(qids[2]).Intervals.Range()},
+	}
+	thresholds = []float64{editTheta, 0.5, ageTheta}
+	return metrics, thresholds, qids, nil
+}

@@ -1,0 +1,117 @@
+package names
+
+import (
+	"testing"
+
+	"pprl/internal/blocking"
+	"pprl/internal/distance"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if s.Len() != 3 {
+		t.Fatalf("schema has %d attributes", s.Len())
+	}
+	surIdx, ok := s.Index(AttrSurname)
+	if !ok {
+		t.Fatal("no surname attribute")
+	}
+	sur := s.Attr(surIdx).Hierarchy
+	if err := sur.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sur.NumLeaves() != len(Surnames) {
+		t.Errorf("surname leaves = %d, want %d", sur.NumLeaves(), len(Surnames))
+	}
+	if sur.Height() != 3 {
+		t.Errorf("surname hierarchy height = %d, want 3 (ANY, x*, xy*, leaf)", sur.Height())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Schema()
+	a := Generate(s, 100, 5)
+	b := Generate(s, 100, 5)
+	for i := 0; i < 100; i++ {
+		for j := range a.Record(i).Cells {
+			if a.Record(i).Cells[j] != b.Record(i).Cells[j] {
+				t.Fatalf("record %d cell %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	s := Schema()
+	d := Generate(s, 400, 6)
+	c := Corrupt(d, 0.3, 7)
+	if c.Len() != d.Len() {
+		t.Fatalf("Corrupt changed the record count")
+	}
+	surIdx, _ := s.Index(AttrSurname)
+	changed, close := 0, 0
+	for i := 0; i < d.Len(); i++ {
+		orig := d.Record(i).Cells[surIdx].Node.Value
+		corr := c.Record(i).Cells[surIdx].Node.Value
+		if orig != corr {
+			changed++
+			// Corruptions are nearest-neighbour misspellings; isolated
+			// dictionary words (e.g. "armstrong") can sit several edits
+			// from anything, but most words have close neighbours.
+			if distance.Levenshtein(orig, corr) <= 2 {
+				close++
+			}
+		}
+	}
+	if changed < 60 || changed > 180 {
+		t.Errorf("changed %d of 400 records at rate 0.3", changed)
+	}
+	if close < changed/2 {
+		t.Errorf("only %d of %d corruptions are within 2 edits; expected near-miss typos", close, changed)
+	}
+	// The original dataset is untouched.
+	d2 := Generate(s, 400, 6)
+	for i := 0; i < d.Len(); i++ {
+		if d.Record(i).Cells[surIdx] != d2.Record(i).Cells[surIdx] {
+			t.Fatal("Corrupt mutated its input")
+		}
+	}
+}
+
+func TestRuleRecoversTypos(t *testing.T) {
+	// The point of the extension: with edit distance, a misspelled
+	// surname still matches; with Hamming it does not.
+	s := Schema()
+	metrics, thresholds, qids, err := Rule(s, 0.25, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	editRule, err := blocking.NewRule(metrics, thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hamming := []distance.Metric{distance.Hamming{}, metrics[1], metrics[2]}
+	exactRule, err := blocking.NewRule(hamming, thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Generate(s, 200, 8)
+	c := Corrupt(d, 1.0, 9) // corrupt every surname
+	editMatches, exactMatches := 0, 0
+	for i := 0; i < d.Len(); i++ {
+		a := blocking.RecordSequence(d, qids, i)
+		b := blocking.RecordSequence(c, qids, i)
+		if editRule.DecideExact(a, b) {
+			editMatches++
+		}
+		if exactRule.DecideExact(a, b) {
+			exactMatches++
+		}
+	}
+	if exactMatches != 0 {
+		t.Errorf("Hamming matched %d corrupted pairs; typos should break equality", exactMatches)
+	}
+	if editMatches < d.Len()/3 {
+		t.Errorf("edit rule recovered only %d of %d corrupted pairs", editMatches, d.Len())
+	}
+}

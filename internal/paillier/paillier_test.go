@@ -1,0 +1,222 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testKeyBits keeps tests fast; the benchmarks measure the paper's
+// 1024-bit configuration.
+const testKeyBits = 256
+
+var (
+	keyOnce sync.Once
+	testKey *PrivateKey
+)
+
+func key(t testing.TB) *PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		k, err := GenerateKey(rand.Reader, testKeyBits)
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		testKey = k
+	})
+	return testKey
+}
+
+func TestGenerateKeyShape(t *testing.T) {
+	sk := key(t)
+	if sk.N.BitLen() != testKeyBits {
+		t.Errorf("N has %d bits, want %d", sk.N.BitLen(), testKeyBits)
+	}
+	if got := new(big.Int).Mul(sk.N, sk.N); got.Cmp(sk.N2) != 0 {
+		t.Error("N2 != N²")
+	}
+	if _, err := GenerateKey(rand.Reader, 32); err == nil {
+		t.Error("tiny keys should be rejected")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := key(t)
+	for _, m := range []int64{0, 1, 2, 42, 1 << 40} {
+		ct, err := sk.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.Encrypt(rand.Reader, big.NewInt(-1)); err != ErrMessageRange {
+		t.Errorf("negative message: err = %v, want ErrMessageRange", err)
+	}
+	if _, err := sk.Encrypt(rand.Reader, sk.N); err != ErrMessageRange {
+		t.Errorf("message = N: err = %v, want ErrMessageRange", err)
+	}
+	big := new(big.Int).Sub(sk.N, big.NewInt(1))
+	if _, err := sk.Encrypt(rand.Reader, big); err != nil {
+		t.Errorf("message = N-1 should encrypt: %v", err)
+	}
+}
+
+func TestDecryptRejectsBadCiphertext(t *testing.T) {
+	sk := key(t)
+	cases := []*Ciphertext{
+		nil,
+		{},
+		{C: big.NewInt(0)},
+		{C: new(big.Int).Neg(big.NewInt(5))},
+		{C: sk.N2},
+		{C: new(big.Int).Set(sk.N)}, // shares a factor with N
+	}
+	for i, ct := range cases {
+		if _, err := sk.Decrypt(ct); err == nil {
+			t.Errorf("case %d: bad ciphertext accepted", i)
+		}
+	}
+}
+
+func TestProbabilisticEncryption(t *testing.T) {
+	sk := key(t)
+	m := big.NewInt(7)
+	a, _ := sk.Encrypt(rand.Reader, m)
+	b, _ := sk.Encrypt(rand.Reader, m)
+	if a.C.Cmp(b.C) == 0 {
+		t.Error("two encryptions of the same message should differ")
+	}
+}
+
+func TestSignedEncoding(t *testing.T) {
+	sk := key(t)
+	for _, v := range []int64{0, 1, -1, 12345, -12345, 1 << 50, -(1 << 50)} {
+		ct, err := sk.EncryptInt64(rand.Reader, v)
+		if err != nil {
+			t.Fatalf("EncryptInt64(%d): %v", v, err)
+		}
+		got, err := sk.DecryptSigned(ct)
+		if err != nil {
+			t.Fatalf("DecryptSigned: %v", err)
+		}
+		if got.Int64() != v {
+			t.Errorf("signed round trip %d -> %v", v, got)
+		}
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.EncryptInt64(rand.Reader, 20)
+	b, _ := sk.EncryptInt64(rand.Reader, 22)
+	sum, err := sk.DecryptSigned(sk.Add(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Int64() != 42 {
+		t.Errorf("Enc(20)+Enc(22) decrypts to %v", sum)
+	}
+}
+
+func TestHomomorphicMulConst(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.EncryptInt64(rand.Reader, 21)
+	got, err := sk.DecryptSigned(sk.MulConst(a, big.NewInt(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Errorf("2 × Enc(21) decrypts to %v", got)
+	}
+	neg, err := sk.DecryptSigned(sk.MulConst(a, big.NewInt(-2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Int64() != -42 {
+		t.Errorf("-2 × Enc(21) decrypts to %v", neg)
+	}
+}
+
+func TestAddConst(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.EncryptInt64(rand.Reader, 40)
+	got, _ := sk.DecryptSigned(sk.AddConst(a, big.NewInt(2)))
+	if got.Int64() != 42 {
+		t.Errorf("Enc(40)+2 = %v", got)
+	}
+	got, _ = sk.DecryptSigned(sk.AddConst(a, big.NewInt(-50)))
+	if got.Int64() != -10 {
+		t.Errorf("Enc(40)-50 = %v", got)
+	}
+}
+
+func TestRerandomize(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.EncryptInt64(rand.Reader, 9)
+	b, err := sk.Rerandomize(rand.Reader, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.C.Cmp(b.C) == 0 {
+		t.Error("rerandomization should change the ciphertext")
+	}
+	got, _ := sk.DecryptSigned(b)
+	if got.Int64() != 9 {
+		t.Errorf("rerandomized ciphertext decrypts to %v", got)
+	}
+}
+
+func TestRandomBlindPositive(t *testing.T) {
+	sk := key(t)
+	for i := 0; i < 20; i++ {
+		r, err := sk.RandomBlind(rand.Reader, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Sign() <= 0 || r.BitLen() > 40 {
+			t.Fatalf("blind %v out of range", r)
+		}
+	}
+}
+
+// Property: the homomorphic identities of the paper's Section V-A —
+// Dec(Enc(m1) +h Enc(m2)) = m1+m2 and Dec(k ×h Enc(m)) = k·m — hold for
+// arbitrary signed 32-bit operands (products stay far from N/2 at 256
+// bits).
+func TestHomomorphicProperty(t *testing.T) {
+	sk := key(t)
+	f := func(m1, m2 int32, k int16) bool {
+		a, err := sk.EncryptInt64(rand.Reader, int64(m1))
+		if err != nil {
+			return false
+		}
+		b, err := sk.EncryptInt64(rand.Reader, int64(m2))
+		if err != nil {
+			return false
+		}
+		sum, err := sk.DecryptSigned(sk.Add(a, b))
+		if err != nil || sum.Int64() != int64(m1)+int64(m2) {
+			return false
+		}
+		prod, err := sk.DecryptSigned(sk.MulConst(a, big.NewInt(int64(k))))
+		if err != nil || prod.Int64() != int64(k)*int64(m1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package schemamatch implements private schema matching, the
+// preprocessing step the paper assumes (Section II: "If not, schemas of R
+// and S can be matched using private schema matching techniques"): two
+// data holders discover which attributes their schemas share — by name,
+// kind, and domain fingerprint — without revealing anything about the
+// attributes the other party does not have.
+//
+// The protocol is private set intersection over canonical attribute
+// descriptors (package commutative); what leaks is only the intersection
+// itself and the schema sizes.
+package schemamatch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pprl/internal/commutative"
+	"pprl/internal/dataset"
+)
+
+// Descriptor canonicalizes one attribute: two attributes match exactly
+// when their descriptors are byte-identical. The domain fingerprint
+// covers the hierarchy's leaf labels (categorical) or the interval
+// parameters (continuous), so "education over the Adult taxonomy" and
+// "education over some other code list" do not spuriously match.
+func Descriptor(a dataset.Attribute) string {
+	var domain string
+	if a.Kind == dataset.Categorical {
+		leaves := append([]string(nil), a.Hierarchy.LeafValues()...)
+		sort.Strings(leaves)
+		sum := sha256.Sum256([]byte(strings.Join(leaves, "\x1f")))
+		domain = hex.EncodeToString(sum[:8])
+	} else {
+		domain = fmt.Sprintf("%g:%g:%d:%d",
+			a.Intervals.Min(), a.Intervals.Max(), a.Intervals.Branch(), a.Intervals.Depth())
+	}
+	return fmt.Sprintf("%s|%v|%s", a.Name, a.Kind, domain)
+}
+
+// Descriptors canonicalizes a whole schema in attribute order.
+func Descriptors(s *dataset.Schema) []string {
+	out := make([]string, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		out[i] = Descriptor(s.Attr(i))
+	}
+	return out
+}
+
+// Match runs private schema matching over the stream and returns the
+// names of this party's attributes that the peer also holds, in schema
+// order. Exactly one party passes initiator = true; both must use the
+// same group.
+func Match(rw io.ReadWriter, group *commutative.Group, schema *dataset.Schema, initiator bool, random io.Reader) ([]string, error) {
+	descs := Descriptors(schema)
+	elems := make([][]byte, len(descs))
+	for i, d := range descs {
+		elems[i] = []byte(d)
+	}
+	matched, err := commutative.Intersect(rw, group, elems, initiator, random)
+	if err != nil {
+		return nil, fmt.Errorf("schemamatch: %w", err)
+	}
+	names := make([]string, len(matched))
+	for i, idx := range matched {
+		names[i] = schema.Attr(idx).Name
+	}
+	return names, nil
+}

@@ -1,0 +1,107 @@
+package schemamatch
+
+import (
+	"crypto/rand"
+	"net"
+	"sort"
+	"testing"
+
+	"pprl/internal/adult"
+	"pprl/internal/commutative"
+	"pprl/internal/dataset"
+	"pprl/internal/vgh"
+)
+
+func group(t testing.TB) *commutative.Group {
+	t.Helper()
+	g, err := commutative.NewGroup(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDescriptorDistinguishesDomains(t *testing.T) {
+	eduA := vgh.Flat("education", "ANY", "a", "b")
+	eduB := vgh.Flat("education", "ANY", "a", "c") // same name, other domain
+	dA := Descriptor(dataset.CatAttr(eduA))
+	dB := Descriptor(dataset.CatAttr(eduB))
+	if dA == dB {
+		t.Error("different domains must yield different descriptors")
+	}
+	if dA != Descriptor(dataset.CatAttr(vgh.Flat("education", "ANY", "b", "a"))) {
+		t.Error("leaf order must not affect the descriptor")
+	}
+	num := Descriptor(dataset.NumAttr(vgh.MustIntervalHierarchy("education", 0, 10, 2, 1)))
+	if num == dA {
+		t.Error("kind must affect the descriptor")
+	}
+}
+
+func TestMatchSharedAttributes(t *testing.T) {
+	g := group(t)
+	// Alice: the full Adult schema. Bob: a hospital schema sharing only
+	// some attributes (same hierarchies) plus private ones.
+	aliceSchema := adult.Schema()
+	bobSchema := dataset.MustSchema(
+		dataset.NumAttr(adult.AgeHierarchy()),
+		dataset.CatAttr(adult.SexHierarchy()),
+		dataset.CatAttr(vgh.Flat("diagnosis", "ANY", "flu", "ok")),
+		dataset.CatAttr(adult.EducationHierarchy()),
+	)
+
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	type res struct {
+		names []string
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		names, err := Match(cb, g, bobSchema, false, rand.Reader)
+		ch <- res{names, err}
+	}()
+	aliceNames, err := Match(ca, g, aliceSchema, true, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := <-ch
+	if bob.err != nil {
+		t.Fatal(bob.err)
+	}
+	sort.Strings(aliceNames)
+	sort.Strings(bob.names)
+	want := []string{"age", "education", "sex"}
+	if len(aliceNames) != 3 || len(bob.names) != 3 {
+		t.Fatalf("matched %v / %v, want %v", aliceNames, bob.names, want)
+	}
+	for i := range want {
+		if aliceNames[i] != want[i] || bob.names[i] != want[i] {
+			t.Fatalf("matched %v / %v, want %v", aliceNames, bob.names, want)
+		}
+	}
+	// Bob's private "diagnosis" never matched — and Alice has no way to
+	// know it exists beyond the set size, by the PSI guarantee.
+}
+
+func TestMatchDisjointSchemas(t *testing.T) {
+	g := group(t)
+	a := dataset.MustSchema(dataset.CatAttr(vgh.Flat("x", "ANY", "1")))
+	b := dataset.MustSchema(dataset.CatAttr(vgh.Flat("y", "ANY", "1")))
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	ch := make(chan []string, 1)
+	go func() {
+		names, _ := Match(cb, g, b, false, rand.Reader)
+		ch <- names
+	}()
+	names, err := Match(ca, g, a, true, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 || len(<-ch) != 0 {
+		t.Error("disjoint schemas must not match")
+	}
+}

@@ -1,0 +1,286 @@
+// Package session implements the complete distributed deployment of the
+// hybrid protocol: three processes — two data holders and the querying
+// party — connected by message transports (typically TCP), running the
+// whole pipeline over the wire:
+//
+//  1. the querying party broadcasts its classifier parameters (QID names
+//     and the SMC circuit spec),
+//  2. each holder anonymizes its relation locally (its own k and method)
+//     and publishes the serialized view,
+//  3. the querying party blocks on the two views, orders the Unknown
+//     pairs with a selection heuristic, and
+//  4. drives the budgeted Paillier SMC protocol against both holders.
+//
+// Raw records never leave their holder: the wire carries parameters,
+// anonymized views, and ciphertexts. cmd/pprl-party wraps the three roles
+// as a binary.
+package session
+
+import (
+	"bytes"
+	"fmt"
+
+	"pprl/internal/anonymize"
+	"pprl/internal/blocking"
+	"pprl/internal/dataset"
+	"pprl/internal/distance"
+	"pprl/internal/heuristic"
+	"pprl/internal/match"
+	"pprl/internal/smc"
+)
+
+// Role names used in hello messages.
+const (
+	RoleAlice = "alice"
+	RoleBob   = "bob"
+)
+
+// Hello identifies this party to the querying party. Data holders call it
+// immediately after connecting.
+func Hello(query smc.Conn, role string) error {
+	if role != RoleAlice && role != RoleBob {
+		return fmt.Errorf("session: invalid role %q", role)
+	}
+	return query.Send(&smc.Message{Kind: smc.MsgHello, Role: role})
+}
+
+// Identify waits for a hello and returns the announced role.
+func Identify(conn smc.Conn) (string, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return "", fmt.Errorf("session: waiting for hello: %w", err)
+	}
+	if m.Kind != smc.MsgHello || (m.Role != RoleAlice && m.Role != RoleBob) {
+		return "", fmt.Errorf("session: expected hello, got kind %d role %q", m.Kind, m.Role)
+	}
+	return m.Role, nil
+}
+
+// HolderConfig is one data holder's local configuration. The holder
+// chooses its own privacy parameters; the classifier comes from the
+// querying party over the wire.
+type HolderConfig struct {
+	// Data is the holder's private relation.
+	Data *dataset.Dataset
+	// K is the holder's anonymity requirement.
+	K int
+	// Anonymizer defaults to the paper's max-entropy method.
+	Anonymizer anonymize.Anonymizer
+}
+
+// RunHolder executes a data holder end to end: receive the classifier
+// parameters, anonymize, publish the view, then serve the SMC loop (as
+// Alice when isAlice, else as Bob). It returns when the querying party
+// shuts the session down.
+func RunHolder(query, peer smc.Conn, cfg HolderConfig, isAlice bool) error {
+	if cfg.Data == nil {
+		return fmt.Errorf("session: holder has no data")
+	}
+	if cfg.K < 1 {
+		return fmt.Errorf("session: holder k must be ≥ 1, got %d", cfg.K)
+	}
+	if cfg.Anonymizer == nil {
+		cfg.Anonymizer = anonymize.NewMaxEntropy()
+	}
+	params, err := query.Recv()
+	if err != nil {
+		return fmt.Errorf("session: receiving parameters: %w", err)
+	}
+	if params.Kind != smc.MsgParams || params.Spec == nil || len(params.QIDs) == 0 {
+		return fmt.Errorf("session: expected parameters, got kind %d", params.Kind)
+	}
+	qids, err := cfg.Data.Schema().Resolve(params.QIDs)
+	if err != nil {
+		return fmt.Errorf("session: resolving classifier QIDs: %w", err)
+	}
+	view, err := cfg.Anonymizer.Anonymize(cfg.Data, qids, cfg.K)
+	if err != nil {
+		return fmt.Errorf("session: anonymizing: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := anonymize.WriteView(&buf, cfg.Data.Schema(), view); err != nil {
+		return fmt.Errorf("session: serializing view: %w", err)
+	}
+	if err := query.Send(&smc.Message{Kind: smc.MsgView, View: buf.Bytes()}); err != nil {
+		return fmt.Errorf("session: publishing view: %w", err)
+	}
+	enc := smc.EncodeRecords(cfg.Data, qids, params.Spec.Scale)
+	if isAlice {
+		return smc.RunAlice(query, peer, enc, params.Spec)
+	}
+	return smc.RunBob(query, peer, enc, params.Spec)
+}
+
+// QueryConfig is the querying party's configuration: the classifier and
+// the cost budget.
+type QueryConfig struct {
+	// Schema describes the relations being linked (agreed out of band or
+	// via private schema matching, as the paper assumes).
+	Schema *dataset.Schema
+	// QIDs are the classifier's quasi-identifier attribute names.
+	QIDs []string
+	// Theta is the uniform matching threshold.
+	Theta float64
+	// AllowanceFraction bounds the SMC budget as a fraction of all
+	// record pairs; Allowance (absolute pairs) wins when non-zero.
+	AllowanceFraction float64
+	Allowance         int64
+	// Heuristic orders the Unknown pairs; nil = minAvgFirst.
+	Heuristic heuristic.Heuristic
+	// KeyBits is the Paillier key size (the paper uses 1024).
+	KeyBits int
+	// Scale is the fixed-point factor for continuous values (default 1).
+	Scale int64
+	// ShuffleAttributes hides which attribute failed from this party.
+	ShuffleAttributes bool
+}
+
+// QueryResult is what the querying party learns.
+type QueryResult struct {
+	// Matches are the linked record pairs, as (Alice record index, Bob
+	// record index) handles into the holders' relations.
+	Matches []match.Pair
+	// BlockingEfficiency, TotalPairs, UnknownPairs summarize the
+	// blocking step.
+	BlockingEfficiency float64
+	TotalPairs         int64
+	UnknownPairs       int64
+	// Invocations and Allowance account for the SMC step.
+	Invocations int64
+	Allowance   int64
+	// AliceView and BobView are the published views (K, method,
+	// sequence counts — everything this party may inspect).
+	AliceView, BobView *anonymize.Result
+}
+
+// RunQuery executes the querying party: broadcast parameters, collect
+// views, block, run the budgeted SMC step, and return the matches.
+func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
+	if cfg.Schema == nil || len(cfg.QIDs) == 0 {
+		return nil, fmt.Errorf("session: query needs a schema and QIDs")
+	}
+	if cfg.Heuristic == nil {
+		cfg.Heuristic = heuristic.MinAvgFirst{}
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = 1024
+	}
+	qids, err := cfg.Schema.Resolve(cfg.QIDs)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := blocking.UniformRule(distance.MetricsFor(cfg.Schema, qids), cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := smc.SpecFromRule(rule, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	spec.ShuffleAttributes = cfg.ShuffleAttributes
+
+	params := &smc.Message{Kind: smc.MsgParams, QIDs: cfg.QIDs, Spec: spec}
+	if err := alice.Send(params); err != nil {
+		return nil, fmt.Errorf("session: sending parameters to alice: %w", err)
+	}
+	if err := bob.Send(params); err != nil {
+		return nil, fmt.Errorf("session: sending parameters to bob: %w", err)
+	}
+
+	aView, err := receiveView(alice, cfg.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("session: alice's view: %w", err)
+	}
+	bView, err := receiveView(bob, cfg.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("session: bob's view: %w", err)
+	}
+
+	block, err := blocking.Block(aView, bView, rule)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{
+		BlockingEfficiency: block.Efficiency(),
+		TotalPairs:         block.TotalPairs(),
+		UnknownPairs:       block.UnknownPairs,
+		AliceView:          aView,
+		BobView:            bView,
+	}
+	// Pairs certain from blocking alone.
+	for ri, row := range block.Labels {
+		for si, l := range row {
+			if l != blocking.Match {
+				continue
+			}
+			for _, i := range aView.Classes[ri].Members {
+				for _, j := range bView.Classes[si].Members {
+					res.Matches = append(res.Matches, match.Pair{I: i, J: j})
+				}
+			}
+		}
+	}
+
+	allowance := cfg.Allowance
+	if allowance == 0 {
+		allowance = int64(cfg.AllowanceFraction * float64(block.TotalPairs()))
+	}
+	res.Allowance = allowance
+
+	sess, err := smc.NewQuerySession(alice, bob, spec, cfg.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	ordered := heuristic.Order(block, rule, cfg.Heuristic, false)
+	var pairs [][2]int
+	budget := allowance
+groups:
+	for _, gp := range ordered {
+		for _, i := range aView.Classes[gp.RI].Members {
+			for _, j := range bView.Classes[gp.SI].Members {
+				if budget <= 0 {
+					break groups
+				}
+				pairs = append(pairs, [2]int{i, j})
+				budget--
+			}
+		}
+	}
+	// Pipelined resolution in chunks: the three parties' work overlaps.
+	const chunk = 256
+	for lo := 0; lo < len(pairs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		verdicts, err := sess.CompareBatch(pairs[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("session: SMC batch: %w", err)
+		}
+		for x, v := range verdicts {
+			if v {
+				p := pairs[lo+x]
+				res.Matches = append(res.Matches, match.Pair{I: p[0], J: p[1]})
+			}
+		}
+	}
+	res.Invocations = sess.Invocations()
+	if err := sess.Close(); err != nil {
+		return nil, fmt.Errorf("session: closing: %w", err)
+	}
+	return res, nil
+}
+
+func receiveView(conn smc.Conn, schema *dataset.Schema) (*anonymize.Result, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind != smc.MsgView || len(m.View) == 0 {
+		return nil, fmt.Errorf("expected view, got kind %d", m.Kind)
+	}
+	return anonymize.ReadView(bytes.NewReader(m.View), schema)
+}

@@ -1,0 +1,172 @@
+package smc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Comparator answers "does Alice's record i match Bob's record j?" for
+// pairs the blocking step could not decide. Implementations count
+// invocations, the paper's cost unit (Section VI restricts the cost model
+// to the number of SMC protocol invocations). Comparators are not safe
+// for concurrent use.
+type Comparator interface {
+	// Compare resolves one record pair.
+	Compare(i, j int) (bool, error)
+	// Invocations returns the number of comparisons performed so far.
+	Invocations() int64
+	// BytesTransferred returns total protocol traffic; zero for the
+	// plaintext oracle.
+	BytesTransferred() int64
+	// Close releases protocol resources.
+	Close() error
+}
+
+// PlainComparator is the plaintext oracle: it evaluates exactly the
+// integer arithmetic of the secure circuit (Spec.Matches) with zero
+// cryptographic cost. Experiments at paper scale use it while charging
+// the cost model per invocation; TestSecureMatchesPlain pins its answers
+// to the real protocol's.
+type PlainComparator struct {
+	spec        *Spec
+	alice, bob  [][]int64
+	invocations int64
+}
+
+// NewPlainComparator builds the oracle over both holders' encoded records.
+func NewPlainComparator(spec *Spec, alice, bob [][]int64) *PlainComparator {
+	return &PlainComparator{spec: spec, alice: alice, bob: bob}
+}
+
+// Compare implements Comparator.
+func (p *PlainComparator) Compare(i, j int) (bool, error) {
+	if i < 0 || i >= len(p.alice) || j < 0 || j >= len(p.bob) {
+		return false, fmt.Errorf("smc: pair (%d,%d) out of range", i, j)
+	}
+	p.invocations++
+	return p.spec.Matches(p.alice[i], p.bob[j]), nil
+}
+
+// Invocations implements Comparator.
+func (p *PlainComparator) Invocations() int64 { return p.invocations }
+
+// BytesTransferred implements Comparator: the oracle moves no bytes.
+func (p *PlainComparator) BytesTransferred() int64 { return 0 }
+
+// Close implements Comparator.
+func (p *PlainComparator) Close() error { return nil }
+
+// SecureComparator runs the full three-party protocol. NewLocalSecure
+// hosts all three parties in-process over in-memory connections; for a
+// distributed deployment, run RunAlice/RunBob remotely over NewNetConn
+// transports and drive a QuerySession directly.
+type SecureComparator struct {
+	session  *QuerySession
+	conns    []Conn
+	wg       sync.WaitGroup
+	errMu    sync.Mutex
+	partyErr error
+}
+
+// NewLocalSecure spawns Alice and Bob as goroutines over in-memory
+// connections and opens a query session with a fresh key of keyBits.
+func NewLocalSecure(spec *Spec, alice, bob [][]int64, keyBits int) (*SecureComparator, error) {
+	qa, aq := NewConnPair() // query <-> alice
+	qb, bq := NewConnPair() // query <-> bob
+	ab, ba := NewConnPair() // alice <-> bob
+	c := &SecureComparator{conns: []Conn{qa, aq, qb, bq, ab, ba}}
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		c.record(RunAlice(aq, ab, alice, spec))
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.record(RunBob(bq, ba, bob, spec))
+	}()
+	session, err := NewQuerySession(qa, qb, spec, keyBits)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.session = session
+	return c, nil
+}
+
+func (c *SecureComparator) record(err error) {
+	if err == nil {
+		return
+	}
+	c.errMu.Lock()
+	if c.partyErr == nil {
+		c.partyErr = err
+	}
+	c.errMu.Unlock()
+}
+
+// Compare implements Comparator.
+func (c *SecureComparator) Compare(i, j int) (bool, error) {
+	match, err := c.session.Compare(i, j)
+	if err != nil {
+		c.errMu.Lock()
+		pe := c.partyErr
+		c.errMu.Unlock()
+		if pe != nil {
+			return false, fmt.Errorf("%w (party error: %v)", err, pe)
+		}
+		return false, err
+	}
+	return match, nil
+}
+
+// CompareBatch resolves many pairs with request pipelining (see
+// QuerySession.CompareBatch); the linkage engine uses it when available.
+func (c *SecureComparator) CompareBatch(pairs [][2]int) ([]bool, error) {
+	out, err := c.session.CompareBatch(pairs)
+	if err != nil {
+		c.errMu.Lock()
+		pe := c.partyErr
+		c.errMu.Unlock()
+		if pe != nil {
+			return nil, fmt.Errorf("%w (party error: %v)", err, pe)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// Invocations implements Comparator.
+func (c *SecureComparator) Invocations() int64 {
+	if c.session == nil {
+		return 0
+	}
+	return c.session.Invocations()
+}
+
+// BytesTransferred sums traffic across all protocol connections.
+func (c *SecureComparator) BytesTransferred() int64 {
+	var total int64
+	for _, conn := range c.conns {
+		total += conn.Bytes()
+	}
+	return total
+}
+
+// Close implements Comparator: shuts the parties down and waits for them.
+func (c *SecureComparator) Close() error {
+	var err error
+	if c.session != nil {
+		err = c.session.Close()
+	}
+	c.wg.Wait()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.errMu.Lock()
+	pe := c.partyErr
+	c.errMu.Unlock()
+	if err == nil {
+		err = pe
+	}
+	return err
+}

@@ -1,0 +1,369 @@
+package smc
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"pprl/internal/paillier"
+)
+
+// MsgKind discriminates protocol messages.
+type MsgKind int
+
+const (
+	// MsgPublicKey carries the querying party's Paillier modulus to the
+	// data holders.
+	MsgPublicKey MsgKind = iota
+	// MsgCompare asks a data holder to engage the circuit for one of its
+	// records.
+	MsgCompare
+	// MsgShares carries Alice's encrypted shares Enc(a²), Enc(−2a) per
+	// active attribute to Bob.
+	MsgShares
+	// MsgResult carries Bob's per-attribute output ciphertexts to the
+	// querying party.
+	MsgResult
+	// MsgShutdown ends a party's loop.
+	MsgShutdown
+	// MsgHello identifies a connecting party to the querying party
+	// (used by the full-session layer).
+	MsgHello
+	// MsgParams carries the querying party's public classifier
+	// parameters (QID names + circuit spec) to the data holders.
+	MsgParams
+	// MsgView carries a data holder's serialized anonymized view.
+	MsgView
+)
+
+// Message is the single wire format; fields are used according to Kind.
+// All fields are exported for gob.
+type Message struct {
+	Kind MsgKind
+	// N is the public modulus (MsgPublicKey).
+	N *big.Int
+	// Record is the index of the record to compare (MsgCompare).
+	Record int
+	// Sq and Lin are Alice's Enc(aᵢ²) and Enc(−2aᵢ), one per active
+	// (non-ModeAlways) attribute, in spec order (MsgShares).
+	Sq, Lin []*big.Int
+	// Res are Bob's output ciphertexts per active attribute (MsgResult).
+	Res []*big.Int
+	// Role identifies the sender (MsgHello): "alice" or "bob".
+	Role string
+	// QIDs are the quasi-identifier attribute names of the classifier
+	// (MsgParams).
+	QIDs []string
+	// Spec is the circuit description all parties share (MsgParams).
+	Spec *Spec
+	// View is a serialized anonymized view (MsgView).
+	View []byte
+}
+
+// blindBits is the size of the multiplicative blinding factor ρ; δ noise
+// is drawn below ρ. 2^40 keeps ρ·(d²−T) far below N/2 even for 256-bit
+// test keys while hiding the raw distance from the querying party.
+const blindBits = 40
+
+// activeAttrs lists the spec attribute indexes that exchange ciphertexts.
+func (s *Spec) activeAttrs() []int {
+	var out []int
+	for i, a := range s.Attrs {
+		if a.Mode != ModeAlways {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RunAlice is the first data holder's protocol loop: on every compare
+// request from the querying party it encrypts the shares of the requested
+// record and forwards them to Bob. It returns when it receives
+// MsgShutdown or its connections close.
+func RunAlice(query, bob Conn, records [][]int64, spec *Spec) error {
+	pk, err := receiveKey(query)
+	if err != nil {
+		return fmt.Errorf("smc: alice: %w", err)
+	}
+	active := spec.activeAttrs()
+	for {
+		m, err := query.Recv()
+		if err != nil {
+			return fmt.Errorf("smc: alice: receiving request: %w", err)
+		}
+		switch m.Kind {
+		case MsgShutdown:
+			return nil
+		case MsgCompare:
+		default:
+			return fmt.Errorf("smc: alice: unexpected message kind %d", m.Kind)
+		}
+		if m.Record < 0 || m.Record >= len(records) {
+			return fmt.Errorf("smc: alice: record %d out of range", m.Record)
+		}
+		rec := records[m.Record]
+		out := &Message{Kind: MsgShares, Sq: make([]*big.Int, len(active)), Lin: make([]*big.Int, len(active))}
+		for oi, ai := range active {
+			a := rec[ai]
+			sq, err := pk.EncryptInt64(rand.Reader, a*a)
+			if err != nil {
+				return fmt.Errorf("smc: alice: encrypting a²: %w", err)
+			}
+			lin, err := pk.EncryptInt64(rand.Reader, -2*a)
+			if err != nil {
+				return fmt.Errorf("smc: alice: encrypting −2a: %w", err)
+			}
+			out.Sq[oi] = sq.C
+			out.Lin[oi] = lin.C
+		}
+		if err := bob.Send(out); err != nil {
+			return fmt.Errorf("smc: alice: sending shares: %w", err)
+		}
+	}
+}
+
+// RunBob is the second data holder's protocol loop: for every compare
+// request it combines Alice's shares with its own record homomorphically,
+// producing Enc((a−b)²) per attribute, then either forwards the distances
+// (RevealDistance) or the sign-only blinding ρ·((a−b)² − T − 1) + δ with
+// 0 ≤ δ < ρ, so the querying party learns only whether the squared
+// distance is within the threshold.
+func RunBob(query, alice Conn, records [][]int64, spec *Spec) error {
+	pk, err := receiveKey(query)
+	if err != nil {
+		return fmt.Errorf("smc: bob: %w", err)
+	}
+	active := spec.activeAttrs()
+	for {
+		m, err := query.Recv()
+		if err != nil {
+			return fmt.Errorf("smc: bob: receiving request: %w", err)
+		}
+		switch m.Kind {
+		case MsgShutdown:
+			return nil
+		case MsgCompare:
+		default:
+			return fmt.Errorf("smc: bob: unexpected message kind %d", m.Kind)
+		}
+		if m.Record < 0 || m.Record >= len(records) {
+			return fmt.Errorf("smc: bob: record %d out of range", m.Record)
+		}
+		shares, err := alice.Recv()
+		if err != nil {
+			return fmt.Errorf("smc: bob: receiving shares: %w", err)
+		}
+		if shares.Kind != MsgShares || len(shares.Sq) != len(active) || len(shares.Lin) != len(active) {
+			return fmt.Errorf("smc: bob: malformed shares message")
+		}
+		rec := records[m.Record]
+		out := &Message{Kind: MsgResult, Res: make([]*big.Int, len(active))}
+		for oi, ai := range active {
+			b := rec[ai]
+			// Enc((a−b)²) = Enc(a²) +h (Enc(−2a) ×h b) +h Enc(b²).
+			encSq := &paillier.Ciphertext{C: shares.Sq[oi]}
+			encLin := &paillier.Ciphertext{C: shares.Lin[oi]}
+			dist := pk.Add(encSq, pk.MulConst(encLin, big.NewInt(b)))
+			dist = pk.AddConst(dist, big.NewInt(b*b))
+			res, err := bobFinalize(pk, dist, spec.Attrs[ai], spec.RevealDistance)
+			if err != nil {
+				return fmt.Errorf("smc: bob: %w", err)
+			}
+			out.Res[oi] = res.C
+		}
+		if spec.ShuffleAttributes && !spec.RevealDistance {
+			if err := shuffleCiphertexts(out.Res); err != nil {
+				return fmt.Errorf("smc: bob: shuffling results: %w", err)
+			}
+		}
+		if err := query.Send(out); err != nil {
+			return fmt.Errorf("smc: bob: sending result: %w", err)
+		}
+	}
+}
+
+// bobFinalize turns Enc(d²) into the ciphertext sent to the querying
+// party, per mode.
+func bobFinalize(pk *paillier.PublicKey, dist *paillier.Ciphertext, attr AttrSpec, reveal bool) (*paillier.Ciphertext, error) {
+	if reveal {
+		return pk.Rerandomize(rand.Reader, dist)
+	}
+	t := attr.T // ModeEquality has T = 0: match iff d² < 1
+	rho, err := pk.RandomBlind(rand.Reader, blindBits)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := randBelow(rho)
+	if err != nil {
+		return nil, err
+	}
+	shifted := pk.AddConst(dist, big.NewInt(-(t + 1)))
+	blinded := pk.MulConst(shifted, rho)
+	blinded = pk.AddConst(blinded, delta)
+	return pk.Rerandomize(rand.Reader, blinded)
+}
+
+// shuffleCiphertexts applies a cryptographically random Fisher-Yates
+// permutation in place.
+func shuffleCiphertexts(cs []*big.Int) error {
+	for i := len(cs) - 1; i > 0; i-- {
+		j, err := rand.Int(rand.Reader, big.NewInt(int64(i+1)))
+		if err != nil {
+			return err
+		}
+		k := int(j.Int64())
+		cs[i], cs[k] = cs[k], cs[i]
+	}
+	return nil
+}
+
+func randBelow(limit *big.Int) (*big.Int, error) {
+	if limit.Sign() <= 0 {
+		return new(big.Int), nil
+	}
+	return rand.Int(rand.Reader, limit)
+}
+
+// QuerySession is the querying party's end of the protocol. It owns the
+// Paillier private key; Compare drives one circuit evaluation. Sessions
+// are not safe for concurrent Compare calls.
+type QuerySession struct {
+	alice, bob  Conn
+	sk          *paillier.PrivateKey
+	spec        *Spec
+	invocations int64
+	closed      bool
+}
+
+// NewQuerySession generates a fresh key pair of the given size (the
+// paper's experiments use 1024 bits) and distributes the public key to
+// both data holders.
+func NewQuerySession(alice, bob Conn, spec *Spec, keyBits int) (*QuerySession, error) {
+	sk, err := paillier.GenerateKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, fmt.Errorf("smc: generating key: %w", err)
+	}
+	return newQuerySessionWithKey(alice, bob, spec, sk)
+}
+
+func newQuerySessionWithKey(alice, bob Conn, spec *Spec, sk *paillier.PrivateKey) (*QuerySession, error) {
+	pkMsg := &Message{Kind: MsgPublicKey, N: sk.N}
+	if err := alice.Send(pkMsg); err != nil {
+		return nil, fmt.Errorf("smc: sending key to alice: %w", err)
+	}
+	if err := bob.Send(pkMsg); err != nil {
+		return nil, fmt.Errorf("smc: sending key to bob: %w", err)
+	}
+	return &QuerySession{alice: alice, bob: bob, sk: sk, spec: spec}, nil
+}
+
+// Compare runs one secure comparison: does Alice's record i match Bob's
+// record j under the spec?
+func (q *QuerySession) Compare(i, j int) (bool, error) {
+	if q.closed {
+		return false, fmt.Errorf("smc: session closed")
+	}
+	if err := q.alice.Send(&Message{Kind: MsgCompare, Record: i}); err != nil {
+		return false, fmt.Errorf("smc: requesting alice: %w", err)
+	}
+	if err := q.bob.Send(&Message{Kind: MsgCompare, Record: j}); err != nil {
+		return false, fmt.Errorf("smc: requesting bob: %w", err)
+	}
+	return q.receiveVerdict()
+}
+
+// receiveVerdict collects and decrypts one result message from Bob.
+func (q *QuerySession) receiveVerdict() (bool, error) {
+	res, err := q.bob.Recv()
+	if err != nil {
+		return false, fmt.Errorf("smc: receiving result: %w", err)
+	}
+	active := q.spec.activeAttrs()
+	if res.Kind != MsgResult || len(res.Res) != len(active) {
+		return false, fmt.Errorf("smc: malformed result message")
+	}
+	q.invocations++
+	match := true
+	for oi, ai := range active {
+		v, err := q.sk.DecryptSigned(&paillier.Ciphertext{C: res.Res[oi]})
+		if err != nil {
+			return false, fmt.Errorf("smc: decrypting attribute %d: %w", ai, err)
+		}
+		if q.spec.RevealDistance {
+			if v.Cmp(big.NewInt(q.spec.Attrs[ai].T)) > 0 {
+				match = false
+			}
+		} else if v.Sign() >= 0 {
+			match = false
+		}
+	}
+	return match, nil
+}
+
+// pipelineWindow bounds how many comparison requests may be in flight
+// during CompareBatch. It must stay below the in-memory transport's frame
+// buffer so request fan-out can never block against unread results.
+const pipelineWindow = 16
+
+// CompareBatch resolves many pairs with request pipelining: up to
+// pipelineWindow comparisons are in flight at once, so Alice's
+// encryptions, Bob's homomorphic evaluation and this party's decryptions
+// overlap instead of serializing. Results are positionally aligned with
+// pairs. The protocol messages are identical to sequential Compare calls
+// — data holders cannot distinguish the two.
+func (q *QuerySession) CompareBatch(pairs [][2]int) ([]bool, error) {
+	if q.closed {
+		return nil, fmt.Errorf("smc: session closed")
+	}
+	results := make([]bool, len(pairs))
+	sent, received := 0, 0
+	for received < len(pairs) {
+		for sent < len(pairs) && sent-received < pipelineWindow {
+			p := pairs[sent]
+			if err := q.alice.Send(&Message{Kind: MsgCompare, Record: p[0]}); err != nil {
+				return nil, fmt.Errorf("smc: requesting alice: %w", err)
+			}
+			if err := q.bob.Send(&Message{Kind: MsgCompare, Record: p[1]}); err != nil {
+				return nil, fmt.Errorf("smc: requesting bob: %w", err)
+			}
+			sent++
+		}
+		match, err := q.receiveVerdict()
+		if err != nil {
+			return nil, err
+		}
+		results[received] = match
+		received++
+	}
+	return results, nil
+}
+
+// Invocations returns the number of completed secure comparisons, the
+// paper's cost unit.
+func (q *QuerySession) Invocations() int64 { return q.invocations }
+
+// Close sends shutdown to both data holders.
+func (q *QuerySession) Close() error {
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	errA := q.alice.Send(&Message{Kind: MsgShutdown})
+	errB := q.bob.Send(&Message{Kind: MsgShutdown})
+	if errA != nil {
+		return errA
+	}
+	return errB
+}
+
+// receiveKey waits for the querying party's public key.
+func receiveKey(query Conn) (*paillier.PublicKey, error) {
+	m, err := query.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("receiving public key: %w", err)
+	}
+	if m.Kind != MsgPublicKey || m.N == nil || m.N.Sign() <= 0 {
+		return nil, fmt.Errorf("expected public key, got kind %d", m.Kind)
+	}
+	return &paillier.PublicKey{N: m.N, N2: new(big.Int).Mul(m.N, m.N)}, nil
+}

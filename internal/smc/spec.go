@@ -1,0 +1,145 @@
+package smc
+
+import (
+	"fmt"
+	"math"
+
+	"pprl/internal/blocking"
+	"pprl/internal/dataset"
+	"pprl/internal/distance"
+)
+
+// AttrMode selects the per-attribute comparison the circuit evaluates.
+type AttrMode int
+
+const (
+	// ModeThreshold checks (a−b)² ≤ T: the Euclidean comparison on a
+	// scaled integer encoding.
+	ModeThreshold AttrMode = iota
+	// ModeEquality checks a == b: the Hamming comparison with θ < 1,
+	// where only distance 0 satisfies the threshold.
+	ModeEquality
+	// ModeAlways accepts the attribute unconditionally: a Hamming
+	// comparison with θ ≥ 1, which every pair satisfies. No ciphertexts
+	// are exchanged for such attributes.
+	ModeAlways
+)
+
+func (m AttrMode) String() string {
+	switch m {
+	case ModeThreshold:
+		return "threshold"
+	case ModeEquality:
+		return "equality"
+	case ModeAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("AttrMode(%d)", int(m))
+	}
+}
+
+// AttrSpec configures one attribute of the secure comparison.
+type AttrSpec struct {
+	Mode AttrMode
+	// T is the inclusive bound on the squared integer difference for
+	// ModeThreshold.
+	T int64
+}
+
+// Spec is the public classifier description all three parties share: the
+// per-attribute comparison modes and integer thresholds, plus the fixed-
+// point scale used to encode continuous values.
+type Spec struct {
+	Attrs []AttrSpec
+	// Scale is the fixed-point factor applied to continuous values
+	// before encryption (v ↦ round(v·Scale)).
+	Scale int64
+	// RevealDistance switches to the paper's base protocol where the
+	// querying party decrypts the squared distances themselves and
+	// compares locally, instead of learning only the sign of a blinded,
+	// threshold-shifted value.
+	RevealDistance bool
+	// ShuffleAttributes makes Bob permute the per-attribute result
+	// ciphertexts randomly for every comparison, so the querying party
+	// learns how many attributes violated their thresholds but not which
+	// ones. The match verdict is order-independent (a pair matches iff
+	// every attribute is within threshold), so correctness is unchanged.
+	// Ignored under RevealDistance, whose per-attribute comparison needs
+	// positional thresholds.
+	ShuffleAttributes bool
+}
+
+// SpecFromRule translates the querying party's matching rule into circuit
+// parameters. Hamming attributes become equality tests (or ModeAlways if
+// θ ≥ 1); Euclidean attributes become squared-threshold tests with
+// T = ⌊(θ·norm·scale)²⌋ — for integer-valued data at scale 1 this is
+// exactly equivalent to the clear-text rule, because the squared integer
+// difference can never land strictly between T and (θ·norm)². Metrics
+// outside {Hamming, Euclidean} (e.g. edit distance) need a different
+// circuit and are rejected.
+func SpecFromRule(rule *blocking.Rule, scale int64) (*Spec, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("smc: scale must be ≥ 1, got %d", scale)
+	}
+	spec := &Spec{Scale: scale, Attrs: make([]AttrSpec, rule.Len())}
+	for i := 0; i < rule.Len(); i++ {
+		theta := rule.Threshold(i)
+		switch m := rule.Metric(i).(type) {
+		case distance.Hamming:
+			if theta >= 1 {
+				spec.Attrs[i] = AttrSpec{Mode: ModeAlways}
+			} else {
+				spec.Attrs[i] = AttrSpec{Mode: ModeEquality}
+			}
+		case distance.Euclidean:
+			bound := theta * m.Norm * float64(scale)
+			spec.Attrs[i] = AttrSpec{Mode: ModeThreshold, T: int64(math.Floor(bound * bound))}
+		default:
+			return nil, fmt.Errorf("smc: attribute %d uses metric %q, which has no arithmetic circuit", i, rule.Metric(i).Name())
+		}
+	}
+	return spec, nil
+}
+
+// EncodeRecords converts a dataset's QID projection into the integer
+// vectors the protocol encrypts: categorical leaves become their leaf
+// index, continuous values are fixed-point scaled.
+func EncodeRecords(d *dataset.Dataset, qids []int, scale int64) [][]int64 {
+	out := make([][]int64, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		rec := d.Record(i)
+		row := make([]int64, len(qids))
+		for j, q := range qids {
+			if d.Schema().Attr(q).Kind == dataset.Categorical {
+				lo, _ := rec.Cells[q].Node.LeafRange()
+				row[j] = int64(lo)
+			} else {
+				row[j] = int64(math.Round(rec.Cells[q].Num * float64(scale)))
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Matches evaluates the spec's integer arithmetic in the clear: the
+// reference semantics both the secure circuit and the plaintext oracle
+// must agree with.
+func (s *Spec) Matches(a, b []int64) bool {
+	for i, att := range s.Attrs {
+		switch att.Mode {
+		case ModeAlways:
+			continue
+		case ModeEquality:
+			if a[i] != b[i] {
+				return false
+			}
+		case ModeThreshold:
+			d := a[i] - b[i]
+			if d*d > att.T {
+				return false
+			}
+		}
+	}
+	return true
+}

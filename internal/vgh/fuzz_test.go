@@ -1,0 +1,34 @@
+package vgh
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary inputs never panic the parser and that
+// every successfully parsed hierarchy passes full validation and
+// round-trips through Dump.
+func FuzzParse(f *testing.F) {
+	f.Add("ANY\n  A\n    a1\n    a2\n  B\n    b1\n")
+	f.Add(educationText)
+	f.Add("ANY\n")
+	f.Add("# comment\nANY\n\tA\n")
+	f.Add("ANY\n  A\n  A\n")
+	f.Add("  indented root\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		h, err := Parse("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("parsed hierarchy fails validation: %v\ninput: %q", err, input)
+		}
+		h2, err := Parse("fuzz", strings.NewReader(h.Dump()))
+		if err != nil {
+			t.Fatalf("Dump output does not re-parse: %v\ninput: %q", err, input)
+		}
+		if h2.NumLeaves() != h.NumLeaves() {
+			t.Fatalf("round trip changed leaf count %d -> %d", h.NumLeaves(), h2.NumLeaves())
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package vgh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a hierarchy from the indented text format:
+//
+//	ANY
+//	  Secondary
+//	    Junior Sec.
+//	      9th
+//	      10th
+//	  University
+//	    Bachelors
+//
+// Each line is a node label; indentation (two spaces, or one tab, per
+// level) gives the parent/child structure. The first line is the root.
+// Blank lines and lines starting with '#' are ignored.
+func Parse(name string, r io.Reader) (*Hierarchy, error) {
+	sc := bufio.NewScanner(r)
+	type frame struct {
+		label string
+		depth int
+	}
+	var (
+		b     *Builder
+		stack []frame
+		line  int
+	)
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		trimmed := strings.TrimLeft(raw, " \t")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		depth, err := indentDepth(raw[:len(raw)-len(trimmed)])
+		if err != nil {
+			return nil, fmt.Errorf("vgh: line %d: %w", line, err)
+		}
+		label := strings.TrimSpace(trimmed)
+		if label == "" {
+			// Exotic whitespace (e.g. a vertical tab) survives the
+			// blank-line check above but is not a usable label.
+			return nil, fmt.Errorf("vgh: line %d: empty node label", line)
+		}
+		if b == nil {
+			if depth != 0 {
+				return nil, fmt.Errorf("vgh: line %d: root %q must not be indented", line, label)
+			}
+			b = NewBuilder(name, label)
+			stack = []frame{{label: label, depth: 0}}
+			continue
+		}
+		if depth == 0 {
+			return nil, fmt.Errorf("vgh: line %d: second root %q; a hierarchy has one root", line, label)
+		}
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 || stack[len(stack)-1].depth != depth-1 {
+			return nil, fmt.Errorf("vgh: line %d: node %q skips an indentation level", line, label)
+		}
+		b.Add(stack[len(stack)-1].label, label)
+		stack = append(stack, frame{label: label, depth: depth})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vgh: reading hierarchy %q: %w", name, err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("vgh: hierarchy %q is empty", name)
+	}
+	return b.Build()
+}
+
+// indentDepth converts a leading-whitespace prefix to a depth: one tab or
+// two spaces per level. Mixed or odd indentation is an error.
+func indentDepth(prefix string) (int, error) {
+	if strings.Contains(prefix, "\t") {
+		if strings.Contains(prefix, " ") {
+			return 0, fmt.Errorf("mixed tabs and spaces in indentation")
+		}
+		return len(prefix), nil
+	}
+	if len(prefix)%2 != 0 {
+		return 0, fmt.Errorf("odd indentation of %d spaces; use two per level", len(prefix))
+	}
+	return len(prefix) / 2, nil
+}
+
+// MustParse is Parse over a string literal that panics on error, for
+// static hierarchy definitions.
+func MustParse(name, text string) *Hierarchy {
+	h, err := Parse(name, strings.NewReader(text))
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

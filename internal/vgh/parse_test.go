@@ -1,0 +1,132 @@
+package vgh
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEducation(t *testing.T) {
+	h := education(t)
+	if got, want := h.Root().Value, "ANY"; got != want {
+		t.Errorf("root = %q, want %q", got, want)
+	}
+	wantLeaves := []string{"9th", "10th", "11th", "12th", "Bachelors", "Masters", "Doctorate"}
+	got := h.LeafValues()
+	if len(got) != len(wantLeaves) {
+		t.Fatalf("leaves = %v, want %v", got, wantLeaves)
+	}
+	for i := range got {
+		if got[i] != wantLeaves[i] {
+			t.Errorf("leaf %d = %q, want %q", i, got[i], wantLeaves[i])
+		}
+	}
+	// "Senior Sec." specializes to {11th, 12th} per the paper's example.
+	sen := h.MustLookup("Senior Sec.")
+	lo, hi := sen.LeafRange()
+	if hi-lo != 2 || h.Leaf(lo).Value != "11th" || h.Leaf(lo+1).Value != "12th" {
+		t.Errorf("specSet(Senior Sec.) = leaves[%d:%d], want {11th, 12th}", lo, hi)
+	}
+}
+
+func TestParseTabs(t *testing.T) {
+	h, err := Parse("x", strings.NewReader("ANY\n\tA\n\t\ta1\n\tB\n"))
+	if err != nil {
+		t.Fatalf("Parse with tabs: %v", err)
+	}
+	if h.NumLeaves() != 2 {
+		t.Errorf("NumLeaves = %d, want 2", h.NumLeaves())
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	text := "# education hierarchy\nANY\n\n  # secondary branch\n  A\n    a1\n"
+	h, err := Parse("x", strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if h.NumLeaves() != 1 || h.Leaf(0).Value != "a1" {
+		t.Errorf("leaves = %v, want [a1]", h.LeafValues())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"empty", ""},
+		{"indented root", "  ANY\n"},
+		{"two roots", "ANY\nOTHER\n"},
+		{"skipped level", "ANY\n    deep\n"},
+		{"odd indent", "ANY\n A\n"},
+		{"mixed indent", "ANY\n\t  A\n"},
+		{"duplicate", "ANY\n  A\n  A\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse("x", strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("x", "  bad\n")
+}
+
+func TestSequenceKeyAndEqual(t *testing.T) {
+	h := education(t)
+	s1 := Sequence{CatValue(h.MustLookup("Masters")), NumValue(Interval{35, 37})}
+	s2 := Sequence{CatValue(h.MustLookup("Masters")), NumValue(Interval{35, 37})}
+	s3 := Sequence{CatValue(h.MustLookup("Masters")), NumValue(Interval{1, 35})}
+	if s1.Key() != s2.Key() {
+		t.Error("identical sequences should share a key")
+	}
+	if s1.Key() == s3.Key() {
+		t.Error("different sequences should have different keys")
+	}
+	if !s1.Equal(s2) || s1.Equal(s3) {
+		t.Error("Equal disagrees with identity")
+	}
+	if s1.Equal(s1[:1]) {
+		t.Error("sequences of different lengths are not equal")
+	}
+	clone := s1.Clone()
+	clone[0] = CatValue(h.MustLookup("9th"))
+	if s1[0].Node.Value != "Masters" {
+		t.Error("Clone should be independent")
+	}
+	if got := s1.String(); got != "(Masters, [35-37))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestValueCoversAndSpecific(t *testing.T) {
+	h := education(t)
+	uni := CatValue(h.MustLookup("University"))
+	masters := CatValue(h.MustLookup("Masters"))
+	if !uni.Covers(masters) || masters.Covers(uni) {
+		t.Error("categorical Covers wrong")
+	}
+	if !masters.IsSpecific() || uni.IsSpecific() {
+		t.Error("IsSpecific wrong for categorical values")
+	}
+	if got := uni.SpecSetSize(); got != 3 {
+		t.Errorf("SpecSetSize(University) = %d, want 3", got)
+	}
+	num := NumValue(Interval{1, 35})
+	pt := NumValue(Point(20))
+	if !num.Covers(pt) || pt.Covers(num) {
+		t.Error("continuous Covers wrong")
+	}
+	if !pt.IsSpecific() || num.IsSpecific() {
+		t.Error("IsSpecific wrong for continuous values")
+	}
+	if uni.Covers(num) || num.Covers(uni) {
+		t.Error("mixed-kind values must not cover each other")
+	}
+	if uni.IsCategorical() == num.IsCategorical() {
+		t.Error("IsCategorical should distinguish kinds")
+	}
+}

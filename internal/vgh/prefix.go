@@ -1,0 +1,76 @@
+package vgh
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrefixHierarchy builds a generalization hierarchy over a string domain
+// by clustering values on their prefixes: one internal level per entry of
+// prefixLens (ascending), then the values themselves as leaves. It is the
+// generalization mechanism for alphanumeric attributes the paper's
+// future-work section calls for: generalized values like "sm*" have a
+// finite specialization set (all dictionary strings starting "sm"), so
+// the slack-distance machinery — with the edit-distance metric — applies
+// unchanged.
+//
+// Values are deduplicated and sorted; internal node labels are the prefix
+// followed by '*' ("s*", "sm*"), the root is "ANY".
+func PrefixHierarchy(name string, values []string, prefixLens ...int) (*Hierarchy, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("vgh: prefix hierarchy %q needs values", name)
+	}
+	for i := 1; i < len(prefixLens); i++ {
+		if prefixLens[i] <= prefixLens[i-1] {
+			return nil, fmt.Errorf("vgh: prefix lengths must be strictly ascending, got %v", prefixLens)
+		}
+	}
+	if len(prefixLens) > 0 && prefixLens[0] < 1 {
+		return nil, fmt.Errorf("vgh: prefix lengths must be ≥ 1, got %v", prefixLens)
+	}
+	uniq := make([]string, 0, len(values))
+	seen := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		if v == "" {
+			return nil, fmt.Errorf("vgh: prefix hierarchy %q has an empty value", name)
+		}
+		if strings.ContainsAny(v, "*\x1f\t") {
+			return nil, fmt.Errorf("vgh: value %q contains a reserved character", v)
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		uniq = append(uniq, v)
+	}
+	sort.Strings(uniq)
+
+	b := NewBuilder(name, "ANY")
+	// parentOf returns the label of the node a value hangs under at the
+	// given level (level == len(prefixLens) means the leaf's parent).
+	label := func(v string, level int) string {
+		if level == 0 {
+			return "ANY"
+		}
+		n := prefixLens[level-1]
+		if n > len(v) {
+			n = len(v)
+		}
+		return v[:n] + "*"
+	}
+	added := make(map[string]struct{})
+	added["ANY"] = struct{}{}
+	for _, v := range uniq {
+		for level := 1; level <= len(prefixLens); level++ {
+			l := label(v, level)
+			if _, ok := added[l]; ok {
+				continue
+			}
+			b.Add(label(v, level-1), l)
+			added[l] = struct{}{}
+		}
+		b.Add(label(v, len(prefixLens)), v)
+	}
+	return b.Build()
+}

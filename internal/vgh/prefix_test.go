@@ -1,0 +1,83 @@
+package vgh
+
+import (
+	"testing"
+)
+
+func TestPrefixHierarchy(t *testing.T) {
+	names := []string{"smith", "smyth", "stone", "jones", "johnson", "johnston", "smith"}
+	h, err := PrefixHierarchy("surname", names, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.NumLeaves(); got != 6 {
+		t.Errorf("NumLeaves = %d, want 6 (dedup)", got)
+	}
+	// smith sits under sm* under s* under ANY.
+	smith := h.MustLookup("smith")
+	if smith.Parent.Value != "sm*" || smith.Parent.Parent.Value != "s*" || smith.Parent.Parent.Parent != h.Root() {
+		t.Errorf("smith chain: %v <- %v <- %v", smith.Parent, smith.Parent.Parent, smith.Parent.Parent.Parent)
+	}
+	// jo* covers jones, johnson, johnston.
+	jo := h.MustLookup("jo*")
+	if jo.LeafCount() != 3 {
+		t.Errorf("|specSet(jo*)| = %d, want 3", jo.LeafCount())
+	}
+	// Disjoint prefixes do not overlap.
+	if jo.Overlaps(h.MustLookup("sm*")) {
+		t.Error("jo* and sm* should be disjoint")
+	}
+}
+
+func TestPrefixHierarchyFlat(t *testing.T) {
+	h, err := PrefixHierarchy("x", []string{"b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Height() != 1 || h.NumLeaves() != 2 {
+		t.Errorf("no-prefix hierarchy should be flat: height %d, leaves %d", h.Height(), h.NumLeaves())
+	}
+	if h.Leaf(0).Value != "a" {
+		t.Errorf("leaves should be sorted: %v", h.LeafValues())
+	}
+}
+
+func TestPrefixHierarchyShortValues(t *testing.T) {
+	// Values shorter than a prefix length collapse onto their own label.
+	h, err := PrefixHierarchy("x", []string{"a", "ab", "abc"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := h.MustLookup("a")
+	if a.Parent.Value != "a*" {
+		t.Errorf("short value parent = %v, want a*", a.Parent)
+	}
+	ab := h.MustLookup("ab")
+	if ab.Parent.Value != "ab*" {
+		t.Errorf("ab parent = %v, want ab*", ab.Parent)
+	}
+}
+
+func TestPrefixHierarchyErrors(t *testing.T) {
+	if _, err := PrefixHierarchy("x", nil, 1); err == nil {
+		t.Error("empty domain should fail")
+	}
+	if _, err := PrefixHierarchy("x", []string{"a", ""}, 1); err == nil {
+		t.Error("empty value should fail")
+	}
+	if _, err := PrefixHierarchy("x", []string{"a*b"}, 1); err == nil {
+		t.Error("reserved character should fail")
+	}
+	if _, err := PrefixHierarchy("x", []string{"ab"}, 2, 2); err == nil {
+		t.Error("non-ascending prefix lengths should fail")
+	}
+	if _, err := PrefixHierarchy("x", []string{"ab"}, 0); err == nil {
+		t.Error("prefix length 0 should fail")
+	}
+}

@@ -1,0 +1,109 @@
+package vgh
+
+import "strings"
+
+// Value is one generalized attribute value: either a taxonomy node of a
+// categorical hierarchy or an interval of a continuous hierarchy. Exactly
+// one of Node / interval is meaningful; Node == nil marks a continuous
+// value.
+type Value struct {
+	// Node is the categorical generalization; nil for continuous values.
+	Node *Node
+	// Iv is the continuous generalization; ignored when Node is non-nil.
+	Iv Interval
+}
+
+// CatValue wraps a taxonomy node as a Value.
+func CatValue(n *Node) Value { return Value{Node: n} }
+
+// NumValue wraps an interval as a Value.
+func NumValue(iv Interval) Value { return Value{Iv: iv} }
+
+// IsCategorical reports whether the value generalizes a categorical
+// attribute.
+func (v Value) IsCategorical() bool { return v.Node != nil }
+
+// IsSpecific reports whether the value pins down exactly one concrete
+// value (a leaf node, or a point interval).
+func (v Value) IsSpecific() bool {
+	if v.Node != nil {
+		return v.Node.IsLeaf()
+	}
+	return v.Iv.IsPoint()
+}
+
+// SpecSetSize returns the cardinality of the specialization set for
+// categorical values. Continuous values report 0; their specialization
+// set is an interval, not a finite set.
+func (v Value) SpecSetSize() int {
+	if v.Node != nil {
+		return v.Node.LeafCount()
+	}
+	return 0
+}
+
+// Covers reports whether other's specialization set is a subset of v's.
+// Values of mismatched kinds never cover each other.
+func (v Value) Covers(other Value) bool {
+	if v.Node != nil {
+		return other.Node != nil && v.Node.Covers(other.Node)
+	}
+	return other.Node == nil && v.Iv.ContainsInterval(other.Iv)
+}
+
+func (v Value) String() string {
+	if v.Node != nil {
+		return v.Node.Value
+	}
+	return v.Iv.String()
+}
+
+// Sequence is a full generalization sequence: one Value per quasi-
+// identifier attribute, in schema order. Records generalized to the same
+// sequence form an equivalence class, and all blocking decisions are made
+// per distinct sequence pair.
+type Sequence []Value
+
+// Key returns a canonical string identity for the sequence, suitable as a
+// map key when grouping records into equivalence classes.
+func (s Sequence) Key() string {
+	var sb strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			sb.WriteByte('\x1f')
+		}
+		sb.WriteString(v.String())
+	}
+	return sb.String()
+}
+
+// Equal reports whether two sequences are identical value by value.
+func (s Sequence) Equal(other Sequence) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if s[i].Node != other[i].Node {
+			return false
+		}
+		if s[i].Node == nil && s[i].Iv != other[i].Iv {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the sequence.
+func (s Sequence) Clone() Sequence {
+	out := make(Sequence, len(s))
+	copy(out, s)
+	return out
+}
+
+func (s Sequence) String() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,264 @@
+// Package pprl is a Go implementation of hybrid private record linkage as
+// introduced by Inan, Kantarcioglu, Bertino and Scannapieco, "A Hybrid
+// Approach to Private Record Linkage", ICDE 2008.
+//
+// Two data holders (Alice and Bob) want a querying party to learn which
+// record pairs across their private relations describe the same real-world
+// entity, under a per-attribute distance/threshold classifier. The hybrid
+// protocol combines two classic approaches:
+//
+//   - Sanitization: each holder publishes a k-anonymized view of its
+//     quasi-identifiers. A blocking step applies the slack decision rule —
+//     infimum and supremum distances over the specialization sets of the
+//     generalized values — and labels most pairs Match or NonMatch with
+//     zero error.
+//   - Cryptography: the remaining Unknown pairs are resolved with a
+//     Paillier-homomorphic-encryption three-party protocol, under a
+//     configurable budget (the SMC allowance), ordered by expected-distance
+//     selection heuristics.
+//
+// The result trades off privacy (k), cost (allowance) and accuracy
+// (recall) while precision stays 100% under the default strategy.
+//
+// # Quick start
+//
+//	schema := pprl.AdultSchema()
+//	alice, bob := … // two *pprl.Dataset over schema
+//	cfg := pprl.DefaultConfig(pprl.DefaultAdultQIDs())
+//	res, err := pprl.Link(pprl.Holder{Data: alice}, pprl.Holder{Data: bob}, cfg)
+//	…
+//	matched := res.PairMatched(i, j)
+//
+// The package is a facade: the implementation lives in internal packages
+// (vgh, dataset, anonymize, distance, blocking, paillier, smc, heuristic,
+// core, experiment), each documented independently.
+package pprl
+
+import (
+	"pprl/internal/adult"
+	"pprl/internal/anonymize"
+	"pprl/internal/commutative"
+	"pprl/internal/core"
+	"pprl/internal/dataset"
+	"pprl/internal/distance"
+	"pprl/internal/match"
+	"pprl/internal/metrics"
+	"pprl/internal/schemamatch"
+	"pprl/internal/smc"
+	"pprl/internal/vgh"
+)
+
+// ---- Data model ----
+
+// Schema is an ordered list of typed attributes shared by the relations
+// being linked.
+type Schema = dataset.Schema
+
+// Attribute describes one column and its generalization hierarchy.
+type Attribute = dataset.Attribute
+
+// Dataset is an in-memory relation.
+type Dataset = dataset.Dataset
+
+// Record is one row of a Dataset.
+type Record = dataset.Record
+
+// Cell is one attribute value of a Record.
+type Cell = dataset.Cell
+
+// Hierarchy is a categorical value generalization hierarchy (VGH).
+type Hierarchy = vgh.Hierarchy
+
+// IntervalHierarchy generalizes continuous values into nested equi-width
+// intervals.
+type IntervalHierarchy = vgh.IntervalHierarchy
+
+var (
+	// NewSchema assembles and validates a schema.
+	NewSchema = dataset.NewSchema
+	// MustSchema is NewSchema that panics, for static schemas.
+	MustSchema = dataset.MustSchema
+	// CatAttr declares a categorical attribute over a hierarchy.
+	CatAttr = dataset.CatAttr
+	// NumAttr declares a continuous attribute over an interval hierarchy.
+	NumAttr = dataset.NumAttr
+	// NewDataset creates an empty relation over a schema.
+	NewDataset = dataset.New
+	// ReadCSV parses a relation from CSV against a schema.
+	ReadCSV = dataset.ReadCSV
+	// ReadCSVDropMissing parses CSV and drops rows with "?" markers, the
+	// paper's Adult preprocessing.
+	ReadCSVDropMissing = dataset.ReadCSVDropMissing
+	// LoadSchema reads a schema from a manifest + .vgh files on disk.
+	LoadSchema = dataset.LoadSchema
+	// SaveSchema writes a schema as an editable manifest + .vgh files.
+	SaveSchema = dataset.SaveSchema
+	// SplitOverlap cuts one relation into two overlapping ones (the
+	// paper's experimental construction).
+	SplitOverlap = dataset.SplitOverlap
+	// CatCell builds a categorical cell from a hierarchy leaf label.
+	CatCell = dataset.CatCell
+	// NumCell builds a continuous cell.
+	NumCell = dataset.NumCell
+
+	// ParseVGH reads a hierarchy from the indented text format.
+	ParseVGH = vgh.Parse
+	// MustParseVGH is ParseVGH over a string literal that panics.
+	MustParseVGH = vgh.MustParse
+	// NewVGHBuilder constructs a hierarchy programmatically.
+	NewVGHBuilder = vgh.NewBuilder
+	// FlatVGH builds a one-level hierarchy from a value list.
+	FlatVGH = vgh.Flat
+	// NewIntervalHierarchy builds a continuous hierarchy.
+	NewIntervalHierarchy = vgh.NewIntervalHierarchy
+	// PrefixHierarchy clusters a string dictionary by prefixes — the
+	// generalization mechanism for alphanumeric attributes (the paper's
+	// future-work extension).
+	PrefixHierarchy = vgh.PrefixHierarchy
+)
+
+// ---- Distances ----
+
+var (
+	// Levenshtein is the edit distance underlying the alphanumeric
+	// extension.
+	Levenshtein = distance.Levenshtein
+	// NewEditMetric builds the normalized edit-distance metric over a
+	// string-dictionary hierarchy; it plugs into blocking exactly like
+	// Hamming.
+	NewEditMetric = distance.NewEdit
+)
+
+// ---- Anonymization ----
+
+// Anonymizer is a k-anonymization algorithm.
+type Anonymizer = anonymize.Anonymizer
+
+// AnonymizedView is the published artifact of one data holder: the
+// equivalence classes of its k-anonymized quasi-identifiers.
+type AnonymizedView = anonymize.Result
+
+var (
+	// NewMaxEntropy is the paper's anonymizer: top-down specialization
+	// choosing the maximum-entropy attribute, maximizing blocking
+	// efficiency.
+	NewMaxEntropy = anonymize.NewMaxEntropy
+	// NewTDS is Fung et al.'s information-gain top-down specialization.
+	NewTDS = anonymize.NewTDS
+	// NewDataFly is Sweeney's bottom-up full-domain generalizer.
+	NewDataFly = anonymize.NewDataFly
+	// NewMondrian is a multidimensional median-cut partitioner
+	// (extension).
+	NewMondrian = anonymize.NewMondrian
+	// NewLDiverseEntropy adds distinct l-diversity of the Class label to
+	// the max-entropy anonymizer (extension; related work [10]).
+	NewLDiverseEntropy = anonymize.NewLDiverseEntropy
+	// WriteView serializes an anonymized view in the exchange format a
+	// data holder publishes.
+	WriteView = anonymize.WriteView
+	// ReadView parses a published view against a schema.
+	ReadView = anonymize.ReadView
+)
+
+// ---- Linkage ----
+
+// Config parameterizes a linkage run; start from DefaultConfig.
+type Config = core.Config
+
+// Holder wraps one data holder's relation.
+type Holder = core.Holder
+
+// Result is the complete labeling of the pair space with cost accounting.
+type Result = core.Result
+
+// Strategy selects the residual labeling of budget-starved Unknown pairs.
+type Strategy = core.Strategy
+
+// Residual-labeling strategies (paper Section V-B).
+const (
+	// MaximizePrecision labels residual pairs non-match (the paper's
+	// default: precision is always 100%).
+	MaximizePrecision = core.MaximizePrecision
+	// MaximizeRecall labels residual pairs match.
+	MaximizeRecall = core.MaximizeRecall
+	// TrainClassifier labels residual pairs with a classifier trained on
+	// the SMC outcomes.
+	TrainClassifier = core.TrainClassifier
+)
+
+var (
+	// DefaultConfig returns the paper's Section VI defaults.
+	DefaultConfig = core.DefaultConfig
+	// Link runs the full hybrid pipeline.
+	Link = core.Link
+	// LinkPrepared finishes a run over a cached blocking stage (for
+	// parameter sweeps).
+	LinkPrepared = core.LinkPrepared
+	// SecureComparatorFactory makes Link run the real three-party
+	// Paillier protocol with the given key size instead of the
+	// plaintext cost-model oracle.
+	SecureComparatorFactory = core.SecureComparatorFactory
+	// PlainComparatorFactory is the default cost-model oracle.
+	PlainComparatorFactory = core.PlainComparatorFactory
+)
+
+// ---- Evaluation ----
+
+// Pair is a record pair (I in Alice's relation, J in Bob's).
+type Pair = match.Pair
+
+// Confusion summarizes precision/recall against ground truth.
+type Confusion = metrics.Confusion
+
+var (
+	// TruePairs computes ground truth: all pairs satisfying the exact
+	// decision rule.
+	TruePairs = match.TruePairs
+)
+
+// ---- Distributed SMC deployment ----
+
+// SMCConn is a message transport between protocol parties.
+type SMCConn = smc.Conn
+
+var (
+	// NewSMCNetConn wraps a net.Conn (e.g. TCP) as a protocol transport.
+	NewSMCNetConn = smc.NewNetConn
+	// RunSMCAlice runs the first data holder's protocol loop.
+	RunSMCAlice = smc.RunAlice
+	// RunSMCBob runs the second data holder's protocol loop.
+	RunSMCBob = smc.RunBob
+)
+
+// ---- Private schema matching (the paper's assumed preprocessing) ----
+
+// CommutativeGroup is the shared public group for commutative-encryption
+// protocols.
+type CommutativeGroup = commutative.Group
+
+var (
+	// DefaultCommutativeGroup is the standard 1536-bit RFC 3526 group.
+	DefaultCommutativeGroup = commutative.DefaultGroup
+	// PrivateSetIntersect runs two-party PSI over a stream; both parties
+	// learn which of their own elements are shared, nothing else.
+	PrivateSetIntersect = commutative.Intersect
+	// MatchSchemas privately discovers the attributes two holders'
+	// schemas share (Section II's private schema matching step).
+	MatchSchemas = schemamatch.Match
+)
+
+// ---- Adult workload ----
+
+var (
+	// AdultSchema builds the UCI-Adult quasi-identifier schema with the
+	// standard VGHs.
+	AdultSchema = adult.Schema
+	// GenerateAdult synthesizes an Adult-like dataset (see DESIGN.md §3
+	// for the substitution rationale).
+	GenerateAdult = adult.GenerateInto
+	// DefaultAdultQIDs is the paper's default quasi-identifier set.
+	DefaultAdultQIDs = adult.DefaultQIDs
+	// TopAdultQIDs returns the first q attributes of the paper's QID
+	// ordering.
+	TopAdultQIDs = adult.TopQIDs
+)
