@@ -1,0 +1,30 @@
+# Canonical verification pipeline; CI and pre-commit both run `make check`.
+GO ?= go
+
+# Packages with dedicated concurrency (-race) coverage: the SMC engine,
+# the Paillier randomizer pool, parallel blocking, and the core pipeline.
+RACE_PKGS = ./internal/smc ./internal/paillier ./internal/blocking ./internal/core
+
+.PHONY: check build vet test race bench perf
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Serial-vs-sharded throughput of the secure comparator (1024-bit key).
+bench:
+	$(GO) test ./internal/smc -run XXX -bench BenchmarkSecureBatch -benchtime 3x
+
+# Machine-readable engine report (BENCH_smc.json).
+perf:
+	$(GO) run ./cmd/pprl-bench -exp smcperf -json

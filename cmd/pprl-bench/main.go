@@ -23,20 +23,21 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, example, or all")
+		exps    = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, example, or all")
 		records = flag.Int("records", 0, "workload size (records before the overlap split); 0 = default 1800")
 		full    = flag.Bool("full", false, "paper-scale workload: 30,162 records (slow)")
 		seed    = flag.Int64("seed", 0, "workload seed; 0 = default")
-		asJSON  = flag.Bool("json", false, "emit tables as JSON for external plotting")
+		asJSON  = flag.Bool("json", false, "emit tables as JSON for external plotting; smcperf additionally writes -perf-out")
+		perfOut = flag.String("perf-out", "BENCH_smc.json", "smcperf: path of the machine-readable benchmark report (with -json)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON); err != nil {
+	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfOut); err != nil {
 		fmt.Fprintln(os.Stderr, "pprl-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool) error {
+func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfOut string) error {
 	render := func(t *experiment.Table) error {
 		if asJSON {
 			return t.RenderJSON(out)
@@ -125,6 +126,31 @@ func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON 
 		}
 		if err := render(t); err != nil {
 			return err
+		}
+	}
+	if want("smcperf") {
+		// 512-bit keys keep the default run fast; the acceptance-grade
+		// 1024-bit numbers come from BenchmarkSecureBatch.
+		rep, t, err := experiment.SMCPerf(512, 4, 32, 0)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if asJSON && perfOut != "" {
+			f, err := os.Create(perfOut)
+			if err != nil {
+				return fmt.Errorf("smcperf: %w", err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("smcperf: writing report: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "smcperf: report written to %s\n", perfOut)
 		}
 	}
 	return nil

@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden file")
 // `go test ./cmd/pprl-bench -run Golden -update`.
 func TestGoldenOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false); err != nil {
+	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "golden.txt")
@@ -44,7 +44,7 @@ func TestGoldenOutput(t *testing.T) {
 
 func TestRunSelectedArtifacts(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig3", 240, false, 3, false); err != nil {
+	if err := run(&buf, "example,fig3", 240, false, 3, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -61,7 +61,7 @@ func TestRunSelectedArtifacts(t *testing.T) {
 
 func TestRunFig6And7Selection(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig7", 240, false, 3, false); err != nil {
+	if err := run(&buf, "fig7", 240, false, 3, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -72,7 +72,7 @@ func TestRunFig6And7Selection(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", 240, false, 3, true); err != nil {
+	if err := run(&buf, "fig3", 240, false, 3, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	var tab struct {
@@ -90,10 +90,61 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunBaselines(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "baselines", 240, false, 3, false); err != nil {
+	if err := run(&buf, "baselines", 240, false, 3, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "pure SMC") {
 		t.Error("baselines table missing")
+	}
+}
+
+// TestRunSMCPerfJSON: -json with the smcperf artifact must write a
+// parseable machine-readable report to the -perf-out path.
+func TestRunSMCPerfJSON(t *testing.T) {
+	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "smcperf", 240, false, 3, true, perfOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(perfOut)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		GOMAXPROCS  int     `json:"gomaxprocs"`
+		Workers     int     `json:"workers"`
+		KeyBits     int     `json:"key_bits"`
+		SerialRate  float64 `json:"serial_comparisons_per_sec"`
+		ShardedRate float64 `json:"sharded_comparisons_per_sec"`
+		Speedup     float64 `json:"speedup"`
+		Bytes       int64   `json:"bytes_per_comparison"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.GOMAXPROCS < 1 || rep.Workers < 1 || rep.KeyBits != 512 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.SerialRate <= 0 || rep.ShardedRate <= 0 || rep.Speedup <= 0 || rep.Bytes <= 0 {
+		t.Errorf("report metrics not populated: %+v", rep)
+	}
+	// The stdout table rides along for humans.
+	if !strings.Contains(buf.String(), "smcperf") {
+		t.Error("smcperf table missing from output")
+	}
+}
+
+// TestRunSMCPerfTextNoFile: without -json no report file is produced.
+func TestRunSMCPerfTextNoFile(t *testing.T) {
+	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "smcperf", 240, false, 3, false, perfOut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(perfOut); err == nil {
+		t.Error("report written without -json")
+	}
+	if !strings.Contains(buf.String(), "comparisons/sec") {
+		t.Error("smcperf text table missing")
 	}
 }

@@ -39,18 +39,19 @@ func main() {
 		qids       = flag.String("qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "comma-separated quasi-identifier attributes")
 		secure     = flag.Bool("secure", false, "run the real Paillier SMC protocol instead of the cost-model oracle")
 		keyBits    = flag.Int("keybits", 1024, "Paillier key size for -secure")
+		smcWorkers = flag.Int("smc-workers", 0, "parallel SMC lanes for -secure (0 = GOMAXPROCS)")
 		evalFlag   = flag.Bool("eval", false, "score against exact ground truth (requires both files, which this command has)")
 		showPairs  = flag.Bool("pairs", false, "print matched entity-ID pairs")
 		schemaPath = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *schemaPath, *aPath, *bPath, *k, *theta, *allowance, *heurName, *strategy, *qids, *secure, *keyBits, *evalFlag, *showPairs); err != nil {
+	if err := run(os.Stdout, *schemaPath, *aPath, *bPath, *k, *theta, *allowance, *heurName, *strategy, *qids, *secure, *keyBits, *smcWorkers, *evalFlag, *showPairs); err != nil {
 		fmt.Fprintln(os.Stderr, "pprl-link:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance float64, heurName, strategy, qidList string, secure bool, keyBits int, evalFlag, showPairs bool) error {
+func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance float64, heurName, strategy, qidList string, secure bool, keyBits, smcWorkers int, evalFlag, showPairs bool) error {
 	if aPath == "" || bPath == "" {
 		return fmt.Errorf("-a and -b are required")
 	}
@@ -94,6 +95,7 @@ func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance
 	if secure {
 		cfg.Comparator = pprl.SecureComparatorFactory(keyBits)
 	}
+	cfg.SMCWorkers = smcWorkers
 
 	res, err := pprl.Link(pprl.Holder{Data: alice}, pprl.Holder{Data: bob}, cfg)
 	if err != nil {
@@ -102,6 +104,10 @@ func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance
 	fmt.Fprintln(out, res.Summary())
 	fmt.Fprintf(out, "timings: anonymize=%v+%v blocking=%v smc=%v\n",
 		res.Timings.AnonymizeAlice, res.Timings.AnonymizeBob, res.Timings.Blocking, res.Timings.SMC)
+	if secure {
+		fmt.Fprintf(out, "smc engine: workers=%d rate=%.1f comparisons/sec bytes=%d\n",
+			res.SMCWorkers, res.SMCRate(), res.SMCBytes)
+	}
 
 	if evalFlag {
 		truth, err := pprl.TruePairs(alice, bob, res.QIDs(), res.Rule())

@@ -37,7 +37,7 @@ func TestRunLink(t *testing.T) {
 	a, b := writePair(t)
 	var buf bytes.Buffer
 	err := run(&buf, "", a, b, 8, 0.05, 1.0, "minAvgFirst", "precision",
-		strings.Join(pprl.DefaultAdultQIDs(), ","), false, 0, true, true)
+		strings.Join(pprl.DefaultAdultQIDs(), ","), false, 0, 0, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestRunLinkSecure(t *testing.T) {
 	// Tiny allowance keeps the number of real crypto ops low; 256-bit
 	// keys keep the test fast.
 	err := run(&buf, "", a, b, 8, 0.05, 0.0005, "maxLast", "recall",
-		strings.Join(pprl.DefaultAdultQIDs(), ","), true, 256, false, false)
+		strings.Join(pprl.DefaultAdultQIDs(), ","), true, 256, 0, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,19 +79,19 @@ func TestRunLinkSecure(t *testing.T) {
 func TestRunLinkErrors(t *testing.T) {
 	a, b := writePair(t)
 	qids := strings.Join(pprl.DefaultAdultQIDs(), ",")
-	if err := run(nil, "", "", b, 8, 0.05, 0.01, "minAvgFirst", "precision", qids, false, 0, false, false); err == nil {
+	if err := run(nil, "", "", b, 8, 0.05, 0.01, "minAvgFirst", "precision", qids, false, 0, 0, false, false); err == nil {
 		t.Error("missing -a should fail")
 	}
-	if err := run(nil, "", a, b, 8, 0.05, 0.01, "bogus", "precision", qids, false, 0, false, false); err == nil {
+	if err := run(nil, "", a, b, 8, 0.05, 0.01, "bogus", "precision", qids, false, 0, 0, false, false); err == nil {
 		t.Error("bad heuristic should fail")
 	}
-	if err := run(nil, "", a, b, 8, 0.05, 0.01, "minAvgFirst", "bogus", qids, false, 0, false, false); err == nil {
+	if err := run(nil, "", a, b, 8, 0.05, 0.01, "minAvgFirst", "bogus", qids, false, 0, 0, false, false); err == nil {
 		t.Error("bad strategy should fail")
 	}
-	if err := run(nil, "", a, b, 8, 0.05, 0.01, "minAvgFirst", "classifier", "nope", false, 0, false, false); err == nil {
+	if err := run(nil, "", a, b, 8, 0.05, 0.01, "minAvgFirst", "classifier", "nope", false, 0, 0, false, false); err == nil {
 		t.Error("bad QIDs should fail")
 	}
-	if err := run(nil, "", "/nonexistent.csv", b, 8, 0.05, 0.01, "minFirst", "precision", qids, false, 0, false, false); err == nil {
+	if err := run(nil, "", "/nonexistent.csv", b, 8, 0.05, 0.01, "minFirst", "precision", qids, false, 0, 0, false, false); err == nil {
 		t.Error("missing file should fail")
 	}
 }

@@ -51,6 +51,7 @@ func main() {
 		allowance  = flag.Float64("allowance", 0.015, "query: SMC allowance fraction")
 		heurName   = flag.String("heuristic", "minAvgFirst", "query: selection heuristic")
 		keyBits    = flag.Int("keybits", 1024, "query: Paillier key size")
+		smcWorkers = flag.Int("smc-workers", 0, "query: SMC batch-size scaling (0 = default chunking)")
 		shuffle    = flag.Bool("shuffle", true, "query: hide which attribute failed (attribute shuffling)")
 		schemaPath = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
 	)
@@ -58,7 +59,7 @@ func main() {
 	var err error
 	switch *role {
 	case "query":
-		err = runQuery(os.Stdout, *schemaPath, *listen, *qids, *theta, *allowance, *heurName, *keyBits, *shuffle)
+		err = runQuery(os.Stdout, *schemaPath, *listen, *qids, *theta, *allowance, *heurName, *keyBits, *smcWorkers, *shuffle)
 	case "alice":
 		err = runHolder(*schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, session.RoleAlice)
 	case "bob":
@@ -74,7 +75,7 @@ func main() {
 
 // runQuery accepts both holders, identifies them, runs the session and
 // prints the results.
-func runQuery(out io.Writer, schemaPath, listen, qidList string, theta, allowance float64, heurName string, keyBits int, shuffle bool) error {
+func runQuery(out io.Writer, schemaPath, listen, qidList string, theta, allowance float64, heurName string, keyBits, smcWorkers int, shuffle bool) error {
 	schema, err := cliutil.LoadSchemaOrAdult(schemaPath)
 	if err != nil {
 		return err
@@ -124,6 +125,7 @@ func runQuery(out io.Writer, schemaPath, listen, qidList string, theta, allowanc
 		Heuristic:         h,
 		KeyBits:           keyBits,
 		ShuffleAttributes: shuffle,
+		SMCWorkers:        smcWorkers,
 	})
 	if err != nil {
 		return err

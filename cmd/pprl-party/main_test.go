@@ -58,7 +58,7 @@ func TestThreePartyOverTCP(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- runQuery(&out, "", queryAddr, strings.Join(pprl.DefaultAdultQIDs(), ","),
-			0.05, 0.002, "minAvgFirst", 256, true)
+			0.05, 0.002, "minAvgFirst", 256, 2, true)
 	}()
 	go func() {
 		errs <- runHolder("", queryAddr, peerAddr, "", aCSV, 8, "entropy", "alice")
@@ -84,10 +84,10 @@ func TestThreePartyOverTCP(t *testing.T) {
 }
 
 func TestRoleValidation(t *testing.T) {
-	if err := runQuery(nil, "", "", "age", 0.05, 0.01, "minFirst", 256, false); err == nil {
+	if err := runQuery(nil, "", "", "age", 0.05, 0.01, "minFirst", 256, 0, false); err == nil {
 		t.Error("query without -listen should fail")
 	}
-	if err := runQuery(nil, "", "127.0.0.1:0", "age", 0.05, 0.01, "bogus", 256, false); err == nil {
+	if err := runQuery(nil, "", "127.0.0.1:0", "age", 0.05, 0.01, "bogus", 256, 0, false); err == nil {
 		t.Error("bad heuristic should fail")
 	}
 	if err := runHolder("", "", "", "", "x.csv", 8, "entropy", "alice"); err == nil {

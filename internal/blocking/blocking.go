@@ -182,6 +182,9 @@ type Result struct {
 	MatchedPairs    int64
 	NonMatchedPairs int64
 	UnknownPairs    int64
+	// UnknownGroups counts the *class* pairs labeled Unknown, so
+	// UnknownGroupPairs can size its output exactly.
+	UnknownGroups int64
 }
 
 // parallelThreshold is the class-pair count above which Block fans out
@@ -212,10 +215,11 @@ func Block(r, s *anonymize.Result, rule *Rule) (*Result, error) {
 		wg                           sync.WaitGroup
 		nextRow                      atomic.Int64
 		matched, nonMatched, unknown atomic.Int64
+		unknownGroups                atomic.Int64
 	)
 	worker := func() {
 		defer wg.Done()
-		var m, n, u int64
+		var m, n, u, ug int64
 		for {
 			ri := int(nextRow.Add(1)) - 1
 			if ri >= len(r.Classes) {
@@ -235,6 +239,7 @@ func Block(r, s *anonymize.Result, rule *Rule) (*Result, error) {
 					n += pairs
 				default:
 					u += pairs
+					ug++
 				}
 			}
 			res.Labels[ri] = row
@@ -242,6 +247,7 @@ func Block(r, s *anonymize.Result, rule *Rule) (*Result, error) {
 		matched.Add(m)
 		nonMatched.Add(n)
 		unknown.Add(u)
+		unknownGroups.Add(ug)
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -251,6 +257,7 @@ func Block(r, s *anonymize.Result, rule *Rule) (*Result, error) {
 	res.MatchedPairs = matched.Load()
 	res.NonMatchedPairs = nonMatched.Load()
 	res.UnknownPairs = unknown.Load()
+	res.UnknownGroups = unknownGroups.Load()
 	return res, nil
 }
 
@@ -270,9 +277,11 @@ func (res *Result) Efficiency() float64 {
 }
 
 // UnknownGroupPairs lists the class pairs labeled U, the SMC step's
-// candidate set.
+// candidate set. The output is sized from the counts Block already took,
+// so a sweep calling this per configuration does one allocation instead
+// of log₂(|U|) slice growths.
 func (res *Result) UnknownGroupPairs() []GroupPair {
-	var out []GroupPair
+	out := make([]GroupPair, 0, res.UnknownGroups)
 	for ri, row := range res.Labels {
 		for si, l := range row {
 			if l == Unknown {

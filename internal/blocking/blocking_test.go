@@ -127,6 +127,12 @@ func TestPaperWorkedExample(t *testing.T) {
 	if len(ups) != 3 || totalU != 18 {
 		t.Errorf("unknown group pairs = %d covering %d record pairs, want 3 covering 18", len(ups), totalU)
 	}
+	if res.UnknownGroups != int64(len(ups)) {
+		t.Errorf("UnknownGroups = %d, want %d", res.UnknownGroups, len(ups))
+	}
+	if cap(ups) != len(ups) {
+		t.Errorf("UnknownGroupPairs cap = %d, want exact %d", cap(ups), len(ups))
+	}
 }
 
 // TestBlockingSound verifies against ground truth that no blocked label is

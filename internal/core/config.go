@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"pprl/internal/anonymize"
 	"pprl/internal/blocking"
@@ -59,21 +60,29 @@ func (s Strategy) String() string {
 }
 
 // ComparatorFactory builds the SMC comparator over the holders' encoded
-// records. The default (nil) uses the plaintext oracle with invocation
-// accounting — the paper's own cost model for large sweeps; use
-// SecureComparatorFactory to run real Paillier circuits.
-type ComparatorFactory func(alice, bob [][]int64, spec *smc.Spec) (smc.Comparator, error)
+// records. workers is the resolved Config.SMCWorkers value; factories
+// that cannot parallelize may ignore it. The default (nil) uses the
+// plaintext oracle with invocation accounting — the paper's own cost
+// model for large sweeps; use SecureComparatorFactory to run real
+// Paillier circuits.
+type ComparatorFactory func(alice, bob [][]int64, spec *smc.Spec, workers int) (smc.Comparator, error)
 
-// PlainComparatorFactory is the simulation-mode factory (default).
-func PlainComparatorFactory(alice, bob [][]int64, spec *smc.Spec) (smc.Comparator, error) {
+// PlainComparatorFactory is the simulation-mode factory (default). The
+// oracle does no cryptographic work, so workers is ignored.
+func PlainComparatorFactory(alice, bob [][]int64, spec *smc.Spec, workers int) (smc.Comparator, error) {
 	return smc.NewPlainComparator(spec, alice, bob), nil
 }
 
 // SecureComparatorFactory returns a factory running the full three-party
 // Paillier protocol in-process with keys of the given size (the paper
-// uses 1024 bits).
+// uses 1024 bits). With workers > 1 it builds the sharded engine —
+// workers protocol lanes under one key, sharing the holders' randomizer
+// pools and Alice's share cache — otherwise the serial comparator.
 func SecureComparatorFactory(keyBits int) ComparatorFactory {
-	return func(alice, bob [][]int64, spec *smc.Spec) (smc.Comparator, error) {
+	return func(alice, bob [][]int64, spec *smc.Spec, workers int) (smc.Comparator, error) {
+		if workers > 1 {
+			return smc.NewLocalSecureSharded(spec, alice, bob, keyBits, workers)
+		}
 		return smc.NewLocalSecure(spec, alice, bob, keyBits)
 	}
 }
@@ -117,6 +126,11 @@ type Config struct {
 	Scale int64
 	// Comparator builds the SMC back end; nil = plaintext oracle.
 	Comparator ComparatorFactory
+	// SMCWorkers is the parallelism of the SMC step: the number of
+	// protocol lanes the secure comparator shards comparisons across,
+	// and the scaling factor for the engine's batch size. ≤ 0 (the
+	// default) selects GOMAXPROCS.
+	SMCWorkers int
 	// Seed drives the random pair selection of TrainClassifier.
 	Seed int64
 	// Progress, when set, receives coarse stage events during Link:
@@ -187,6 +201,9 @@ func (c *Config) normalize(schema *dataset.Schema) ([]int, *blocking.Rule, error
 	}
 	if c.Comparator == nil {
 		c.Comparator = PlainComparatorFactory
+	}
+	if c.SMCWorkers <= 0 {
+		c.SMCWorkers = runtime.GOMAXPROCS(0)
 	}
 	return qids, rule, nil
 }

@@ -130,21 +130,34 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 		smc.EncodeRecords(alice.Data, qids, cfg.Scale),
 		smc.EncodeRecords(bob.Data, qids, cfg.Scale),
 		spec,
+		cfg.SMCWorkers,
 	)
 	if err != nil {
 		return nil, fmt.Errorf("core: building comparator: %w", err)
 	}
 	defer cmp.Close()
+	res.SMCWorkers = cfg.SMCWorkers
 
 	start := time.Now()
-	res.smcLabels = make(map[int64]bool)
-	res.resolvedInGroup = make(map[[2]int]int)
+	// The SMC step resolves min(allowance, unknown pairs) entries; size
+	// the verdict map once instead of growing it through rehashes.
+	sized := allowance
+	if block.UnknownPairs < sized {
+		sized = block.UnknownPairs
+	}
+	if sized < 0 {
+		sized = 0
+	}
+	res.smcLabels = make(map[int64]bool, sized)
+	res.resolvedInGroup = make(map[[2]int]int, len(ordered))
 
 	// Resolve the budgeted pairs in heuristic order, streaming: a small
 	// chunk buffer feeds the pipelined batch path when the comparator
 	// supports it (the real SMC protocol), per-pair calls otherwise —
 	// never materializing the whole budget (which can be millions of
-	// pairs at full allowance).
+	// pairs at full allowance). The chunk grows with the worker count so
+	// a sharded comparator always has enough pairs to keep every lane's
+	// pipeline full.
 	type job struct {
 		i, j  int
 		group [2]int
@@ -152,7 +165,10 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	batcher, batched := cmp.(interface {
 		CompareBatch([][2]int) ([]bool, error)
 	})
-	const chunkSize = 256
+	chunkSize := 256 * cfg.SMCWorkers
+	if chunkSize > 4096 {
+		chunkSize = 4096
+	}
 	chunk := make([]job, 0, chunkSize)
 	pairs := make([][2]int, 0, chunkSize)
 	var done int64

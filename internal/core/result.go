@@ -31,6 +31,9 @@ type Result struct {
 	// SMCBytes is the protocol traffic of the SMC step; zero when the
 	// plaintext oracle resolved the pairs.
 	SMCBytes int64
+	// SMCWorkers is the resolved parallelism of the SMC step: how many
+	// protocol lanes the comparator sharded comparisons across.
+	SMCWorkers int
 	// Timings holds per-stage durations.
 	Timings Timings
 
@@ -102,6 +105,15 @@ func (r *Result) MatchedPairCount() int64 {
 
 // SMCResolvedPairs returns how many pairs the SMC step labeled.
 func (r *Result) SMCResolvedPairs() int64 { return int64(len(r.smcLabels)) }
+
+// SMCRate returns the SMC step's throughput in comparisons per second,
+// or 0 when no comparisons ran.
+func (r *Result) SMCRate() float64 {
+	if r.Invocations == 0 || r.Timings.SMC <= 0 {
+		return 0
+	}
+	return float64(r.Invocations) / r.Timings.SMC.Seconds()
+}
 
 // BlockingEfficiency is the paper's primary blocking measure.
 func (r *Result) BlockingEfficiency() float64 { return r.Block.Efficiency() }

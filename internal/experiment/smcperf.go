@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pprl/internal/paillier"
+	"pprl/internal/smc"
+)
+
+// SMCPerfReport is the machine-readable SMC engine benchmark that
+// `pprl-bench -json` writes to BENCH_smc.json: throughput of the serial
+// and sharded comparators over an identical workload, per-stage wall
+// times, and the byte cost per comparison.
+type SMCPerfReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workers is the sharded engine's lane count.
+	Workers    int `json:"workers"`
+	KeyBits    int `json:"key_bits"`
+	Attributes int `json:"attributes"`
+	Pairs      int `json:"pairs"`
+
+	// Wall time per stage, in seconds.
+	KeygenSeconds  float64 `json:"keygen_seconds"`
+	SerialSeconds  float64 `json:"serial_seconds"`
+	ShardedSeconds float64 `json:"sharded_seconds"`
+
+	SerialRate  float64 `json:"serial_comparisons_per_sec"`
+	ShardedRate float64 `json:"sharded_comparisons_per_sec"`
+	// Speedup is ShardedRate / SerialRate.
+	Speedup float64 `json:"speedup"`
+
+	BytesPerComparison int64 `json:"bytes_per_comparison"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *SMCPerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// smcPerfSpec builds an attrs-wide circuit alternating the threshold and
+// equality modes, mirroring a mixed quasi-identifier rule.
+func smcPerfSpec(attrs int) *smc.Spec {
+	spec := &smc.Spec{Scale: 1}
+	for a := 0; a < attrs; a++ {
+		if a%2 == 0 {
+			spec.Attrs = append(spec.Attrs, smc.AttrSpec{Mode: smc.ModeThreshold, T: 16})
+		} else {
+			spec.Attrs = append(spec.Attrs, smc.AttrSpec{Mode: smc.ModeEquality})
+		}
+	}
+	return spec
+}
+
+// SMCPerf benchmarks the secure comparator engines: pairs comparisons at
+// keyBits over an attrs-attribute circuit, once through the serial
+// SecureComparator and once through the sharded engine with workers lanes
+// (≤ 0 = GOMAXPROCS). Both paths run real Paillier circuits over the same
+// records; verdict disagreement is an error.
+func SMCPerf(keyBits, attrs, pairsN, workers int) (*SMCPerfReport, *Table, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	spec := smcPerfSpec(attrs)
+	const holders = 24
+	alice := make([][]int64, holders)
+	bob := make([][]int64, holders)
+	for i := range alice {
+		alice[i] = make([]int64, attrs)
+		bob[i] = make([]int64, attrs)
+		for a := 0; a < attrs; a++ {
+			alice[i][a] = int64((i*7 + a) % 23)
+			bob[i][a] = int64((i*5 + a*3) % 23)
+		}
+	}
+	pairs := make([][2]int, pairsN)
+	for k := range pairs {
+		pairs[k] = [2]int{(k * 3) % holders, (k * 11) % holders}
+	}
+
+	rep := &SMCPerfReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		KeyBits:    keyBits,
+		Attributes: attrs,
+		Pairs:      pairsN,
+	}
+
+	// Keygen is timed separately: it is a fixed per-session cost the
+	// throughput numbers deliberately exclude.
+	start := time.Now()
+	if _, err := paillier.GenerateKey(rand.Reader, keyBits); err != nil {
+		return nil, nil, fmt.Errorf("smcperf: keygen: %w", err)
+	}
+	rep.KeygenSeconds = time.Since(start).Seconds()
+
+	serial, err := smc.NewLocalSecure(spec, alice, bob, keyBits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("smcperf: serial comparator: %w", err)
+	}
+	start = time.Now()
+	serialVerdicts, err := serial.CompareBatch(pairs)
+	if err != nil {
+		serial.Close()
+		return nil, nil, fmt.Errorf("smcperf: serial batch: %w", err)
+	}
+	rep.SerialSeconds = time.Since(start).Seconds()
+	rep.BytesPerComparison = serial.BytesTransferred() / serial.Invocations()
+	serial.Close()
+
+	sharded, err := smc.NewLocalSecureSharded(spec, alice, bob, keyBits, workers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("smcperf: sharded comparator: %w", err)
+	}
+	start = time.Now()
+	shardedVerdicts, err := sharded.CompareBatch(pairs)
+	if err != nil {
+		sharded.Close()
+		return nil, nil, fmt.Errorf("smcperf: sharded batch: %w", err)
+	}
+	rep.ShardedSeconds = time.Since(start).Seconds()
+	sharded.Close()
+
+	for k := range pairs {
+		if serialVerdicts[k] != shardedVerdicts[k] {
+			return nil, nil, fmt.Errorf("smcperf: verdict mismatch on pair %v", pairs[k])
+		}
+	}
+
+	if rep.SerialSeconds > 0 {
+		rep.SerialRate = float64(pairsN) / rep.SerialSeconds
+	}
+	if rep.ShardedSeconds > 0 {
+		rep.ShardedRate = float64(pairsN) / rep.ShardedSeconds
+	}
+	if rep.SerialRate > 0 {
+		rep.Speedup = rep.ShardedRate / rep.SerialRate
+	}
+
+	t := &Table{
+		ID:      "smcperf",
+		Title:   fmt.Sprintf("SMC engine throughput (%d-bit key, %d attributes, %d pairs, GOMAXPROCS=%d)", keyBits, attrs, pairsN, rep.GOMAXPROCS),
+		Columns: []string{"engine", "workers", "seconds", "comparisons/sec", "bytes/comparison"},
+	}
+	t.AddRow("serial", "1", fmt.Sprintf("%.3f", rep.SerialSeconds),
+		fmt.Sprintf("%.1f", rep.SerialRate), fmt.Sprintf("%d", rep.BytesPerComparison))
+	t.AddRow("sharded", fmt.Sprintf("%d", rep.Workers), fmt.Sprintf("%.3f", rep.ShardedSeconds),
+		fmt.Sprintf("%.1f", rep.ShardedRate), fmt.Sprintf("%d", rep.BytesPerComparison))
+	return rep, t, nil
+}

@@ -123,18 +123,36 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 
 // Encrypt encrypts m ∈ [0, N) with fresh randomness from random.
 func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
-	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
-		return nil, ErrMessageRange
+	rn, err := pk.noiseUnit(random)
+	if err != nil {
+		return nil, err
 	}
+	return pk.encryptWithNoise(m, rn)
+}
+
+// noiseUnit computes r^N mod N² for a fresh random unit r: the
+// message-independent factor of an encryption, and exactly an encryption
+// of zero. This is the single modular exponentiation that dominates
+// Encrypt/Rerandomize cost; RandomizerPool precomputes these units in the
+// background.
+func (pk *PublicKey) noiseUnit(random io.Reader) (*big.Int, error) {
 	r, err := pk.randomUnit(random)
 	if err != nil {
 		return nil, err
 	}
-	// c = (1 + m·n) · r^n mod n².
+	return r.Exp(r, pk.N, pk.N2), nil
+}
+
+// encryptWithNoise assembles c = (1 + m·n) · rn mod n² from a message and
+// a precomputed noise unit rn = r^n mod n² — two modular multiplications,
+// no exponentiation.
+func (pk *PublicKey) encryptWithNoise(m, rn *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, ErrMessageRange
+	}
 	c := new(big.Int).Mul(m, pk.N)
 	c.Add(c, one)
 	c.Mod(c, pk.N2)
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
 	c.Mul(c, rn)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, nil
@@ -266,11 +284,15 @@ func (pk *PublicKey) AddConst(ct *Ciphertext, k *big.Int) *Ciphertext {
 // Rerandomize multiplies in a fresh encryption of zero so the ciphertext
 // is unlinkable to its inputs while decrypting identically.
 func (pk *PublicKey) Rerandomize(random io.Reader, ct *Ciphertext) (*Ciphertext, error) {
-	zero, err := pk.Encrypt(random, new(big.Int))
+	rn, err := pk.noiseUnit(random)
 	if err != nil {
 		return nil, err
 	}
-	return pk.Add(ct, zero), nil
+	// A noise unit r^n is itself an encryption of zero, so one modular
+	// multiplication completes the rerandomization.
+	c := new(big.Int).Mul(ct.C, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
 }
 
 // randomUnit draws r ∈ [1, N) with gcd(r, N) = 1.

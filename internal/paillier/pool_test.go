@@ -1,0 +1,188 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+func poolTestKey(t testing.TB) *PrivateKey {
+	t.Helper()
+	sk, err := GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestPoolEncryptDecrypt(t *testing.T) {
+	sk := poolTestKey(t)
+	pool := NewRandomizerPool(sk.Public(), 2, 8)
+	defer pool.Close()
+
+	for _, v := range []int64{0, 1, -1, 123456, -98765} {
+		ct, err := pool.EncryptInt64(v)
+		if err != nil {
+			t.Fatalf("EncryptInt64(%d): %v", v, err)
+		}
+		got, err := sk.DecryptSigned(ct)
+		if err != nil {
+			t.Fatalf("DecryptSigned(%d): %v", v, err)
+		}
+		if got.Int64() != v {
+			t.Errorf("roundtrip %d = %d", v, got.Int64())
+		}
+	}
+
+	// Out-of-range messages are rejected just like PublicKey.Encrypt.
+	if _, err := pool.Encrypt(new(big.Int).Neg(one)); err != ErrMessageRange {
+		t.Errorf("negative message: err = %v, want ErrMessageRange", err)
+	}
+	if _, err := pool.Encrypt(sk.N); err != ErrMessageRange {
+		t.Errorf("message = N: err = %v, want ErrMessageRange", err)
+	}
+}
+
+func TestPoolRerandomizeUnlinkable(t *testing.T) {
+	sk := poolTestKey(t)
+	pool := NewRandomizerPool(sk.Public(), 1, 4)
+	defer pool.Close()
+
+	ct, err := pool.EncryptInt64(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := pool.Rerandomize(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.C.Cmp(ct.C) == 0 {
+		t.Error("rerandomized ciphertext equals its input")
+	}
+	got, err := sk.DecryptSigned(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Errorf("rerandomized plaintext = %d, want 42", got.Int64())
+	}
+}
+
+// TestPoolDistinctUnits: two pooled encryptions of the same message must
+// use independent randomizers (a repeat would link the ciphertexts).
+func TestPoolDistinctUnits(t *testing.T) {
+	sk := poolTestKey(t)
+	pool := NewRandomizerPool(sk.Public(), 1, 4)
+	defer pool.Close()
+	a, err := pool.EncryptInt64(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.EncryptInt64(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.C.Cmp(b.C) == 0 {
+		t.Error("two pooled encryptions of the same message are identical")
+	}
+}
+
+// TestPoolConcurrent hammers one pool from many goroutines; run with
+// -race. Verdicts are verified to catch torn unit reuse.
+func TestPoolConcurrent(t *testing.T) {
+	sk := poolTestKey(t)
+	pool := NewRandomizerPool(sk.Public(), 4, 16)
+	defer pool.Close()
+
+	const goroutines, perG = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := int64(g*1000 + i)
+				ct, err := pool.EncryptInt64(v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%3 == 0 {
+					if ct, err = pool.Rerandomize(ct); err != nil {
+						errs <- err
+						return
+					}
+				}
+				got, err := sk.DecryptSigned(ct)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Int64() != v {
+					t.Errorf("goroutine %d: roundtrip %d = %d", g, v, got.Int64())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolUsableAfterClose: Close stops the workers but operations fall
+// back to inline computation instead of failing.
+func TestPoolUsableAfterClose(t *testing.T) {
+	sk := poolTestKey(t)
+	pool := NewRandomizerPool(sk.Public(), 2, 4)
+	pool.Close()
+	pool.Close() // double close tolerated
+
+	ct, err := pool.EncryptInt64(9)
+	if err != nil {
+		t.Fatalf("EncryptInt64 after Close: %v", err)
+	}
+	got, err := sk.DecryptSigned(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 9 {
+		t.Errorf("roundtrip after Close = %d, want 9", got.Int64())
+	}
+}
+
+// BenchmarkEncryptPooled vs BenchmarkEncryptFresh isolates the pool's
+// amortization at the paper's key size.
+func BenchmarkEncryptFresh1024(b *testing.B) {
+	sk, err := GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := big.NewInt(123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Encrypt(rand.Reader, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptPooled1024(b *testing.B) {
+	sk, err := GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := NewRandomizerPool(sk.Public(), 0, 0)
+	defer pool.Close()
+	m := big.NewInt(123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Encrypt(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -133,6 +133,12 @@ type QueryConfig struct {
 	Scale int64
 	// ShuffleAttributes hides which attribute failed from this party.
 	ShuffleAttributes bool
+	// SMCWorkers scales the SMC batch size. A distributed session runs
+	// one protocol lane per transport, so unlike core.Config.SMCWorkers
+	// it cannot shard the crypto; it only keeps deeper pipelines fed so
+	// the holders' parallel per-attribute work overlaps across requests.
+	// ≤ 0 keeps the default chunking.
+	SMCWorkers int
 }
 
 // QueryResult is what the querying party learns.
@@ -250,7 +256,13 @@ groups:
 		}
 	}
 	// Pipelined resolution in chunks: the three parties' work overlaps.
-	const chunk = 256
+	chunk := 256
+	if cfg.SMCWorkers > 1 {
+		chunk *= cfg.SMCWorkers
+		if chunk > 4096 {
+			chunk = 4096
+		}
+	}
 	for lo := 0; lo < len(pairs); lo += chunk {
 		hi := lo + chunk
 		if hi > len(pairs) {

@@ -1,0 +1,75 @@
+package smc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchSpec4 is the acceptance configuration: four attributes mixing the
+// equality and threshold circuits at the paper's 1024-bit key size.
+func benchSpec4() *Spec {
+	return &Spec{
+		Scale: 1,
+		Attrs: []AttrSpec{
+			{Mode: ModeEquality},
+			{Mode: ModeThreshold, T: 16},
+			{Mode: ModeEquality},
+			{Mode: ModeThreshold, T: 64},
+		},
+	}
+}
+
+func benchRecords4(n int, seed int64) [][]int64 {
+	recs := make([][]int64, n)
+	for i := range recs {
+		v := int64(i) + seed
+		recs[i] = []int64{v % 5, v % 17, v % 3, v % 29}
+	}
+	return recs
+}
+
+// BenchmarkSecureBatch measures pipelined batch throughput at a 1024-bit
+// key with 4 attributes, serial versus sharded across GOMAXPROCS lanes.
+// The acceptance bar for the sharded engine is ≥ 2× the serial
+// comparisons/sec at GOMAXPROCS ≥ 4.
+func BenchmarkSecureBatch(b *testing.B) {
+	spec := benchSpec4()
+	alice := benchRecords4(32, 1)
+	bob := benchRecords4(32, 2)
+	pairs := make([][2]int, 48)
+	for k := range pairs {
+		pairs[k] = [2]int{(k * 7) % len(alice), (k * 11) % len(bob)}
+	}
+
+	run := func(b *testing.B, cmp interface {
+		CompareBatch([][2]int) ([]bool, error)
+		Close() error
+	}) {
+		defer cmp.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cmp.CompareBatch(pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		total := float64(b.N * len(pairs))
+		b.ReportMetric(total/b.Elapsed().Seconds(), "comparisons/sec")
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		cmp, err := NewLocalSecure(spec, alice, bob, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, cmp)
+	})
+	b.Run(fmt.Sprintf("sharded-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		cmp, err := NewLocalSecureSharded(spec, alice, bob, 1024, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, cmp)
+	})
+}

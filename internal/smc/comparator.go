@@ -93,6 +93,9 @@ func NewLocalSecure(spec *Spec, alice, bob [][]int64, keyBits int) (*SecureCompa
 	return c, nil
 }
 
+// record stores the first party-loop error and tears the connections
+// down, so the peers and any in-flight query-side call fail promptly
+// instead of blocking on a dead party.
 func (c *SecureComparator) record(err error) {
 	if err == nil {
 		return
@@ -102,6 +105,9 @@ func (c *SecureComparator) record(err error) {
 		c.partyErr = err
 	}
 	c.errMu.Unlock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
 }
 
 // Compare implements Comparator.
@@ -157,6 +163,11 @@ func (c *SecureComparator) Close() error {
 	var err error
 	if c.session != nil {
 		err = c.session.Close()
+	} else {
+		// No session means the parties never got a key; unblock them.
+		for _, conn := range c.conns {
+			conn.Close()
+		}
 	}
 	c.wg.Wait()
 	for _, conn := range c.conns {

@@ -56,6 +56,16 @@ type Conn interface {
 	Bytes() int64
 }
 
+// FrameBuffered is implemented by transports with a bounded number of
+// in-flight frames. QuerySession derives its pipelining window from it so
+// request fan-out can never deadlock against unread results; transports
+// without the interface (TCP) get the default window.
+type FrameBuffered interface {
+	// FrameBuffer returns how many sent-but-unread frames the transport
+	// can hold without blocking the sender.
+	FrameBuffer() int
+}
+
 // chanConn is the in-memory transport: gob-encoded frames over channels,
 // so byte accounting matches a real wire.
 type chanConn struct {
@@ -67,10 +77,21 @@ type chanConn struct {
 	owner bool // the side that closes `done`
 }
 
-// NewConnPair returns the two ends of an in-memory connection.
+// NewConnPair returns the two ends of an in-memory connection with the
+// default frame buffer.
 func NewConnPair() (Conn, Conn) {
-	ab := make(chan []byte, 64)
-	ba := make(chan []byte, 64)
+	return NewConnPairBuffer(64)
+}
+
+// NewConnPairBuffer returns an in-memory connection pair holding at most
+// buffer unread frames per direction. Smaller buffers model constrained
+// transports; QuerySession shrinks its pipelining window to fit.
+func NewConnPairBuffer(buffer int) (Conn, Conn) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ab := make(chan []byte, buffer)
+	ba := make(chan []byte, buffer)
 	done := make(chan struct{})
 	a := &chanConn{in: ba, out: ab, done: done, owner: true}
 	b := &chanConn{in: ab, out: ba, done: done}
@@ -123,6 +144,10 @@ func (c *chanConn) Close() error {
 }
 
 func (c *chanConn) Bytes() int64 { return c.sent.Load() }
+
+// FrameBuffer implements FrameBuffered: the channel capacity per
+// direction.
+func (c *chanConn) FrameBuffer() int { return cap(c.out) }
 
 // netConn is gob framing over any net.Conn (TCP in production).
 type netConn struct {

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"pprl/internal/paillier"
 )
@@ -76,13 +77,167 @@ func (s *Spec) activeAttrs() []int {
 	return out
 }
 
+// forEachAttr runs f(0)..f(n-1), concurrently when n > 1, and returns the
+// first error. Each attribute's ciphertext work inside one protocol step
+// is independent, so the per-attribute exponentiations of a multi-QID
+// comparison spread across cores.
+func forEachAttr(n int, f func(k int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return f(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for k := 0; k < n; k++ {
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = f(k)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aliceEngine is the first data holder's crypto state: the randomizer
+// pool and the per-record share cache. Enc(a²) and Enc(−2a) depend only
+// on the record, so they are computed once and rerandomized from the pool
+// before every send — repeated transmissions of one record stay
+// unlinkable on the wire (a rerandomized ciphertext carries a fresh
+// uniform unit, exactly the distribution of a fresh encryption).
+//
+// One engine may be shared by several runAlice loops (the sharded
+// comparator runs W loops over the same records), so every method is safe
+// for concurrent use. close is the owner's duty, after all loops exited.
+type aliceEngine struct {
+	records [][]int64
+	active  []int
+
+	mu   sync.Mutex
+	pk   *paillier.PublicKey
+	pool *paillier.RandomizerPool
+
+	entries []shareEntry
+}
+
+// shareEntry caches one record's encrypted shares, computed once.
+type shareEntry struct {
+	once    sync.Once
+	sq, lin []*paillier.Ciphertext
+	err     error
+}
+
+func newAliceEngine(records [][]int64, spec *Spec) *aliceEngine {
+	return &aliceEngine{records: records, active: spec.activeAttrs()}
+}
+
+// init installs the session key on first call; later calls (parallel
+// loops of a sharded session) must present the same modulus.
+func (e *aliceEngine) init(pk *paillier.PublicKey) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pk != nil {
+		if e.pk.N.Cmp(pk.N) != 0 {
+			return fmt.Errorf("public key mismatch across parallel loops")
+		}
+		return nil
+	}
+	e.pk = pk
+	e.pool = paillier.NewRandomizerPool(pk, 0, 0)
+	e.entries = make([]shareEntry, len(e.records))
+	return nil
+}
+
+// shares returns record i's cached Enc(a²), Enc(−2a) per active
+// attribute, encrypting them (in parallel across attributes) on first
+// use.
+func (e *aliceEngine) shares(i int) ([]*paillier.Ciphertext, []*paillier.Ciphertext, error) {
+	ent := &e.entries[i]
+	ent.once.Do(func() {
+		ent.sq = make([]*paillier.Ciphertext, len(e.active))
+		ent.lin = make([]*paillier.Ciphertext, len(e.active))
+		rec := e.records[i]
+		ent.err = forEachAttr(len(e.active), func(k int) error {
+			a := rec[e.active[k]]
+			sq, err := e.pool.EncryptInt64(a * a)
+			if err != nil {
+				return fmt.Errorf("encrypting a²: %w", err)
+			}
+			lin, err := e.pool.EncryptInt64(-2 * a)
+			if err != nil {
+				return fmt.Errorf("encrypting −2a: %w", err)
+			}
+			ent.sq[k], ent.lin[k] = sq, lin
+			return nil
+		})
+	})
+	return ent.sq, ent.lin, ent.err
+}
+
+func (e *aliceEngine) close() {
+	e.mu.Lock()
+	pool := e.pool
+	e.mu.Unlock()
+	if pool != nil {
+		pool.Close()
+	}
+}
+
+// bobEngine is the second data holder's crypto state: the randomizer pool
+// feeding Rerandomize. Shareable by parallel runBob loops.
+type bobEngine struct {
+	mu   sync.Mutex
+	pk   *paillier.PublicKey
+	pool *paillier.RandomizerPool
+}
+
+func (e *bobEngine) init(pk *paillier.PublicKey) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pk != nil {
+		if e.pk.N.Cmp(pk.N) != 0 {
+			return fmt.Errorf("public key mismatch across parallel loops")
+		}
+		return nil
+	}
+	e.pk = pk
+	e.pool = paillier.NewRandomizerPool(pk, 0, 0)
+	return nil
+}
+
+func (e *bobEngine) close() {
+	e.mu.Lock()
+	pool := e.pool
+	e.mu.Unlock()
+	if pool != nil {
+		pool.Close()
+	}
+}
+
 // RunAlice is the first data holder's protocol loop: on every compare
-// request from the querying party it encrypts the shares of the requested
-// record and forwards them to Bob. It returns when it receives
-// MsgShutdown or its connections close.
+// request from the querying party it sends rerandomized copies of the
+// requested record's cached encrypted shares to Bob. It returns when it
+// receives MsgShutdown or its connections close.
 func RunAlice(query, bob Conn, records [][]int64, spec *Spec) error {
+	eng := newAliceEngine(records, spec)
+	defer eng.close()
+	return runAlice(query, bob, records, spec, eng)
+}
+
+// runAlice serves one query link with a possibly shared engine.
+func runAlice(query, bob Conn, records [][]int64, spec *Spec, eng *aliceEngine) error {
 	pk, err := receiveKey(query)
 	if err != nil {
+		return fmt.Errorf("smc: alice: %w", err)
+	}
+	if err := eng.init(pk); err != nil {
 		return fmt.Errorf("smc: alice: %w", err)
 	}
 	active := spec.activeAttrs()
@@ -101,20 +256,24 @@ func RunAlice(query, bob Conn, records [][]int64, spec *Spec) error {
 		if m.Record < 0 || m.Record >= len(records) {
 			return fmt.Errorf("smc: alice: record %d out of range", m.Record)
 		}
-		rec := records[m.Record]
+		sq, lin, err := eng.shares(m.Record)
+		if err != nil {
+			return fmt.Errorf("smc: alice: %w", err)
+		}
 		out := &Message{Kind: MsgShares, Sq: make([]*big.Int, len(active)), Lin: make([]*big.Int, len(active))}
-		for oi, ai := range active {
-			a := rec[ai]
-			sq, err := pk.EncryptInt64(rand.Reader, a*a)
+		if err := forEachAttr(len(active), func(k int) error {
+			rsq, err := eng.pool.Rerandomize(sq[k])
 			if err != nil {
-				return fmt.Errorf("smc: alice: encrypting a²: %w", err)
+				return err
 			}
-			lin, err := pk.EncryptInt64(rand.Reader, -2*a)
+			rlin, err := eng.pool.Rerandomize(lin[k])
 			if err != nil {
-				return fmt.Errorf("smc: alice: encrypting −2a: %w", err)
+				return err
 			}
-			out.Sq[oi] = sq.C
-			out.Lin[oi] = lin.C
+			out.Sq[k], out.Lin[k] = rsq.C, rlin.C
+			return nil
+		}); err != nil {
+			return fmt.Errorf("smc: alice: rerandomizing shares: %w", err)
 		}
 		if err := bob.Send(out); err != nil {
 			return fmt.Errorf("smc: alice: sending shares: %w", err)
@@ -129,8 +288,18 @@ func RunAlice(query, bob Conn, records [][]int64, spec *Spec) error {
 // 0 ≤ δ < ρ, so the querying party learns only whether the squared
 // distance is within the threshold.
 func RunBob(query, alice Conn, records [][]int64, spec *Spec) error {
+	eng := &bobEngine{}
+	defer eng.close()
+	return runBob(query, alice, records, spec, eng)
+}
+
+// runBob serves one query link with a possibly shared engine.
+func runBob(query, alice Conn, records [][]int64, spec *Spec, eng *bobEngine) error {
 	pk, err := receiveKey(query)
 	if err != nil {
+		return fmt.Errorf("smc: bob: %w", err)
+	}
+	if err := eng.init(pk); err != nil {
 		return fmt.Errorf("smc: bob: %w", err)
 	}
 	active := spec.activeAttrs()
@@ -158,18 +327,21 @@ func RunBob(query, alice Conn, records [][]int64, spec *Spec) error {
 		}
 		rec := records[m.Record]
 		out := &Message{Kind: MsgResult, Res: make([]*big.Int, len(active))}
-		for oi, ai := range active {
-			b := rec[ai]
+		if err := forEachAttr(len(active), func(k int) error {
+			b := rec[active[k]]
 			// Enc((a−b)²) = Enc(a²) +h (Enc(−2a) ×h b) +h Enc(b²).
-			encSq := &paillier.Ciphertext{C: shares.Sq[oi]}
-			encLin := &paillier.Ciphertext{C: shares.Lin[oi]}
+			encSq := &paillier.Ciphertext{C: shares.Sq[k]}
+			encLin := &paillier.Ciphertext{C: shares.Lin[k]}
 			dist := pk.Add(encSq, pk.MulConst(encLin, big.NewInt(b)))
 			dist = pk.AddConst(dist, big.NewInt(b*b))
-			res, err := bobFinalize(pk, dist, spec.Attrs[ai], spec.RevealDistance)
+			res, err := bobFinalize(pk, eng.pool, dist, spec.Attrs[active[k]], spec.RevealDistance)
 			if err != nil {
-				return fmt.Errorf("smc: bob: %w", err)
+				return err
 			}
-			out.Res[oi] = res.C
+			out.Res[k] = res.C
+			return nil
+		}); err != nil {
+			return fmt.Errorf("smc: bob: %w", err)
 		}
 		if spec.ShuffleAttributes && !spec.RevealDistance {
 			if err := shuffleCiphertexts(out.Res); err != nil {
@@ -183,10 +355,10 @@ func RunBob(query, alice Conn, records [][]int64, spec *Spec) error {
 }
 
 // bobFinalize turns Enc(d²) into the ciphertext sent to the querying
-// party, per mode.
-func bobFinalize(pk *paillier.PublicKey, dist *paillier.Ciphertext, attr AttrSpec, reveal bool) (*paillier.Ciphertext, error) {
+// party, per mode, drawing rerandomization noise from the pool.
+func bobFinalize(pk *paillier.PublicKey, pool *paillier.RandomizerPool, dist *paillier.Ciphertext, attr AttrSpec, reveal bool) (*paillier.Ciphertext, error) {
 	if reveal {
-		return pk.Rerandomize(rand.Reader, dist)
+		return pool.Rerandomize(dist)
 	}
 	t := attr.T // ModeEquality has T = 0: match iff d² < 1
 	rho, err := pk.RandomBlind(rand.Reader, blindBits)
@@ -200,7 +372,7 @@ func bobFinalize(pk *paillier.PublicKey, dist *paillier.Ciphertext, attr AttrSpe
 	shifted := pk.AddConst(dist, big.NewInt(-(t + 1)))
 	blinded := pk.MulConst(shifted, rho)
 	blinded = pk.AddConst(blinded, delta)
-	return pk.Rerandomize(rand.Reader, blinded)
+	return pool.Rerandomize(blinded)
 }
 
 // shuffleCiphertexts applies a cryptographically random Fisher-Yates
@@ -226,11 +398,13 @@ func randBelow(limit *big.Int) (*big.Int, error) {
 
 // QuerySession is the querying party's end of the protocol. It owns the
 // Paillier private key; Compare drives one circuit evaluation. Sessions
-// are not safe for concurrent Compare calls.
+// are not safe for concurrent Compare calls; ShardedComparator runs
+// several sessions side by side instead.
 type QuerySession struct {
 	alice, bob  Conn
 	sk          *paillier.PrivateKey
 	spec        *Spec
+	window      int
 	invocations int64
 	closed      bool
 }
@@ -254,7 +428,13 @@ func newQuerySessionWithKey(alice, bob Conn, spec *Spec, sk *paillier.PrivateKey
 	if err := bob.Send(pkMsg); err != nil {
 		return nil, fmt.Errorf("smc: sending key to bob: %w", err)
 	}
-	return &QuerySession{alice: alice, bob: bob, sk: sk, spec: spec}, nil
+	return &QuerySession{
+		alice:  alice,
+		bob:    bob,
+		sk:     sk,
+		spec:   spec,
+		window: pipelineWindowFor(alice, bob),
+	}, nil
 }
 
 // Compare runs one secure comparison: does Alice's record i match Bob's
@@ -272,7 +452,8 @@ func (q *QuerySession) Compare(i, j int) (bool, error) {
 	return q.receiveVerdict()
 }
 
-// receiveVerdict collects and decrypts one result message from Bob.
+// receiveVerdict collects and decrypts one result message from Bob; the
+// per-attribute decryptions run in parallel.
 func (q *QuerySession) receiveVerdict() (bool, error) {
 	res, err := q.bob.Recv()
 	if err != nil {
@@ -283,30 +464,58 @@ func (q *QuerySession) receiveVerdict() (bool, error) {
 		return false, fmt.Errorf("smc: malformed result message")
 	}
 	q.invocations++
-	match := true
-	for oi, ai := range active {
-		v, err := q.sk.DecryptSigned(&paillier.Ciphertext{C: res.Res[oi]})
+	vals := make([]*big.Int, len(active))
+	if err := forEachAttr(len(active), func(k int) error {
+		v, err := q.sk.DecryptSigned(&paillier.Ciphertext{C: res.Res[k]})
 		if err != nil {
-			return false, fmt.Errorf("smc: decrypting attribute %d: %w", ai, err)
+			return fmt.Errorf("smc: decrypting attribute %d: %w", active[k], err)
 		}
+		vals[k] = v
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	match := true
+	for k, ai := range active {
 		if q.spec.RevealDistance {
-			if v.Cmp(big.NewInt(q.spec.Attrs[ai].T)) > 0 {
+			if vals[k].Cmp(big.NewInt(q.spec.Attrs[ai].T)) > 0 {
 				match = false
 			}
-		} else if v.Sign() >= 0 {
+		} else if vals[k].Sign() >= 0 {
 			match = false
 		}
 	}
 	return match, nil
 }
 
-// pipelineWindow bounds how many comparison requests may be in flight
-// during CompareBatch. It must stay below the in-memory transport's frame
-// buffer so request fan-out can never block against unread results.
-const pipelineWindow = 16
+// defaultPipelineWindow bounds how many comparison requests may be in
+// flight during CompareBatch when the transport does not advertise a
+// frame buffer.
+const defaultPipelineWindow = 16
 
-// CompareBatch resolves many pairs with request pipelining: up to
-// pipelineWindow comparisons are in flight at once, so Alice's
+// pipelineWindowFor derives the pipelining depth from the connections'
+// frame buffers: with at most min(buffer) requests in flight, no link can
+// ever accumulate more unread frames than its buffer holds, so request
+// fan-out cannot deadlock against unread results. Transports without a
+// declared buffer (e.g. TCP, which buffers in the kernel) use the
+// default.
+func pipelineWindowFor(conns ...Conn) int {
+	w := defaultPipelineWindow
+	for _, c := range conns {
+		if fb, ok := c.(FrameBuffered); ok {
+			if b := fb.FrameBuffer(); b > 0 && b < w {
+				w = b
+			}
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CompareBatch resolves many pairs with request pipelining: up to the
+// session's window of comparisons are in flight at once, so Alice's
 // encryptions, Bob's homomorphic evaluation and this party's decryptions
 // overlap instead of serializing. Results are positionally aligned with
 // pairs. The protocol messages are identical to sequential Compare calls
@@ -318,7 +527,7 @@ func (q *QuerySession) CompareBatch(pairs [][2]int) ([]bool, error) {
 	results := make([]bool, len(pairs))
 	sent, received := 0, 0
 	for received < len(pairs) {
-		for sent < len(pairs) && sent-received < pipelineWindow {
+		for sent < len(pairs) && sent-received < q.window {
 			p := pairs[sent]
 			if err := q.alice.Send(&Message{Kind: MsgCompare, Record: p[0]}); err != nil {
 				return nil, fmt.Errorf("smc: requesting alice: %w", err)

@@ -1,0 +1,213 @@
+package smc
+
+import (
+	"crypto/rand"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pprl/internal/paillier"
+)
+
+// ShardedComparator runs the three-party protocol over W independent
+// lanes: one Paillier key, W connection pairs per link, W Alice/Bob party
+// loops, and W query sessions. CompareBatch stripes a pair list across
+// the lanes so the five modular exponentiations of each comparison run on
+// all cores instead of one goroutine.
+//
+// The lanes share the holders' crypto engines — one randomizer pool and
+// one share cache per party — so Alice encrypts each record's shares once
+// no matter how many lanes request it, and every lane's hot path draws
+// pregenerated noise. Verdicts are positionally aligned with the input
+// pairs, Invocations and BytesTransferred aggregate across lanes, and the
+// per-pair messages are byte-for-byte the same protocol the serial
+// SecureComparator speaks: semantics are pinned to it by
+// TestShardedMatchesSerial.
+type ShardedComparator struct {
+	sessions []*QuerySession
+	conns    []Conn
+	aliceEng *aliceEngine
+	bobEng   *bobEngine
+	wg       sync.WaitGroup
+	errMu    sync.Mutex
+	partyErr error
+}
+
+// NewLocalSecureSharded spawns workers lanes of in-process Alice/Bob
+// loops under a single fresh key of keyBits. workers ≤ 0 selects
+// GOMAXPROCS.
+func NewLocalSecureSharded(spec *Spec, alice, bob [][]int64, keyBits, workers int) (*ShardedComparator, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sk, err := paillier.GenerateKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, fmt.Errorf("smc: generating key: %w", err)
+	}
+	c := &ShardedComparator{
+		aliceEng: newAliceEngine(alice, spec),
+		bobEng:   &bobEngine{},
+	}
+	// All lanes' connections are created up front so record() can walk
+	// c.conns without racing the construction loop's appends.
+	type lane struct{ qa, aq, qb, bq, ab, ba Conn }
+	lanes := make([]lane, workers)
+	for w := range lanes {
+		l := &lanes[w]
+		l.qa, l.aq = NewConnPair() // query <-> alice, lane w
+		l.qb, l.bq = NewConnPair() // query <-> bob, lane w
+		l.ab, l.ba = NewConnPair() // alice <-> bob, lane w
+		c.conns = append(c.conns, l.qa, l.aq, l.qb, l.bq, l.ab, l.ba)
+	}
+	for w := 0; w < workers; w++ {
+		l := lanes[w]
+		c.wg.Add(2)
+		go func() {
+			defer c.wg.Done()
+			c.record(runAlice(l.aq, l.ab, alice, spec, c.aliceEng))
+		}()
+		go func() {
+			defer c.wg.Done()
+			c.record(runBob(l.bq, l.ba, bob, spec, c.bobEng))
+		}()
+		session, err := newQuerySessionWithKey(l.qa, l.qb, spec, sk)
+		if err != nil {
+			// Party loops may still be waiting for a key; unblock them
+			// before waiting so cleanup cannot deadlock.
+			for _, conn := range c.conns {
+				conn.Close()
+			}
+			c.wg.Wait()
+			c.aliceEng.close()
+			c.bobEng.close()
+			return nil, err
+		}
+		c.sessions = append(c.sessions, session)
+	}
+	return c, nil
+}
+
+// record stores the first party-loop error and tears every lane's
+// connections down, so peers and in-flight query-side calls fail
+// promptly instead of blocking on a dead party.
+func (c *ShardedComparator) record(err error) {
+	if err == nil {
+		return
+	}
+	c.errMu.Lock()
+	if c.partyErr == nil {
+		c.partyErr = err
+	}
+	c.errMu.Unlock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+}
+
+// withPartyContext attaches the first party-loop error, if any, to a
+// query-side failure.
+func (c *ShardedComparator) withPartyContext(err error) error {
+	c.errMu.Lock()
+	pe := c.partyErr
+	c.errMu.Unlock()
+	if pe != nil {
+		return fmt.Errorf("%w (party error: %v)", err, pe)
+	}
+	return err
+}
+
+// Workers returns the number of lanes.
+func (c *ShardedComparator) Workers() int { return len(c.sessions) }
+
+// Compare implements Comparator on lane 0.
+func (c *ShardedComparator) Compare(i, j int) (bool, error) {
+	match, err := c.sessions[0].Compare(i, j)
+	if err != nil {
+		return false, c.withPartyContext(err)
+	}
+	return match, nil
+}
+
+// CompareBatch stripes the pair list across the lanes in contiguous
+// chunks and runs them concurrently. Verdicts are positionally aligned
+// with pairs; the first lane's error (in lane order) wins.
+func (c *ShardedComparator) CompareBatch(pairs [][2]int) ([]bool, error) {
+	n := len(pairs)
+	if n == 0 {
+		return []bool{}, nil
+	}
+	lanes := len(c.sessions)
+	if lanes > n {
+		lanes = n
+	}
+	results := make([]bool, n)
+	errs := make([]error, lanes)
+	chunk := (n + lanes - 1) / lanes
+	var wg sync.WaitGroup
+	for s := 0; s < lanes; s++ {
+		lo := s * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			out, err := c.sessions[s].CompareBatch(pairs[lo:hi])
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			copy(results[lo:hi], out)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, c.withPartyContext(err)
+		}
+	}
+	return results, nil
+}
+
+// Invocations implements Comparator: the sum over all lanes.
+func (c *ShardedComparator) Invocations() int64 {
+	var total int64
+	for _, s := range c.sessions {
+		total += s.Invocations()
+	}
+	return total
+}
+
+// BytesTransferred sums traffic across every lane's connections.
+func (c *ShardedComparator) BytesTransferred() int64 {
+	var total int64
+	for _, conn := range c.conns {
+		total += conn.Bytes()
+	}
+	return total
+}
+
+// Close shuts every lane down, waits for the party loops, and releases
+// the shared engines and connections.
+func (c *ShardedComparator) Close() error {
+	var err error
+	for _, s := range c.sessions {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	c.wg.Wait()
+	c.aliceEng.close()
+	c.bobEng.close()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.errMu.Lock()
+	pe := c.partyErr
+	c.errMu.Unlock()
+	if err == nil {
+		err = pe
+	}
+	return err
+}

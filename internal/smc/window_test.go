@@ -1,0 +1,78 @@
+package smc
+
+import (
+	"testing"
+)
+
+// TestPipelineWindowFor: the window shrinks to the smallest frame buffer
+// among the session's connections and never drops below one request.
+func TestPipelineWindowFor(t *testing.T) {
+	wide, _ := NewConnPair()
+	narrow, _ := NewConnPairBuffer(3)
+	tiny, _ := NewConnPairBuffer(1)
+
+	if w := pipelineWindowFor(wide, wide); w != defaultPipelineWindow {
+		t.Errorf("wide window = %d, want %d", w, defaultPipelineWindow)
+	}
+	if w := pipelineWindowFor(wide, narrow); w != 3 {
+		t.Errorf("narrow window = %d, want 3", w)
+	}
+	if w := pipelineWindowFor(tiny, narrow); w != 1 {
+		t.Errorf("tiny window = %d, want 1", w)
+	}
+	// Unbuffered transports (e.g. TCP) keep the default.
+	if w := pipelineWindowFor(); w != defaultPipelineWindow {
+		t.Errorf("no-conn window = %d, want %d", w, defaultPipelineWindow)
+	}
+}
+
+// TestCompareBatchTinyBuffer is the regression test for the pipelining
+// window: with a frame buffer far below the old hard-coded window of 16,
+// a large batch must still complete (the session caps in-flight requests
+// at the buffer size, so no Send can deadlock against unread results)
+// and return the same verdicts as the plaintext oracle.
+func TestCompareBatchTinyBuffer(t *testing.T) {
+	spec := testSpec()
+	alice := shardedTestRecords(7, 11)
+	bob := shardedTestRecords(7, 12)
+	pairs := allPairs(len(alice), len(bob)) // 49 pairs ≫ buffer of 2
+
+	qa, aq := NewConnPairBuffer(2)
+	qb, bq := NewConnPairBuffer(2)
+	ab, ba := NewConnPairBuffer(2)
+	errs := make(chan error, 2)
+	go func() { errs <- RunAlice(aq, ab, alice, spec) }()
+	go func() { errs <- RunBob(bq, ba, bob, spec) }()
+
+	q, err := NewQuerySession(qa, qb, spec, testKeyBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.window != 2 {
+		t.Fatalf("session window = %d, want 2", q.window)
+	}
+
+	got, err := q.CompareBatch(pairs)
+	if err != nil {
+		t.Fatalf("CompareBatch over tiny buffer: %v", err)
+	}
+	plain := NewPlainComparator(spec, alice, bob)
+	for k, p := range pairs {
+		truth, _ := plain.Compare(p[0], p[1])
+		if got[k] != truth {
+			t.Errorf("pair %v: got %v, want %v", p, got[k], truth)
+		}
+	}
+
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("party loop: %v", err)
+		}
+	}
+	for _, c := range []Conn{qa, qb, ab} {
+		c.Close()
+	}
+}
