@@ -1,13 +1,12 @@
 # Canonical verification pipeline; CI and pre-commit both run `make check`.
 GO ?= go
 
-# Packages with dedicated concurrency (-race) coverage: the SMC engine,
-# the Paillier randomizer pool, parallel blocking, and the core pipeline.
-RACE_PKGS = ./internal/smc ./internal/paillier ./internal/blocking ./internal/core
+# How long `make fuzz` spends per fuzz target.
+FUZZTIME ?= 10s
 
-.PHONY: check build vet test race bench perf
+.PHONY: check build vet test race fuzz bench perf
 
-check: build vet test race
+check: build vet test race fuzz
 
 build:
 	$(GO) build ./...
@@ -19,7 +18,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race ./...
+
+# Short coverage-guided pass over every fuzz target; `go test -fuzz`
+# accepts one target per run, hence one invocation each.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/vgh
+	$(GO) test -run '^$$' -fuzz '^FuzzReadView$$' -fuzztime $(FUZZTIME) ./internal/anonymize
+	$(GO) test -run '^$$' -fuzz '^FuzzSlackDecisionRule$$' -fuzztime $(FUZZTIME) ./internal/blocking
+	$(GO) test -run '^$$' -fuzz '^FuzzHeuristicOrdering$$' -fuzztime $(FUZZTIME) ./internal/heuristic
 
 # Serial-vs-sharded throughput of the secure comparator (1024-bit key).
 bench:

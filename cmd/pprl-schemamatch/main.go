@@ -41,6 +41,13 @@ func main() {
 }
 
 func run(out io.Writer, listen, connect, schemaPath string) error {
+	return runNotify(out, listen, connect, schemaPath, nil)
+}
+
+// runNotify is run plus a readiness hook: once the initiator's listener
+// is bound, its address is delivered on ready (when non-nil), so a
+// peer in the same process can connect without polling the port.
+func runNotify(out io.Writer, listen, connect, schemaPath string, ready chan<- net.Addr) error {
 	if (listen == "") == (connect == "") {
 		return fmt.Errorf("exactly one of -listen / -connect is required")
 	}
@@ -56,6 +63,9 @@ func run(out io.Writer, listen, connect, schemaPath string) error {
 			return err
 		}
 		defer l.Close()
+		if ready != nil {
+			ready <- l.Addr()
+		}
 		fmt.Fprintf(os.Stderr, "waiting for peer on %s\n", l.Addr())
 		conn, err = l.Accept()
 		if err != nil {

@@ -12,17 +12,6 @@ import (
 	"pprl"
 )
 
-func freePort(t *testing.T) string {
-	t.Helper()
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := l.Addr().String()
-	l.Close()
-	return addr
-}
-
 func TestMatchOverTCP(t *testing.T) {
 	// Holder A uses the built-in Adult schema; holder B a custom schema
 	// sharing age and sex.
@@ -40,19 +29,22 @@ func TestMatchOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	addr := freePort(t)
+	// The Adult side listens on an ephemeral port and signals readiness
+	// over the channel, so the responder connects exactly once with no
+	// retry polling and no bind race on a pre-picked port.
 	var aOut, bOut bytes.Buffer
+	ready := make(chan net.Addr, 1)
 	done := make(chan error, 1)
-	go func() { done <- run(&aOut, addr, "", "") }() // Adult side listens
-	var err error
-	for attempt := 0; attempt < 100; attempt++ {
-		bOut.Reset()
-		if err = run(&bOut, "", addr, bPath); err == nil || !strings.Contains(err.Error(), "connection refused") {
-			break
-		}
-		time.Sleep(20 * time.Millisecond) // listener goroutine still starting
+	go func() { done <- runNotify(&aOut, "127.0.0.1:0", "", "", ready) }()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("listener exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("listener never became ready")
 	}
-	if err != nil {
+	if err := run(&bOut, "", addr.String(), bPath); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-done; err != nil {

@@ -1,0 +1,113 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pprl/internal/distance"
+	"pprl/internal/vgh"
+)
+
+// fuzzTaxonomy builds a random two-level taxonomy from the fuzzed rng:
+// 2-4 groups of 1-4 leaves each.
+func fuzzTaxonomy(rng *rand.Rand) *vgh.Hierarchy {
+	b := vgh.NewBuilder("cat", "ANY")
+	groups := 2 + rng.Intn(3)
+	for g := 0; g < groups; g++ {
+		gname := fmt.Sprintf("g%d", g)
+		b.Add("ANY", gname)
+		leaves := 1 + rng.Intn(4)
+		for l := 0; l < leaves; l++ {
+			b.Add(gname, fmt.Sprintf("g%d-v%d", g, l))
+		}
+	}
+	return b.MustBuild()
+}
+
+// catValueAt picks a random generalized value: a leaf or any of its
+// ancestors up to the root.
+func catValueAt(rng *rand.Rand, h *vgh.Hierarchy) vgh.Value {
+	leaf := h.Leaf(rng.Intn(h.NumLeaves()))
+	nodes := append([]*vgh.Node{leaf}, h.Ancestors(leaf)...)
+	return vgh.CatValue(nodes[rng.Intn(len(nodes))])
+}
+
+// catSpecialize picks a random leaf under a generalized categorical
+// value, i.e. a member of its specialization set.
+func catSpecialize(rng *rand.Rand, h *vgh.Hierarchy, v vgh.Value) vgh.Value {
+	lo, hi := v.Node.LeafRange()
+	return vgh.CatValue(h.Leaf(lo + rng.Intn(hi-lo)))
+}
+
+// numValueAt picks a random interval at a random generalization level.
+func numValueAt(rng *rand.Rand, h *vgh.IntervalHierarchy) vgh.Value {
+	x := rng.Float64() * h.Max()
+	level := rng.Intn(h.Depth() + 1)
+	return vgh.NumValue(h.At(x, level))
+}
+
+// numSpecialize picks a random point inside a generalized interval.
+func numSpecialize(rng *rand.Rand, v vgh.Value) vgh.Value {
+	p := v.Iv.Lo + rng.Float64()*v.Iv.Width()
+	return vgh.NumValue(vgh.Point(p))
+}
+
+// FuzzSlackDecisionRule fuzzes the load-bearing contract of the blocking
+// step (paper Section IV): for any pair of generalized sequences and any
+// specializations drawn from their specialization sets,
+//
+//	sdl(v,w) ≤ d(r,s) ≤ sds(v,w)   per attribute, and therefore
+//	Decide(v,w) == Match    ⇒ DecideExact(r,s)
+//	Decide(v,w) == NonMatch ⇒ !DecideExact(r,s)
+//
+// A violation of either implication is exactly a blocking error, which
+// the paper's 100%-precision argument requires to be impossible.
+func FuzzSlackDecisionRule(f *testing.F) {
+	f.Add(int64(1), uint16(50))
+	f.Add(int64(42), uint16(0))
+	f.Add(int64(-7), uint16(999))
+	f.Add(int64(52600), uint16(333))
+	f.Fuzz(func(t *testing.T, seed int64, thetaBits uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		theta := float64(thetaBits%1000) / 999
+
+		cat := fuzzTaxonomy(rng)
+		num := vgh.MustIntervalHierarchy("num", 0, float64((1+rng.Intn(5))*4), 2, 2)
+		metrics := []distance.Metric{distance.Hamming{}, distance.Euclidean{Norm: num.Range()}}
+		rule, err := UniformRule(metrics, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		v := vgh.Sequence{catValueAt(rng, cat), numValueAt(rng, num)}
+		w := vgh.Sequence{catValueAt(rng, cat), numValueAt(rng, num)}
+		label := rule.Decide(v, w)
+
+		// Several random specializations per generalized pair; every one
+		// must respect the bounds and the label implication.
+		const eps = 1e-9
+		for round := 0; round < 8; round++ {
+			r := vgh.Sequence{catSpecialize(rng, cat, v[0]), numSpecialize(rng, v[1])}
+			s := vgh.Sequence{catSpecialize(rng, cat, w[0]), numSpecialize(rng, w[1])}
+			for i, m := range metrics {
+				inf, sup := m.Bounds(v[i], w[i])
+				if inf > sup {
+					t.Fatalf("attr %d: inverted bounds [%v, %v] for %v vs %v", i, inf, sup, v[i], w[i])
+				}
+				d := m.Distance(r[i], s[i])
+				if d < inf-eps || d > sup+eps {
+					t.Fatalf("attr %d: exact distance %v outside bounds [%v, %v] for %v⊑%v vs %v⊑%v",
+						i, d, inf, sup, r[i], v[i], s[i], w[i])
+				}
+			}
+			exact := rule.DecideExact(r, s)
+			if label == Match && !exact {
+				t.Fatalf("blocking error: Decide(%v, %v)=M but %v vs %v do not match (θ=%v)", v, w, r, s, theta)
+			}
+			if label == NonMatch && exact {
+				t.Fatalf("blocking error: Decide(%v, %v)=N but %v vs %v match (θ=%v)", v, w, r, s, theta)
+			}
+		}
+	})
+}

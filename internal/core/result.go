@@ -59,6 +59,11 @@ type Result struct {
 // QIDs returns the resolved quasi-identifier positions.
 func (r *Result) QIDs() []int { return r.qids }
 
+// Strategy returns the residual-labeling strategy that produced this
+// result; external verifiers use it to decide which invariants apply
+// (e.g. precision is structurally 1.0 only under MaximizePrecision).
+func (r *Result) Strategy() Strategy { return r.cfg.Strategy }
+
 // Rule returns the matching rule in effect.
 func (r *Result) Rule() *blocking.Rule { return r.rule }
 

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSMCPerfReportGoldenSchema pins the exact serialized form of
+// BENCH_smc.json. External tooling (plot scripts, CI trend tracking)
+// keys on these field names; renaming or retyping one is a breaking
+// change this test makes visible instead of silent.
+func TestSMCPerfReportGoldenSchema(t *testing.T) {
+	rep := &SMCPerfReport{
+		GOMAXPROCS:         8,
+		Workers:            4,
+		KeyBits:            1024,
+		Attributes:         3,
+		Pairs:              64,
+		KeygenSeconds:      0.5,
+		SerialSeconds:      10.25,
+		ShardedSeconds:     3.5,
+		SerialRate:         6.2439,
+		ShardedRate:        18.2857,
+		Speedup:            2.9285,
+		BytesPerComparison: 2048,
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{
+  "gomaxprocs": 8,
+  "workers": 4,
+  "key_bits": 1024,
+  "attributes": 3,
+  "pairs": 64,
+  "keygen_seconds": 0.5,
+  "serial_seconds": 10.25,
+  "sharded_seconds": 3.5,
+  "serial_comparisons_per_sec": 6.2439,
+  "sharded_comparisons_per_sec": 18.2857,
+  "speedup": 2.9285,
+  "bytes_per_comparison": 2048
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("BENCH_smc.json schema drifted:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	// Independent of formatting: exactly this key set, every value a
+	// JSON number.
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"gomaxprocs", "workers", "key_bits", "attributes", "pairs",
+		"keygen_seconds", "serial_seconds", "sharded_seconds",
+		"serial_comparisons_per_sec", "sharded_comparisons_per_sec",
+		"speedup", "bytes_per_comparison",
+	}
+	if len(m) != len(want) {
+		t.Errorf("report has %d fields, want %d: %v", len(m), len(want), m)
+	}
+	for _, k := range want {
+		v, ok := m[k]
+		if !ok {
+			t.Errorf("missing field %q", k)
+			continue
+		}
+		if _, isNum := v.(float64); !isNum {
+			t.Errorf("field %q is %T, want a JSON number", k, v)
+		}
+	}
+	if t.Failed() {
+		t.Log("fields present: " + strings.Join(keysOf(m), ", "))
+	}
+}
+
+func keysOf(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package heuristic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pprl/internal/anonymize"
+	"pprl/internal/blocking"
+	"pprl/internal/distance"
+	"pprl/internal/vgh"
+)
+
+// fuzzView builds a hand-made anonymized view over a random taxonomy:
+// a handful of classes with random generalization sequences and sizes.
+// The heuristics only read Classes[*].Sequence and class sizes, so no
+// real anonymization run is needed.
+func fuzzView(rng *rand.Rand, h *vgh.Hierarchy, records int) *anonymize.Result {
+	res := &anonymize.Result{Method: "fuzz", K: 1, QIDs: []int{0}}
+	next := 0
+	for next < records {
+		size := 1 + rng.Intn(3)
+		if next+size > records {
+			size = records - next
+		}
+		leaf := h.Leaf(rng.Intn(h.NumLeaves()))
+		nodes := append([]*vgh.Node{leaf}, h.Ancestors(leaf)...)
+		members := make([]int, size)
+		for i := range members {
+			members[i] = next + i
+		}
+		res.Classes = append(res.Classes, anonymize.Class{
+			Sequence: vgh.Sequence{vgh.CatValue(nodes[rng.Intn(len(nodes))])},
+			Members:  members,
+		})
+		next += size
+	}
+	res.ClassOf = make([]int, records)
+	for ci, c := range res.Classes {
+		for _, m := range c.Members {
+			res.ClassOf[m] = ci
+		}
+	}
+	return res
+}
+
+// FuzzHeuristicOrdering fuzzes the ordering contracts every SMC
+// selection heuristic must satisfy:
+//
+//  1. total — the ordering is a permutation of exactly the Unknown
+//     group pairs, nothing dropped, nothing invented;
+//  2. stable — repeated calls return identical orderings, and equal
+//     scores are broken by (RI, SI) so the order never depends on sort
+//     internals;
+//  3. score-sorted — scores run non-decreasing (non-increasing under
+//     reverse) along the ordering;
+//  4. permutation-invariant — every heuristic's Score is a symmetric
+//     aggregate, so shuffling the per-attribute expected distances
+//     never changes a pair's priority.
+func FuzzHeuristicOrdering(f *testing.F) {
+	f.Add(int64(1), uint8(0), false)
+	f.Add(int64(7), uint8(1), true)
+	f.Add(int64(52600), uint8(2), false)
+	f.Fuzz(func(t *testing.T, seed int64, hIdx uint8, reverse bool) {
+		rng := rand.New(rand.NewSource(seed))
+		b := vgh.NewBuilder("cat", "ANY")
+		groups := 2 + rng.Intn(3)
+		for g := 0; g < groups; g++ {
+			gname := fmt.Sprintf("g%d", g)
+			b.Add("ANY", gname)
+			for l, leaves := 0, 1+rng.Intn(3); l < leaves; l++ {
+				b.Add(gname, fmt.Sprintf("g%d-v%d", g, l))
+			}
+		}
+		h := b.MustBuild()
+		rule, err := blocking.UniformRule([]distance.Metric{distance.Hamming{}}, 0.1+rng.Float64()*0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := fuzzView(rng, h, 4+rng.Intn(12))
+		s := fuzzView(rng, h, 4+rng.Intn(12))
+		res, err := blocking.Block(r, s, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		heur := All()[int(hIdx)%len(All())]
+		ord := Order(res, rule, heur, reverse)
+		if again := Order(res, rule, heur, reverse); !reflect.DeepEqual(ord, again) {
+			t.Fatalf("%s: repeated orderings differ:\n%v\n%v", heur.Name(), ord, again)
+		}
+
+		// Totality: same set of class pairs as the Unknown label grid.
+		want := map[[2]int]bool{}
+		for _, gp := range res.UnknownGroupPairs() {
+			want[[2]int{gp.RI, gp.SI}] = true
+		}
+		if len(ord) != len(want) {
+			t.Fatalf("%s: ordering has %d pairs, want %d", heur.Name(), len(ord), len(want))
+		}
+		seen := map[[2]int]bool{}
+		for _, gp := range ord {
+			key := [2]int{gp.RI, gp.SI}
+			if !want[key] {
+				t.Fatalf("%s: ordering invented pair %v", heur.Name(), key)
+			}
+			if seen[key] {
+				t.Fatalf("%s: ordering repeats pair %v", heur.Name(), key)
+			}
+			seen[key] = true
+		}
+
+		// Score-sorted with deterministic (RI, SI) tie-breaking.
+		score := func(gp blocking.GroupPair) float64 {
+			exp := rule.ExpectedDistances(res.R.Classes[gp.RI].Sequence, res.S.Classes[gp.SI].Sequence, nil)
+			return heur.Score(exp)
+		}
+		for i := 1; i < len(ord); i++ {
+			prev, cur := score(ord[i-1]), score(ord[i])
+			outOfOrder := prev > cur
+			if reverse {
+				outOfOrder = prev < cur
+			}
+			if outOfOrder {
+				t.Fatalf("%s(reverse=%v): scores out of order at %d: %v then %v", heur.Name(), reverse, i, prev, cur)
+			}
+			if prev == cur {
+				a, b := ord[i-1], ord[i]
+				if a.RI > b.RI || (a.RI == b.RI && a.SI >= b.SI) {
+					t.Fatalf("%s: tie at score %v broken out of (RI,SI) order: %v then %v", heur.Name(), cur, a, b)
+				}
+			}
+		}
+
+		// Permutation invariance of the aggregate itself.
+		for round := 0; round < 4; round++ {
+			exp := make([]float64, 1+rng.Intn(5))
+			for i := range exp {
+				exp[i] = rng.Float64()
+			}
+			perm := append([]float64(nil), exp...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			for _, hh := range All() {
+				if math.Abs(hh.Score(exp)-hh.Score(perm)) > 1e-12 {
+					t.Fatalf("%s: score changed under attribute permutation: %v vs %v for %v",
+						hh.Name(), hh.Score(exp), hh.Score(perm), exp)
+				}
+			}
+		}
+	})
+}

@@ -20,7 +20,10 @@ type Confusion struct {
 	FalseNegatives int64
 }
 
-// Precision returns TP / (TP + FP); 1 when nothing was matched.
+// Precision returns TP / (TP + FP). The 0/0 case — no pair was labeled
+// a match — returns 1 by convention: an empty answer contains no wrong
+// answers, and the paper's structural-precision claim must hold even
+// for a run whose SMC budget labeled nothing.
 func (c Confusion) Precision() float64 {
 	denom := c.TruePositives + c.FalsePositives
 	if denom == 0 {
@@ -29,7 +32,10 @@ func (c Confusion) Precision() float64 {
 	return float64(c.TruePositives) / float64(denom)
 }
 
-// Recall returns TP / (TP + FN); 1 when there is nothing to find.
+// Recall returns TP / (TP + FN). The 0/0 case — the ground truth holds
+// no matching pairs, e.g. disjoint relations — returns 1 by convention:
+// everything there was to find was found. This keeps recall sweeps
+// well-defined on worlds with empty overlap.
 func (c Confusion) Recall() float64 {
 	denom := c.TruePositives + c.FalseNegatives
 	if denom == 0 {
@@ -38,7 +44,10 @@ func (c Confusion) Recall() float64 {
 	return float64(c.TruePositives) / float64(denom)
 }
 
-// F1 returns the harmonic mean of precision and recall.
+// F1 returns the harmonic mean of precision and recall. When both are
+// zero (every labeled pair wrong and every true match missed) the
+// harmonic mean's 0/0 is taken as 0, the worst score — unlike the
+// optimistic 0/0 conventions above, there is nothing empty to excuse.
 func (c Confusion) F1() float64 {
 	p, r := c.Precision(), c.Recall()
 	if p+r == 0 {
@@ -75,7 +84,9 @@ func (m CostModel) Time(n int64) time.Duration {
 func (m CostModel) Bytes(n int64) int64 { return n * m.BytesPerInvocation }
 
 // ReductionRatio is the standard blocking measure: the fraction of the
-// |R|×|S| comparison space removed before expensive matching.
+// |R|×|S| comparison space removed before expensive matching. An empty
+// comparison space (either relation empty) returns 0 — no work existed,
+// so none was saved — rather than the 1 a naive limit would suggest.
 func ReductionRatio(candidates, total int64) float64 {
 	if total == 0 {
 		return 0

@@ -26,14 +26,53 @@ func TestConfusion(t *testing.T) {
 	}
 }
 
+// TestConfusionEdgeCases pins the package's 0/0 conventions, which the
+// oracle harness and the experiment sweeps rely on (see the method doc
+// comments): degenerate worlds must yield finite, defined scores, never
+// NaN.
 func TestConfusionEdgeCases(t *testing.T) {
+	// Empty relations: nothing labeled, nothing to find.
 	var empty Confusion
 	if empty.Precision() != 1 || empty.Recall() != 1 {
 		t.Error("empty confusion should report perfect precision/recall")
 	}
+	if empty.F1() != 1 {
+		t.Errorf("empty confusion f1 = %v, want 1 (harmonic mean of two 1s)", empty.F1())
+	}
+
+	// Zero labeled pairs but existing true matches: the SMC budget ran
+	// out before labeling anything. Precision stays 1 (no wrong answer),
+	// recall collapses to 0.
+	unlabeled := Confusion{FalseNegatives: 5}
+	if unlabeled.Precision() != 1 {
+		t.Errorf("precision = %v with zero labeled pairs, want 1", unlabeled.Precision())
+	}
+	if unlabeled.Recall() != 0 {
+		t.Errorf("recall = %v with all matches missed, want 0", unlabeled.Recall())
+	}
+
+	// Zero true matches but labeled pairs: disjoint relations where the
+	// matcher still guessed. Recall stays 1, precision collapses to 0.
+	disjoint := Confusion{FalsePositives: 3}
+	if disjoint.Recall() != 1 {
+		t.Errorf("recall = %v with zero true matches, want 1", disjoint.Recall())
+	}
+	if disjoint.Precision() != 0 {
+		t.Errorf("precision = %v with only false positives, want 0", disjoint.Precision())
+	}
+
+	// F1's own 0/0: both components zero is the worst score, not NaN.
 	zeroF1 := Confusion{FalsePositives: 1, FalseNegatives: 1}
 	if zeroF1.F1() != 0 {
 		t.Errorf("f1 = %v, want 0", zeroF1.F1())
+	}
+
+	for _, c := range []Confusion{empty, unlabeled, disjoint, zeroF1} {
+		for name, v := range map[string]float64{"precision": c.Precision(), "recall": c.Recall(), "f1": c.F1()} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%+v: %s = %v, want finite", c, name, v)
+			}
+		}
 	}
 }
 

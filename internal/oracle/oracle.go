@@ -1,0 +1,314 @@
+// Package oracle implements a plaintext reference linker: it computes
+// exact per-attribute distances and match verdicts directly on the
+// unanonymized relations and checks every layer of the hybrid pipeline
+// against them. The paper's central claims — the slack decision rule
+// labels pairs with zero error (Section IV) and the maximize-precision
+// strategy keeps precision at exactly 100% (Section V-B) — are asserted
+// here as machine-checkable invariants over arbitrary schemas, VGHs and
+// parameters, not just the worked example.
+//
+// The oracle deliberately shares as little code as possible with the
+// pipeline under test: verdicts come from Rule.DecideExact evaluated on
+// the raw record cells, never from anonymized views, encoded integers or
+// protocol messages. Every checker reports the minimal offending record
+// pair with enough context (sequences, bounds, exact distances) to
+// reproduce the failure by hand.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"pprl/internal/blocking"
+	"pprl/internal/core"
+	"pprl/internal/dataset"
+	"pprl/internal/metrics"
+	"pprl/internal/smc"
+	"pprl/internal/vgh"
+)
+
+// boundsSlack absorbs float rounding in the sdl ≤ d ≤ sds bracketing
+// check: the slack distances and the exact distance take different
+// arithmetic paths to the same real number, so equality at interval
+// boundaries can differ by an ulp. Genuine bound violations (the bugs
+// the oracle exists to catch) are orders of magnitude larger.
+const boundsSlack = 1e-9
+
+// Oracle holds the two raw relations and the matching rule, with every
+// record pre-rendered as a fully specialized sequence over the QID set.
+type Oracle struct {
+	alice, bob *dataset.Dataset
+	qids       []int
+	rule       *blocking.Rule
+	aliceSeqs  []vgh.Sequence
+	bobSeqs    []vgh.Sequence
+}
+
+// New builds the oracle over the unanonymized relations. The rule's
+// attributes must correspond to qids in order, exactly as in the
+// pipeline configuration under test.
+func New(alice, bob *dataset.Dataset, qids []int, rule *blocking.Rule) (*Oracle, error) {
+	if alice == nil || bob == nil {
+		return nil, fmt.Errorf("oracle: both relations are required")
+	}
+	if rule.Len() != len(qids) {
+		return nil, fmt.Errorf("oracle: rule has %d attributes, %d QIDs given", rule.Len(), len(qids))
+	}
+	o := &Oracle{
+		alice:     alice,
+		bob:       bob,
+		qids:      qids,
+		rule:      rule,
+		aliceSeqs: make([]vgh.Sequence, alice.Len()),
+		bobSeqs:   make([]vgh.Sequence, bob.Len()),
+	}
+	for i := 0; i < alice.Len(); i++ {
+		o.aliceSeqs[i] = blocking.RecordSequence(alice, qids, i)
+	}
+	for j := 0; j < bob.Len(); j++ {
+		o.bobSeqs[j] = blocking.RecordSequence(bob, qids, j)
+	}
+	return o, nil
+}
+
+// Matches returns the exact decision-rule verdict for record pair
+// (i, j): i indexes Alice's relation, j Bob's.
+func (o *Oracle) Matches(i, j int) bool {
+	return o.rule.DecideExact(o.aliceSeqs[i], o.bobSeqs[j])
+}
+
+// Distance returns the exact normalized distance of attribute a for
+// record pair (i, j).
+func (o *Oracle) Distance(i, j, a int) float64 {
+	return o.rule.Metric(a).Distance(o.aliceSeqs[i][a], o.bobSeqs[j][a])
+}
+
+// TrueMatchCount counts the truly matching pairs by full enumeration.
+func (o *Oracle) TrueMatchCount() int64 {
+	var n int64
+	for i := range o.aliceSeqs {
+		for j := range o.bobSeqs {
+			if o.Matches(i, j) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// pairFault describes one offending record pair for error reporting.
+type pairFault struct {
+	i, j int
+	msg  string
+}
+
+func (f *pairFault) Error() string {
+	return fmt.Sprintf("record pair (alice=%d, bob=%d): %s", f.i, f.j, f.msg)
+}
+
+// CheckBlocking verifies the zero-blocking-error claim against the
+// oracle: for every pair of equivalence classes,
+//
+//  1. the slack bounds bracket the exact distance on every attribute
+//     (sdl ≤ d ≤ sds) for every underlying record pair, and
+//  2. a Match label implies every record pair in the class pair truly
+//     matches, and a NonMatch label implies none does.
+//
+// The blocking result must have been built over the oracle's relations
+// and rule. The first offense (lowest Alice index, then Bob index) is
+// returned with the generalization sequences, bounds and exact
+// distances needed to reproduce it.
+func (o *Oracle) CheckBlocking(block *blocking.Result) error {
+	if len(block.R.ClassOf) != o.alice.Len() || len(block.S.ClassOf) != o.bob.Len() {
+		return fmt.Errorf("oracle: blocking result covers %d×%d records, oracle holds %d×%d",
+			len(block.R.ClassOf), len(block.S.ClassOf), o.alice.Len(), o.bob.Len())
+	}
+	var first *pairFault
+	note := func(i, j int, format string, args ...any) {
+		if first == nil || i < first.i || (i == first.i && j < first.j) {
+			first = &pairFault{i: i, j: j, msg: fmt.Sprintf(format, args...)}
+		}
+	}
+	for i := 0; i < o.alice.Len(); i++ {
+		ri := block.R.ClassOf[i]
+		rSeq := block.R.Classes[ri].Sequence
+		for j := 0; j < o.bob.Len(); j++ {
+			si := block.S.ClassOf[j]
+			sSeq := block.S.Classes[si].Sequence
+			for a := 0; a < o.rule.Len(); a++ {
+				inf, sup := o.rule.Metric(a).Bounds(rSeq[a], sSeq[a])
+				d := o.Distance(i, j, a)
+				if d < inf-boundsSlack || d > sup+boundsSlack {
+					note(i, j, "attribute %d: exact distance %.9f outside slack bounds [%.9f, %.9f] for generalizations (%v, %v); raw values (%v, %v)",
+						a, d, inf, sup, rSeq[a], sSeq[a], o.aliceSeqs[i][a], o.bobSeqs[j][a])
+				}
+			}
+			label := block.Labels[ri][si]
+			truth := o.Matches(i, j)
+			switch {
+			case label == blocking.Match && !truth:
+				note(i, j, "labeled Match but the exact rule says non-match; classes (%d,%d) generalized to %v / %v, raw records %v / %v",
+					ri, si, rSeq, sSeq, o.aliceSeqs[i], o.bobSeqs[j])
+			case label == blocking.NonMatch && truth:
+				note(i, j, "labeled NonMatch but the exact rule says match; classes (%d,%d) generalized to %v / %v, raw records %v / %v",
+					ri, si, rSeq, sSeq, o.aliceSeqs[i], o.bobSeqs[j])
+			}
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("oracle: blocking error: %w", first)
+	}
+	return nil
+}
+
+// CheckComparator verifies that an SMC comparator's verdict equals the
+// oracle's exact threshold comparison for every listed record pair. It
+// uses the batch path when the comparator offers one (the pipelined
+// secure engines), per-pair Compare otherwise, so the path the linkage
+// engine takes in production is the path under test.
+func (o *Oracle) CheckComparator(cmp smc.Comparator, pairs [][2]int) error {
+	verdicts := make([]bool, len(pairs))
+	if batcher, ok := cmp.(interface {
+		CompareBatch([][2]int) ([]bool, error)
+	}); ok {
+		out, err := batcher.CompareBatch(pairs)
+		if err != nil {
+			return fmt.Errorf("oracle: comparator batch failed: %w", err)
+		}
+		copy(verdicts, out)
+	} else {
+		for k, p := range pairs {
+			v, err := cmp.Compare(p[0], p[1])
+			if err != nil {
+				return fmt.Errorf("oracle: comparator failed on pair %v: %w", p, err)
+			}
+			verdicts[k] = v
+		}
+	}
+	var disagreements []string
+	for k, p := range pairs {
+		if truth := o.Matches(p[0], p[1]); verdicts[k] != truth {
+			disagreements = append(disagreements,
+				fmt.Sprintf("pair (alice=%d, bob=%d): comparator says %v, oracle says %v (raw %v / %v)",
+					p[0], p[1], verdicts[k], truth, o.aliceSeqs[p[0]], o.bobSeqs[p[1]]))
+		}
+	}
+	if len(disagreements) > 0 {
+		return fmt.Errorf("oracle: %d/%d SMC verdicts disagree; first: %s",
+			len(disagreements), len(pairs), disagreements[0])
+	}
+	return nil
+}
+
+// Report is the oracle's scoring of one linkage result: the confusion
+// against exact ground truth plus the label accounting used by the
+// invariant checks.
+type Report struct {
+	Confusion metrics.Confusion
+	// Reported is the number of pairs the result labeled match, counted
+	// by enumeration (cross-checked against Result.MatchedPairCount).
+	Reported int64
+}
+
+// CheckResult enumerates the full |R|×|S| pair space of a linkage
+// result and verifies it against the oracle:
+//
+//   - under the maximize-precision strategy, every reported match is a
+//     true match — precision is exactly 1.0, never approximately;
+//   - MatchedPairCount agrees with the enumerated count (the closed-form
+//     accounting cannot drift from the actual labeling);
+//   - the returned confusion is computed independently of
+//     Result.Evaluate, from raw cells only.
+func (o *Oracle) CheckResult(res *core.Result) (Report, error) {
+	var rep Report
+	var firstFalse *pairFault
+	for i := 0; i < o.alice.Len(); i++ {
+		for j := 0; j < o.bob.Len(); j++ {
+			predicted := res.PairMatched(i, j)
+			truth := o.Matches(i, j)
+			if predicted {
+				rep.Reported++
+				if truth {
+					rep.Confusion.TruePositives++
+				} else {
+					rep.Confusion.FalsePositives++
+					if firstFalse == nil {
+						firstFalse = &pairFault{i: i, j: j, msg: fmt.Sprintf(
+							"reported as match but the exact rule says non-match (raw %v / %v)",
+							o.aliceSeqs[i], o.bobSeqs[j])}
+					}
+				}
+			} else if truth {
+				rep.Confusion.FalseNegatives++
+			}
+		}
+	}
+	if got := res.MatchedPairCount(); got != rep.Reported {
+		return rep, fmt.Errorf("oracle: MatchedPairCount reports %d, enumeration finds %d", got, rep.Reported)
+	}
+	if res.Strategy() == core.MaximizePrecision && rep.Confusion.FalsePositives > 0 {
+		return rep, fmt.Errorf("oracle: maximize-precision produced %d false positives (precision %.6f): %w",
+			rep.Confusion.FalsePositives, rep.Confusion.Precision(), firstFalse)
+	}
+	return rep, nil
+}
+
+// CheckMonotoneRecall asserts that recall never decreases along a
+// sequence of linkage results ordered by growing SMC allowance (or any
+// other axis where more budget can only resolve a superset of pairs).
+// The results must all stem from the same blocking result and
+// heuristic, as produced by core.LinkPrepared sweeps.
+func (o *Oracle) CheckMonotoneRecall(results []*core.Result, axis string) error {
+	prev := -1.0
+	prevLabel := ""
+	for _, res := range results {
+		rep, err := o.CheckResult(res)
+		if err != nil {
+			return err
+		}
+		r := rep.Confusion.Recall()
+		label := fmt.Sprintf("%s=%d", axis, res.Allowance)
+		if r < prev-boundsSlack {
+			return fmt.Errorf("oracle: recall not monotone in %s: %.6f at %s after %.6f at %s",
+				axis, r, label, prev, prevLabel)
+		}
+		prev, prevLabel = r, label
+	}
+	return nil
+}
+
+// ViewsNested reports whether, for every record, the generalization
+// assigned by coarse covers the one assigned by fine — i.e. coarse is a
+// pointwise coarsening of fine. Recall monotonicity in k is only
+// guaranteed under nesting (full-domain ladders nest; greedy top-down
+// paths may cross-cut), so harnesses gate the k-monotonicity check on
+// this predicate.
+func ViewsNested(fine, coarse interface {
+	SequenceOf(i int) vgh.Sequence
+}, records int) bool {
+	for i := 0; i < records; i++ {
+		f, c := fine.SequenceOf(i), coarse.SequenceOf(i)
+		if len(f) != len(c) {
+			return false
+		}
+		for a := range f {
+			if !c[a].Covers(f[a]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DescribePair renders one record pair with its per-attribute exact
+// distances and thresholds — the "minimal offending pair" dump harness
+// failures print alongside the reproducing seed.
+func (o *Oracle) DescribePair(i, j int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "alice[%d]=%v bob[%d]=%v:", i, o.aliceSeqs[i], j, o.bobSeqs[j])
+	for a := 0; a < o.rule.Len(); a++ {
+		fmt.Fprintf(&sb, " d%d=%.6f/θ=%.6f", a, o.Distance(i, j, a), o.rule.Threshold(a))
+	}
+	fmt.Fprintf(&sb, " → match=%v", o.Matches(i, j))
+	return sb.String()
+}

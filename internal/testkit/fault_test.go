@@ -1,0 +1,223 @@
+package testkit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pprl/internal/smc"
+)
+
+// The fault fixtures use a tiny two-attribute circuit whose expected
+// verdicts are hand-checkable: equality on the first attribute, squared
+// threshold 16 on the second.
+func faultSpec() *smc.Spec {
+	return &smc.Spec{Attrs: []smc.AttrSpec{
+		{Mode: smc.ModeEquality},
+		{Mode: smc.ModeThreshold, T: 16},
+	}, Scale: 1}
+}
+
+var (
+	faultAlice = [][]int64{{3, 10}, {5, 40}, {7, 0}}
+	faultBob   = [][]int64{{3, 12}, {6, 40}, {7, 100}}
+	faultPairs = [][2]int{{0, 0}, {1, 1}, {2, 2}, {0, 1}}
+	faultWant  = []bool{true, false, false, false}
+)
+
+// faultLinks exposes every protocol connection end so a scenario can
+// wrap any of them with FaultConn before the parties start.
+type faultLinks struct {
+	qa, aq smc.Conn // query <-> alice
+	qb, bq smc.Conn // query <-> bob
+	ab, ba smc.Conn // alice <-> bob
+}
+
+// runFaulty wires the three-party protocol over in-memory connections,
+// lets the scenario wrap links with faults, and runs a pipelined batch
+// with the same teardown-on-party-error behavior the production
+// comparator uses. It returns the query side's verdicts and error plus
+// the first party-loop error. Hang guards fail the test rather than
+// letting a deadlocked protocol stall the suite.
+func runFaulty(t *testing.T, mutate func(*faultLinks)) (verdicts []bool, queryErr, partyErr error) {
+	t.Helper()
+	qa, aq := smc.NewConnPair()
+	qb, bq := smc.NewConnPair()
+	ab, ba := smc.NewConnPair()
+	l := &faultLinks{qa: qa, aq: aq, qb: qb, bq: bq, ab: ab, ba: ba}
+	mutate(l)
+	conns := []smc.Conn{l.qa, l.aq, l.qb, l.bq, l.ab, l.ba}
+
+	var errMu sync.Mutex
+	var firstPartyErr error
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstPartyErr == nil {
+			firstPartyErr = err
+		}
+		errMu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		record(smc.RunAlice(l.aq, l.ab, faultAlice, faultSpec()))
+	}()
+	go func() {
+		defer wg.Done()
+		record(smc.RunBob(l.bq, l.ba, faultBob, faultSpec()))
+	}()
+
+	type outcome struct {
+		verdicts []bool
+		err      error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		session, err := smc.NewQuerySession(l.qa, l.qb, faultSpec(), 256)
+		if err != nil {
+			resCh <- outcome{nil, err}
+			return
+		}
+		v, err := session.CompareBatch(faultPairs)
+		session.Close()
+		resCh <- outcome{v, err}
+	}()
+	var out outcome
+	select {
+	case out = <-resCh:
+	case <-time.After(60 * time.Second):
+		for _, c := range conns {
+			c.Close()
+		}
+		t.Fatal("query side hung under fault injection")
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("party loops hung after faulted run")
+	}
+	errMu.Lock()
+	pe := firstPartyErr
+	errMu.Unlock()
+	return out.verdicts, out.err, pe
+}
+
+// assertFailedCleanly requires the faulted run to produce an error and
+// no verdicts: a transport fault must never surface as a (possibly
+// wrong) match labeling.
+func assertFailedCleanly(t *testing.T, verdicts []bool, queryErr error) {
+	t.Helper()
+	if queryErr == nil {
+		t.Fatal("faulted run returned no error")
+	}
+	if verdicts != nil {
+		t.Fatalf("faulted run returned verdicts %v alongside error %v", verdicts, queryErr)
+	}
+}
+
+func TestFaultFreeBaseline(t *testing.T) {
+	verdicts, queryErr, partyErr := runFaulty(t, func(*faultLinks) {})
+	if queryErr != nil || partyErr != nil {
+		t.Fatalf("clean run failed: query=%v party=%v", queryErr, partyErr)
+	}
+	for k, want := range faultWant {
+		if verdicts[k] != want {
+			t.Errorf("pair %v: verdict %v, want %v", faultPairs[k], verdicts[k], want)
+		}
+	}
+}
+
+func TestFaultTruncatedShares(t *testing.T) {
+	verdicts, queryErr, partyErr := runFaulty(t, func(l *faultLinks) {
+		l.ab = WrapFaulty(l.ab, Fault{Pos: 0, Kind: FaultTruncate})
+	})
+	assertFailedCleanly(t, verdicts, queryErr)
+	if partyErr == nil || !strings.Contains(partyErr.Error(), "malformed shares") {
+		t.Errorf("bob should reject truncated shares, got party error: %v", partyErr)
+	}
+}
+
+func TestFaultGarbledShares(t *testing.T) {
+	// Garbling the second shares frame lets the first comparison finish,
+	// proving a mid-batch fault still fails the whole batch instead of
+	// returning partial verdicts.
+	verdicts, queryErr, _ := runFaulty(t, func(l *faultLinks) {
+		l.ab = WrapFaulty(l.ab, Fault{Pos: 1, Kind: FaultGarble})
+	})
+	assertFailedCleanly(t, verdicts, queryErr)
+	if !strings.Contains(queryErr.Error(), "decrypt") && !strings.Contains(queryErr.Error(), "invalid ciphertext") {
+		t.Errorf("zero ciphertexts should fail decryption, got: %v", queryErr)
+	}
+}
+
+func TestFaultGarbledResult(t *testing.T) {
+	verdicts, queryErr, _ := runFaulty(t, func(l *faultLinks) {
+		l.bq = WrapFaulty(l.bq, Fault{Pos: 0, Kind: FaultGarble})
+	})
+	assertFailedCleanly(t, verdicts, queryErr)
+	if !strings.Contains(queryErr.Error(), "decrypt") && !strings.Contains(queryErr.Error(), "invalid ciphertext") {
+		t.Errorf("garbled result should fail decryption, got: %v", queryErr)
+	}
+}
+
+func TestFaultTruncatedResult(t *testing.T) {
+	verdicts, queryErr, _ := runFaulty(t, func(l *faultLinks) {
+		l.bq = WrapFaulty(l.bq, Fault{Pos: 0, Kind: FaultTruncate})
+	})
+	assertFailedCleanly(t, verdicts, queryErr)
+	if !strings.Contains(queryErr.Error(), "malformed result") {
+		t.Errorf("truncated result should be rejected as malformed, got: %v", queryErr)
+	}
+}
+
+func TestFaultDroppedSharesLink(t *testing.T) {
+	verdicts, queryErr, partyErr := runFaulty(t, func(l *faultLinks) {
+		l.ab = WrapFaulty(l.ab, Fault{Pos: 0, Kind: FaultDrop})
+	})
+	assertFailedCleanly(t, verdicts, queryErr)
+	if partyErr == nil {
+		t.Error("a dead alice-bob link should surface as a party error")
+	}
+}
+
+func TestFaultDroppedKey(t *testing.T) {
+	// The key frame is lost and the query-alice link dies with it; the
+	// session must fail on the first comparison rather than hang.
+	verdicts, queryErr, _ := runFaulty(t, func(l *faultLinks) {
+		l.qa = WrapFaulty(l.qa, Fault{Pos: 0, Kind: FaultDrop})
+	})
+	assertFailedCleanly(t, verdicts, queryErr)
+}
+
+func TestFaultDelayPreservesCorrectness(t *testing.T) {
+	// Delays on the shares and result paths slow the protocol down but
+	// must not change a single verdict.
+	verdicts, queryErr, partyErr := runFaulty(t, func(l *faultLinks) {
+		l.ab = WrapFaulty(l.ab, Fault{Pos: 0, Kind: FaultDelay}, Fault{Pos: 2, Kind: FaultDelay})
+		l.bq = WrapFaulty(l.bq, Fault{Pos: 1, Kind: FaultDelay})
+	})
+	if queryErr != nil || partyErr != nil {
+		t.Fatalf("delayed run failed: query=%v party=%v", queryErr, partyErr)
+	}
+	for k, want := range faultWant {
+		if verdicts[k] != want {
+			t.Errorf("pair %v: verdict %v, want %v", faultPairs[k], verdicts[k], want)
+		}
+	}
+}
