@@ -4,9 +4,9 @@ GO ?= go
 # How long `make fuzz` spends per fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench perf
+.PHONY: check build vet test race fuzz crash bench perf
 
-check: build vet test race fuzz
+check: build vet test race crash fuzz
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadView$$' -fuzztime $(FUZZTIME) ./internal/anonymize
 	$(GO) test -run '^$$' -fuzz '^FuzzSlackDecisionRule$$' -fuzztime $(FUZZTIME) ./internal/blocking
 	$(GO) test -run '^$$' -fuzz '^FuzzHeuristicOrdering$$' -fuzztime $(FUZZTIME) ./internal/heuristic
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime $(FUZZTIME) ./internal/journal
+
+# Crash-injection matrix: every generated world is killed at seeded pair
+# boundaries (plus a torn-tail variant) and resumed from its journal; the
+# stitched result must be verdict-identical to the uninterrupted run.
+crash:
+	$(GO) test ./internal/testkit -run '^TestCrashResumeMatrix$$' -count=1
 
 # Serial-vs-sharded throughput of the secure comparator (1024-bit key).
 bench:

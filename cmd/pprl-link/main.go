@@ -12,67 +12,133 @@
 // (same verdicts, no cryptography — see DESIGN.md §3). -eval additionally
 // scores the result against exact ground truth, which is only possible
 // because this command happens to hold both files.
+//
+// Long runs can be made crash-resumable with a durable journal:
+//
+//	pprl-link -a alice.csv -b bob.csv -secure -journal run.wal
+//	# … ^C, crash, or power loss …
+//	pprl-link -a alice.csv -b bob.csv -secure -resume run.wal
+//
+// SIGINT/SIGTERM checkpoint the journal at the next chunk boundary and
+// exit; -resume replays the purchased verdicts and spends only the
+// remaining allowance. A resume with changed flags or changed input files
+// is refused.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pprl"
 	"pprl/internal/cliutil"
 	"pprl/internal/heuristic"
 )
 
+// options collects everything the pipeline run needs; flags fill it in
+// main, tests fill it directly.
+type options struct {
+	schemaPath   string
+	aPath, bPath string
+	k            int
+	theta        float64
+	allowance    float64
+	heurName     string
+	strategy     string
+	qids         string
+	secure       bool
+	keyBits      int
+	smcWorkers   int
+	eval         bool
+	showPairs    bool
+	// journalPath starts a fresh durable journal; resumePath continues an
+	// interrupted one. Mutually exclusive.
+	journalPath string
+	resumePath  string
+	journalSync int
+	// ctx interrupts the run at SMC chunk boundaries (nil = uninterruptible).
+	ctx context.Context
+}
+
 func main() {
-	var (
-		aPath      = flag.String("a", "", "first data holder's CSV (required)")
-		bPath      = flag.String("b", "", "second data holder's CSV (required)")
-		k          = flag.Int("k", 32, "anonymity requirement for both holders")
-		theta      = flag.Float64("theta", 0.05, "matching threshold θ for every attribute")
-		allowance  = flag.Float64("allowance", 0.015, "SMC allowance as a fraction of all record pairs")
-		heurName   = flag.String("heuristic", "minAvgFirst", "SMC selection heuristic: minFirst, maxLast, minAvgFirst")
-		strategy   = flag.String("strategy", "precision", "residual labeling: precision, recall, classifier")
-		qids       = flag.String("qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "comma-separated quasi-identifier attributes")
-		secure     = flag.Bool("secure", false, "run the real Paillier SMC protocol instead of the cost-model oracle")
-		keyBits    = flag.Int("keybits", 1024, "Paillier key size for -secure")
-		smcWorkers = flag.Int("smc-workers", 0, "parallel SMC lanes for -secure (0 = GOMAXPROCS)")
-		evalFlag   = flag.Bool("eval", false, "score against exact ground truth (requires both files, which this command has)")
-		showPairs  = flag.Bool("pairs", false, "print matched entity-ID pairs")
-		schemaPath = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
-	)
+	var opts options
+	flag.StringVar(&opts.aPath, "a", "", "first data holder's CSV (required)")
+	flag.StringVar(&opts.bPath, "b", "", "second data holder's CSV (required)")
+	flag.IntVar(&opts.k, "k", 32, "anonymity requirement for both holders")
+	flag.Float64Var(&opts.theta, "theta", 0.05, "matching threshold θ for every attribute")
+	flag.Float64Var(&opts.allowance, "allowance", 0.015, "SMC allowance as a fraction of all record pairs")
+	flag.StringVar(&opts.heurName, "heuristic", "minAvgFirst", "SMC selection heuristic: minFirst, maxLast, minAvgFirst")
+	flag.StringVar(&opts.strategy, "strategy", "precision", "residual labeling: precision, recall, classifier")
+	flag.StringVar(&opts.qids, "qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "comma-separated quasi-identifier attributes")
+	flag.BoolVar(&opts.secure, "secure", false, "run the real Paillier SMC protocol instead of the cost-model oracle")
+	flag.IntVar(&opts.keyBits, "keybits", 1024, "Paillier key size for -secure")
+	flag.IntVar(&opts.smcWorkers, "smc-workers", 0, "parallel SMC lanes for -secure (0 = GOMAXPROCS)")
+	flag.BoolVar(&opts.eval, "eval", false, "score against exact ground truth (requires both files, which this command has)")
+	flag.BoolVar(&opts.showPairs, "pairs", false, "print matched entity-ID pairs")
+	flag.StringVar(&opts.schemaPath, "schema", "", "schema manifest path (default: built-in Adult schema)")
+	flag.StringVar(&opts.journalPath, "journal", "", "record the run to a durable journal at this path (crash-resumable)")
+	flag.StringVar(&opts.resumePath, "resume", "", "resume an interrupted run from its journal")
+	flag.IntVar(&opts.journalSync, "journal-sync", 0, "fsync the journal every N verdicts (0 = default batching)")
 	flag.Parse()
-	if err := run(os.Stdout, *schemaPath, *aPath, *bPath, *k, *theta, *allowance, *heurName, *strategy, *qids, *secure, *keyBits, *smcWorkers, *evalFlag, *showPairs); err != nil {
+
+	// SIGINT/SIGTERM cancel the run's context: the engine drains the
+	// in-flight SMC chunk (sharded lanes finish cleanly), checkpoints the
+	// journal, and Link returns ErrInterrupted. A second signal kills the
+	// process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.ctx = ctx
+
+	if err := run(os.Stdout, opts); err != nil {
+		if errors.Is(err, pprl.ErrInterrupted) {
+			journal := opts.journalPath
+			if journal == "" {
+				journal = opts.resumePath
+			}
+			if journal != "" {
+				fmt.Fprintf(os.Stderr, "pprl-link: %v\npprl-link: checkpoint saved; continue with -resume %s\n", err, journal)
+			} else {
+				fmt.Fprintln(os.Stderr, "pprl-link:", err)
+			}
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "pprl-link:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance float64, heurName, strategy, qidList string, secure bool, keyBits, smcWorkers int, evalFlag, showPairs bool) error {
-	if aPath == "" || bPath == "" {
+func run(out io.Writer, opts options) error {
+	if opts.aPath == "" || opts.bPath == "" {
 		return fmt.Errorf("-a and -b are required")
 	}
-	schema, err := loadSchema(schemaPath)
+	if opts.journalPath != "" && opts.resumePath != "" {
+		return fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the existing journal)")
+	}
+	schema, err := loadSchema(opts.schemaPath)
 	if err != nil {
 		return err
 	}
-	alice, err := readCSV(schema, aPath)
+	alice, err := readCSV(schema, opts.aPath)
 	if err != nil {
 		return err
 	}
-	bob, err := readCSV(schema, bPath)
+	bob, err := readCSV(schema, opts.bPath)
 	if err != nil {
 		return err
 	}
 
-	cfg := pprl.DefaultConfig(strings.Split(qidList, ","))
-	cfg.AliceK, cfg.BobK = k, k
-	cfg.Theta = theta
-	cfg.AllowanceFraction = allowance
-	switch strings.ToLower(heurName) {
+	cfg := pprl.DefaultConfig(strings.Split(opts.qids, ","))
+	cfg.AliceK, cfg.BobK = opts.k, opts.k
+	cfg.Theta = opts.theta
+	cfg.AllowanceFraction = opts.allowance
+	switch strings.ToLower(opts.heurName) {
 	case "minfirst":
 		cfg.Heuristic = heuristic.MinFirst{}
 	case "maxlast":
@@ -80,9 +146,9 @@ func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance
 	case "minavgfirst":
 		cfg.Heuristic = heuristic.MinAvgFirst{}
 	default:
-		return fmt.Errorf("unknown heuristic %q", heurName)
+		return fmt.Errorf("unknown heuristic %q", opts.heurName)
 	}
-	switch strings.ToLower(strategy) {
+	switch strings.ToLower(opts.strategy) {
 	case "precision":
 		cfg.Strategy = pprl.MaximizePrecision
 	case "recall":
@@ -90,12 +156,30 @@ func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance
 	case "classifier":
 		cfg.Strategy = pprl.TrainClassifier
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return fmt.Errorf("unknown strategy %q", opts.strategy)
 	}
-	if secure {
-		cfg.Comparator = pprl.SecureComparatorFactory(keyBits)
+	if opts.secure {
+		cfg.Comparator = pprl.SecureComparatorFactory(opts.keyBits)
 	}
-	cfg.SMCWorkers = smcWorkers
+	cfg.SMCWorkers = opts.smcWorkers
+	cfg.Context = opts.ctx
+
+	switch {
+	case opts.journalPath != "":
+		w, err := pprl.CreateJournal(opts.journalPath, pprl.JournalOptions{SyncEvery: opts.journalSync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		cfg.Journal = w
+	case opts.resumePath != "":
+		w, err := pprl.ResumeJournal(opts.resumePath, pprl.JournalOptions{SyncEvery: opts.journalSync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		cfg.Journal = w
+	}
 
 	res, err := pprl.Link(pprl.Holder{Data: alice}, pprl.Holder{Data: bob}, cfg)
 	if err != nil {
@@ -104,19 +188,22 @@ func run(out io.Writer, schemaPath, aPath, bPath string, k int, theta, allowance
 	fmt.Fprintln(out, res.Summary())
 	fmt.Fprintf(out, "timings: anonymize=%v+%v blocking=%v smc=%v\n",
 		res.Timings.AnonymizeAlice, res.Timings.AnonymizeBob, res.Timings.Blocking, res.Timings.SMC)
-	if secure {
+	if opts.secure {
 		fmt.Fprintf(out, "smc engine: workers=%d rate=%.1f comparisons/sec bytes=%d\n",
 			res.SMCWorkers, res.SMCRate(), res.SMCBytes)
 	}
+	if res.Resume.Resumed() {
+		fmt.Fprintf(out, "journal: %v\n", res.Resume)
+	}
 
-	if evalFlag {
+	if opts.eval {
 		truth, err := pprl.TruePairs(alice, bob, res.QIDs(), res.Rule())
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "evaluation: %v (|truth|=%d)\n", res.Evaluate(truth), len(truth))
 	}
-	if showPairs {
+	if opts.showPairs {
 		w := bufio.NewWriter(out)
 		defer w.Flush()
 		for i := 0; i < alice.Len(); i++ {

@@ -33,12 +33,28 @@ func writePair(t *testing.T) (a, b string) {
 	return write(da, "a.csv"), write(db, "b.csv")
 }
 
+// baseOpts are the defaults the tests vary from.
+func baseOpts(a, b string) options {
+	return options{
+		aPath:     a,
+		bPath:     b,
+		k:         8,
+		theta:     0.05,
+		allowance: 0.01,
+		heurName:  "minAvgFirst",
+		strategy:  "precision",
+		qids:      strings.Join(pprl.DefaultAdultQIDs(), ","),
+	}
+}
+
 func TestRunLink(t *testing.T) {
 	a, b := writePair(t)
 	var buf bytes.Buffer
-	err := run(&buf, "", a, b, 8, 0.05, 1.0, "minAvgFirst", "precision",
-		strings.Join(pprl.DefaultAdultQIDs(), ","), false, 0, 0, true, true)
-	if err != nil {
+	opts := baseOpts(a, b)
+	opts.allowance = 1.0
+	opts.eval = true
+	opts.showPairs = true
+	if err := run(&buf, opts); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -66,9 +82,13 @@ func TestRunLinkSecure(t *testing.T) {
 	var buf bytes.Buffer
 	// Tiny allowance keeps the number of real crypto ops low; 256-bit
 	// keys keep the test fast.
-	err := run(&buf, "", a, b, 8, 0.05, 0.0005, "maxLast", "recall",
-		strings.Join(pprl.DefaultAdultQIDs(), ","), true, 256, 0, false, false)
-	if err != nil {
+	opts := baseOpts(a, b)
+	opts.allowance = 0.0005
+	opts.heurName = "maxLast"
+	opts.strategy = "recall"
+	opts.secure = true
+	opts.keyBits = 256
+	if err := run(&buf, opts); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "strategy=maximize-recall") {
@@ -76,22 +96,67 @@ func TestRunLinkSecure(t *testing.T) {
 	}
 }
 
+func TestRunLinkJournalResume(t *testing.T) {
+	a, b := writePair(t)
+	wal := filepath.Join(t.TempDir(), "run.wal")
+
+	// Journaled run.
+	var first bytes.Buffer
+	opts := baseOpts(a, b)
+	opts.journalPath = wal
+	if err := run(&first, opts); err != nil {
+		t.Fatal(err)
+	}
+	// -journal refuses to clobber the existing journal.
+	if err := run(&bytes.Buffer{}, opts); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Errorf("re-running -journal over an existing file: err = %v, want refusal pointing at resume", err)
+	}
+	// -resume replays it: same summary line, zero live comparisons.
+	var second bytes.Buffer
+	opts.journalPath = ""
+	opts.resumePath = wal
+	if err := run(&second, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "journal: resumed=") {
+		t.Errorf("resumed run did not report resume stats: %q", second.String())
+	}
+	if !strings.Contains(second.String(), "smc=0 ") {
+		t.Errorf("resume of a complete journal should spend no comparisons: %q", second.String())
+	}
+	// -resume with changed flags is refused, not silently restarted.
+	opts.theta = 0.2
+	if err := run(&bytes.Buffer{}, opts); err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Errorf("resume with changed theta: err = %v, want journal refusal", err)
+	}
+}
+
 func TestRunLinkErrors(t *testing.T) {
 	a, b := writePair(t)
-	qids := strings.Join(pprl.DefaultAdultQIDs(), ",")
-	if err := run(nil, "", "", b, 8, 0.05, 0.01, "minAvgFirst", "precision", qids, false, 0, 0, false, false); err == nil {
+	bad := func(mutate func(*options)) error {
+		opts := baseOpts(a, b)
+		mutate(&opts)
+		return run(nil, opts)
+	}
+	if err := bad(func(o *options) { o.aPath = "" }); err == nil {
 		t.Error("missing -a should fail")
 	}
-	if err := run(nil, "", a, b, 8, 0.05, 0.01, "bogus", "precision", qids, false, 0, 0, false, false); err == nil {
+	if err := bad(func(o *options) { o.heurName = "bogus" }); err == nil {
 		t.Error("bad heuristic should fail")
 	}
-	if err := run(nil, "", a, b, 8, 0.05, 0.01, "minAvgFirst", "bogus", qids, false, 0, 0, false, false); err == nil {
+	if err := bad(func(o *options) { o.strategy = "bogus" }); err == nil {
 		t.Error("bad strategy should fail")
 	}
-	if err := run(nil, "", a, b, 8, 0.05, 0.01, "minAvgFirst", "classifier", "nope", false, 0, 0, false, false); err == nil {
+	if err := bad(func(o *options) { o.strategy = "classifier"; o.qids = "nope" }); err == nil {
 		t.Error("bad QIDs should fail")
 	}
-	if err := run(nil, "", "/nonexistent.csv", b, 8, 0.05, 0.01, "minFirst", "precision", qids, false, 0, 0, false, false); err == nil {
+	if err := bad(func(o *options) { o.aPath = "/nonexistent.csv" }); err == nil {
 		t.Error("missing file should fail")
+	}
+	if err := bad(func(o *options) { o.journalPath = "x.wal"; o.resumePath = "y.wal" }); err == nil {
+		t.Error("-journal with -resume should fail")
+	}
+	if err := bad(func(o *options) { o.resumePath = "/nonexistent.wal" }); err == nil {
+		t.Error("missing resume journal should fail")
 	}
 }

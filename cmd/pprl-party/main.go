@@ -21,12 +21,16 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pprl"
@@ -35,6 +39,27 @@ import (
 	"pprl/internal/session"
 	"pprl/internal/smc"
 )
+
+// queryOptions collects the querying party's parameters; flags fill it
+// in main, tests fill it directly.
+type queryOptions struct {
+	schemaPath string
+	listen     string
+	qids       string
+	theta      float64
+	allowance  float64
+	heurName   string
+	keyBits    int
+	smcWorkers int
+	shuffle    bool
+	// journalPath starts a fresh durable journal; resumePath continues an
+	// interrupted one. Mutually exclusive.
+	journalPath string
+	resumePath  string
+	journalSync int
+	// ctx interrupts the session between SMC batches.
+	ctx context.Context
+}
 
 func main() {
 	var (
@@ -52,14 +77,36 @@ func main() {
 		heurName   = flag.String("heuristic", "minAvgFirst", "query: selection heuristic")
 		keyBits    = flag.Int("keybits", 1024, "query: Paillier key size")
 		smcWorkers = flag.Int("smc-workers", 0, "query: SMC batch-size scaling (0 = default chunking)")
-		shuffle    = flag.Bool("shuffle", true, "query: hide which attribute failed (attribute shuffling)")
-		schemaPath = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
+		shuffle     = flag.Bool("shuffle", true, "query: hide which attribute failed (attribute shuffling)")
+		schemaPath  = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
+		journalPath = flag.String("journal", "", "query: record the run to a durable journal at this path (crash-resumable)")
+		resumePath  = flag.String("resume", "", "query: resume an interrupted run from its journal")
+		journalSync = flag.Int("journal-sync", 0, "query: fsync the journal every N verdicts (0 = default batching)")
 	)
 	flag.Parse()
+	// SIGINT/SIGTERM cancel the querying party's context: it checkpoints
+	// the journal at the next batch boundary, shuts the holders down, and
+	// exits. Holders just die; their state is all derivable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch *role {
 	case "query":
-		err = runQuery(os.Stdout, *schemaPath, *listen, *qids, *theta, *allowance, *heurName, *keyBits, *smcWorkers, *shuffle)
+		err = runQuery(os.Stdout, queryOptions{
+			schemaPath:  *schemaPath,
+			listen:      *listen,
+			qids:        *qids,
+			theta:       *theta,
+			allowance:   *allowance,
+			heurName:    *heurName,
+			keyBits:     *keyBits,
+			smcWorkers:  *smcWorkers,
+			shuffle:     *shuffle,
+			journalPath: *journalPath,
+			resumePath:  *resumePath,
+			journalSync: *journalSync,
+			ctx:         ctx,
+		})
 	case "alice":
 		err = runHolder(*schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, session.RoleAlice)
 	case "bob":
@@ -68,6 +115,18 @@ func main() {
 		err = fmt.Errorf("-role must be query, alice, or bob")
 	}
 	if err != nil {
+		if errors.Is(err, session.ErrInterrupted) {
+			journal := *journalPath
+			if journal == "" {
+				journal = *resumePath
+			}
+			if journal != "" {
+				fmt.Fprintf(os.Stderr, "pprl-party: %v\npprl-party: checkpoint saved; continue with -resume %s\n", err, journal)
+			} else {
+				fmt.Fprintln(os.Stderr, "pprl-party:", err)
+			}
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "pprl-party:", err)
 		os.Exit(1)
 	}
@@ -75,19 +134,39 @@ func main() {
 
 // runQuery accepts both holders, identifies them, runs the session and
 // prints the results.
-func runQuery(out io.Writer, schemaPath, listen, qidList string, theta, allowance float64, heurName string, keyBits, smcWorkers int, shuffle bool) error {
-	schema, err := cliutil.LoadSchemaOrAdult(schemaPath)
+func runQuery(out io.Writer, opts queryOptions) error {
+	schema, err := cliutil.LoadSchemaOrAdult(opts.schemaPath)
 	if err != nil {
 		return err
 	}
-	if listen == "" {
+	if opts.listen == "" {
 		return fmt.Errorf("query role needs -listen")
 	}
-	h, err := heuristicByName(heurName)
+	if opts.journalPath != "" && opts.resumePath != "" {
+		return fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the existing journal)")
+	}
+	h, err := heuristicByName(opts.heurName)
 	if err != nil {
 		return err
 	}
-	l, err := net.Listen("tcp", listen)
+	var journal pprl.JournalSink
+	switch {
+	case opts.journalPath != "":
+		w, err := pprl.CreateJournal(opts.journalPath, pprl.JournalOptions{SyncEvery: opts.journalSync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		journal = w
+	case opts.resumePath != "":
+		w, err := pprl.ResumeJournal(opts.resumePath, pprl.JournalOptions{SyncEvery: opts.journalSync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		journal = w
+	}
+	l, err := net.Listen("tcp", opts.listen)
 	if err != nil {
 		return err
 	}
@@ -119,13 +198,15 @@ func runQuery(out io.Writer, schemaPath, listen, qidList string, theta, allowanc
 
 	res, err := session.RunQuery(alice, bob, session.QueryConfig{
 		Schema:            schema,
-		QIDs:              strings.Split(qidList, ","),
-		Theta:             theta,
-		AllowanceFraction: allowance,
+		QIDs:              strings.Split(opts.qids, ","),
+		Theta:             opts.theta,
+		AllowanceFraction: opts.allowance,
 		Heuristic:         h,
-		KeyBits:           keyBits,
-		ShuffleAttributes: shuffle,
-		SMCWorkers:        smcWorkers,
+		KeyBits:           opts.keyBits,
+		ShuffleAttributes: opts.shuffle,
+		SMCWorkers:        opts.smcWorkers,
+		Journal:           journal,
+		Context:           opts.ctx,
 	})
 	if err != nil {
 		return err
@@ -136,6 +217,9 @@ func runQuery(out io.Writer, schemaPath, listen, qidList string, theta, allowanc
 	fmt.Fprintf(out, "blocking: %.2f%% of %d pairs decided; %d unknown\n",
 		100*res.BlockingEfficiency, res.TotalPairs, res.UnknownPairs)
 	fmt.Fprintf(out, "smc: %d invocations of %d allowed\n", res.Invocations, res.Allowance)
+	if res.Resume.Resumed() {
+		fmt.Fprintf(out, "journal: %v\n", res.Resume)
+	}
 	fmt.Fprintf(out, "matches: %d record pairs\n", len(res.Matches))
 	w := bufio.NewWriter(out)
 	defer w.Flush()

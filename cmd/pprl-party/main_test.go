@@ -57,8 +57,17 @@ func TestThreePartyOverTCP(t *testing.T) {
 	var out bytes.Buffer
 	done := make(chan error, 1)
 	go func() {
-		done <- runQuery(&out, "", queryAddr, strings.Join(pprl.DefaultAdultQIDs(), ","),
-			0.05, 0.002, "minAvgFirst", 256, 2, true)
+		done <- runQuery(&out, queryOptions{
+			listen:      queryAddr,
+			qids:        strings.Join(pprl.DefaultAdultQIDs(), ","),
+			theta:       0.05,
+			allowance:   0.002,
+			heurName:    "minAvgFirst",
+			keyBits:     256,
+			smcWorkers:  2,
+			shuffle:     true,
+			journalPath: filepath.Join(t.TempDir(), "party.wal"),
+		})
 	}()
 	go func() {
 		errs <- runHolder("", queryAddr, peerAddr, "", aCSV, 8, "entropy", "alice")
@@ -84,11 +93,17 @@ func TestThreePartyOverTCP(t *testing.T) {
 }
 
 func TestRoleValidation(t *testing.T) {
-	if err := runQuery(nil, "", "", "age", 0.05, 0.01, "minFirst", 256, 0, false); err == nil {
+	if err := runQuery(nil, queryOptions{qids: "age", theta: 0.05, heurName: "minFirst", keyBits: 256}); err == nil {
 		t.Error("query without -listen should fail")
 	}
-	if err := runQuery(nil, "", "127.0.0.1:0", "age", 0.05, 0.01, "bogus", 256, 0, false); err == nil {
+	if err := runQuery(nil, queryOptions{listen: "127.0.0.1:0", qids: "age", theta: 0.05, heurName: "bogus", keyBits: 256}); err == nil {
 		t.Error("bad heuristic should fail")
+	}
+	if err := runQuery(nil, queryOptions{listen: "127.0.0.1:0", heurName: "minFirst", journalPath: "x.wal", resumePath: "y.wal"}); err == nil {
+		t.Error("-journal with -resume should fail")
+	}
+	if err := runQuery(nil, queryOptions{listen: "127.0.0.1:0", heurName: "minFirst", resumePath: "/nonexistent.wal"}); err == nil {
+		t.Error("missing resume journal should fail")
 	}
 	if err := runHolder("", "", "", "", "x.csv", 8, "entropy", "alice"); err == nil {
 		t.Error("holder without -query should fail")

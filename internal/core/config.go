@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -22,6 +23,7 @@ import (
 	"pprl/internal/dataset"
 	"pprl/internal/distance"
 	"pprl/internal/heuristic"
+	"pprl/internal/journal"
 	"pprl/internal/smc"
 )
 
@@ -133,6 +135,19 @@ type Config struct {
 	SMCWorkers int
 	// Seed drives the random pair selection of TrainClassifier.
 	Seed int64
+	// Journal, when set, receives the run manifest and one record per
+	// resolved SMC pair verdict as the comparator returns them, making
+	// the run crash-resumable: a journal.Writer from journal.Create
+	// records a fresh run, one from journal.Resume additionally replays
+	// the interrupted run's verdicts so the engine never re-spends
+	// allowance on pairs already purchased. Nil disables journaling.
+	Journal journal.Sink
+	// Context, when set, is polled at SMC chunk boundaries. On
+	// cancellation the engine drains the in-flight chunk (so sharded
+	// comparator lanes finish their frames cleanly), syncs the journal,
+	// and returns an error wrapping ErrInterrupted. Nil means the run
+	// cannot be interrupted.
+	Context context.Context
 	// Progress, when set, receives coarse stage events during Link:
 	// "anonymize-alice", "anonymize-bob", "blocking" (done == total on
 	// completion) and periodic "smc" events with comparisons done vs the

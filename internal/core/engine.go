@@ -122,6 +122,24 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	}
 	res.Allowance = allowance
 
+	// Declare the run to the journal before any cryptographic setup: a
+	// fresh journal persists the manifest, a resumed one validates it
+	// (refusing a run whose config or inputs changed) and hands back the
+	// verdicts already purchased by the interrupted run.
+	var replayed map[int64]bool
+	if cfg.Journal != nil {
+		prior, err := cfg.Journal.Begin(runManifest(alice, bob, block, cfg, allowance))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if len(prior) > 0 {
+			replayed = make(map[int64]bool, len(prior))
+			for _, v := range prior {
+				replayed[pairKey(int(v.I), int(v.J), res.bobLen)] = v.Matched
+			}
+		}
+	}
+
 	spec, err := smc.SpecFromRule(rule, cfg.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("core: building SMC spec: %w", err)
@@ -172,16 +190,25 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	chunk := make([]job, 0, chunkSize)
 	pairs := make([][2]int, 0, chunkSize)
 	var done int64
-	record := func(jb job, matched bool) {
-		res.smcLabels[pairKey(jb.i, jb.j, res.bobLen)] = matched
+	apply := func(key int64, group [2]int, matched bool) {
+		res.smcLabels[key] = matched
 		if matched {
 			res.smcMatched++
 		}
-		res.resolvedInGroup[jb.group]++
+		res.resolvedInGroup[group]++
 		done++
 		if done%smcProgressStride == 0 {
 			cfg.report("smc", done, allowance)
 		}
+	}
+	record := func(jb job, matched bool) error {
+		apply(pairKey(jb.i, jb.j, res.bobLen), jb.group, matched)
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Record(jb.i, jb.j, matched); err != nil {
+				return fmt.Errorf("core: journal append (%d,%d): %w", jb.i, jb.j, err)
+			}
+		}
+		return nil
 	}
 	flush := func() error {
 		if len(chunk) == 0 {
@@ -197,7 +224,9 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 				return fmt.Errorf("core: SMC batch: %w", err)
 			}
 			for x, jb := range chunk {
-				record(jb, verdicts[x])
+				if err := record(jb, verdicts[x]); err != nil {
+					return err
+				}
 			}
 		} else {
 			for _, jb := range chunk {
@@ -205,11 +234,32 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 				if err != nil {
 					return fmt.Errorf("core: SMC comparison (%d,%d): %w", jb.i, jb.j, err)
 				}
-				record(jb, matched)
+				if err := record(jb, matched); err != nil {
+					return err
+				}
 			}
 		}
 		chunk = chunk[:0]
 		return nil
+	}
+	// interrupted checkpoints the run at a chunk boundary: every verdict
+	// resolved so far is already journaled (record trails the
+	// comparator), so a sync makes the prefix durable and the run
+	// resumable.
+	interrupted := func() error {
+		if cfg.Context == nil || cfg.Context.Err() == nil {
+			return nil
+		}
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Sync(); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("core: %w after %d of %d budgeted comparisons: %v",
+			ErrInterrupted, done, allowance, cfg.Context.Err())
+	}
+	if err := interrupted(); err != nil {
+		return nil, err
 	}
 	budget := allowance
 groups:
@@ -221,10 +271,25 @@ groups:
 				if budget <= 0 {
 					break groups
 				}
-				chunk = append(chunk, job{i: i, j: j, group: [2]int{gp.RI, gp.SI}})
 				budget--
+				// A verdict already purchased by the interrupted run is
+				// stitched in from the journal: it consumes allowance but
+				// never reaches the comparator (or the journal, which
+				// still holds it).
+				if key := pairKey(i, j, res.bobLen); replayed != nil {
+					if matched, ok := replayed[key]; ok {
+						apply(key, [2]int{gp.RI, gp.SI}, matched)
+						res.Resume.ResumedPairs++
+						res.Resume.ReplayedAllowance++
+						continue
+					}
+				}
+				chunk = append(chunk, job{i: i, j: j, group: [2]int{gp.RI, gp.SI}})
 				if len(chunk) == chunkSize {
 					if err := flush(); err != nil {
+						return nil, err
+					}
+					if err := interrupted(); err != nil {
 						return nil, err
 					}
 				}
@@ -233,6 +298,13 @@ groups:
 	}
 	if err := flush(); err != nil {
 		return nil, err
+	}
+	if cfg.Journal != nil {
+		// Completion checkpoint: the residual phase is derived state, so
+		// a durable journal here means the whole run is reconstructible.
+		if err := cfg.Journal.Sync(); err != nil {
+			return nil, err
+		}
 	}
 	cfg.report("smc", done, allowance)
 	res.Invocations = cmp.Invocations()

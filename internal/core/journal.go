@@ -1,0 +1,101 @@
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash"
+	"strconv"
+
+	"pprl/internal/blocking"
+	"pprl/internal/dataset"
+	"pprl/internal/journal"
+)
+
+// ErrInterrupted is returned (wrapped) by Link when Config.Context is
+// cancelled mid-run: the engine drains the in-flight SMC chunk, syncs the
+// journal so every resolved verdict is durable, and stops. A journaled
+// run interrupted this way is resumable via journal.Resume.
+var ErrInterrupted = errors.New("run interrupted")
+
+// runManifest describes the run for the journal: digests of everything
+// that determines the heuristic ordering and the pair verdicts, plus the
+// blocking summary and resolved allowance. Two runs with equal manifests
+// resolve the same pairs in the same order to the same verdicts, which is
+// what makes replaying a journaled prefix sound.
+func runManifest(alice, bob Holder, block *blocking.Result, cfg *Config, allowance int64) journal.Manifest {
+	return journal.Manifest{
+		ConfigDigest: configDigest(cfg, allowance),
+		InputsDigest: inputsDigest(alice.Data, bob.Data),
+		TotalPairs:   block.TotalPairs(),
+		UnknownPairs: block.UnknownPairs,
+		Allowance:    allowance,
+		Seed:         cfg.Seed,
+		Heuristic:    cfg.Heuristic.Name(),
+	}
+}
+
+// configDigest hashes the normalized run parameters. SMCWorkers and the
+// comparator backend are deliberately excluded: they change how fast
+// verdicts arrive, never which verdicts arrive, so a run may resume with
+// different parallelism or switch between the plaintext oracle and the
+// secure protocol.
+func configDigest(cfg *Config, allowance int64) [32]byte {
+	h := sha256.New()
+	for _, q := range cfg.QIDs {
+		hashField(h, "qid", q)
+	}
+	hashField(h, "theta", strconv.FormatFloat(cfg.Theta, 'g', -1, 64))
+	for _, th := range cfg.Thresholds {
+		hashField(h, "threshold", strconv.FormatFloat(th, 'g', -1, 64))
+	}
+	hashField(h, "aliceK", strconv.Itoa(cfg.AliceK))
+	hashField(h, "bobK", strconv.Itoa(cfg.BobK))
+	hashField(h, "anonA", cfg.AliceAnonymizer.Name())
+	hashField(h, "anonB", cfg.BobAnonymizer.Name())
+	hashField(h, "heuristic", cfg.Heuristic.Name())
+	hashField(h, "strategy", cfg.Strategy.String())
+	hashField(h, "allowance", strconv.FormatInt(allowance, 10))
+	hashField(h, "scale", strconv.FormatInt(cfg.Scale, 10))
+	hashField(h, "seed", strconv.FormatInt(cfg.Seed, 10))
+	return [32]byte(h.Sum(nil))
+}
+
+// inputsDigest hashes both relations: schema shape plus every record's
+// identity, class label and cells. All attributes are covered, not just
+// the QIDs, because classification-aware anonymizers (TDS) read beyond
+// the QID set.
+func inputsDigest(alice, bob *dataset.Dataset) [32]byte {
+	h := sha256.New()
+	schema := alice.Schema()
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		hashField(h, "attr", a.Name)
+		hashField(h, "kind", a.Kind.String())
+		hashField(h, "range", strconv.FormatFloat(a.Range(), 'g', -1, 64))
+	}
+	for _, d := range []*dataset.Dataset{alice, bob} {
+		hashField(h, "relation", strconv.Itoa(d.Len()))
+		for i := 0; i < d.Len(); i++ {
+			rec := d.Record(i)
+			hashField(h, "id", strconv.Itoa(rec.EntityID))
+			if rec.Class != "" {
+				hashField(h, "class", rec.Class)
+			}
+			for _, c := range rec.Cells {
+				if c.Node != nil {
+					hashField(h, "cat", c.Node.Value)
+				} else {
+					hashField(h, "num", strconv.FormatFloat(c.Num, 'g', -1, 64))
+				}
+			}
+		}
+	}
+	return [32]byte(h.Sum(nil))
+}
+
+// hashField writes a length-delimited key/value into the digest, so
+// adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+func hashField(h hash.Hash, key, value string) {
+	fmt.Fprintf(h, "%s=%d:%s;", key, len(value), value)
+}

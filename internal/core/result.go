@@ -34,6 +34,11 @@ type Result struct {
 	// SMCWorkers is the resolved parallelism of the SMC step: how many
 	// protocol lanes the comparator sharded comparisons across.
 	SMCWorkers int
+	// Resume accounts for verdicts stitched in from a durable journal
+	// when the run continued an interrupted one; zero for fresh runs.
+	// Invocations counts only live comparisons, so a resumed run reports
+	// Invocations + Resume.ReplayedAllowance ≤ Allowance.
+	Resume metrics.ResumeStats
 	// Timings holds per-stage durations.
 	Timings Timings
 

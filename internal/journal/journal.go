@@ -1,0 +1,307 @@
+// Package journal implements a durable write-ahead journal for linkage
+// runs, so the SMC budget — the dollar cost of the hybrid protocol — is
+// never re-spent after a crash. A journal file starts with a manifest
+// describing the run (digests of the configuration and the input
+// relations, the blocking summary, the resolved allowance, the heuristic
+// and its seed) followed by one record per SMC pair verdict, appended in
+// resolution order as the comparator returns them.
+//
+// The on-disk format is length-prefixed, CRC-checksummed and versioned
+// (see DESIGN.md §8 for the byte layout). Appends are fsync-batched under
+// the SyncEvery knob: a crash loses at most the un-synced tail, and those
+// pairs are simply re-compared on resume. Opening a journal for resumption
+// truncates a torn tail (a record cut short mid-write) at the last intact
+// record and refuses — with a descriptive error, never a silent fresh
+// start — to continue a run whose configuration or inputs changed, or one
+// written by a newer format version.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Format constants. The magic distinguishes journal files from arbitrary
+// data; the version gates forward compatibility: a reader refuses files
+// written by a newer version instead of guessing at their layout.
+const (
+	formatVersion = 1
+	headerLen     = 10 // 8-byte magic + uint16 version
+)
+
+var magic = [8]byte{'P', 'P', 'R', 'L', 'W', 'A', 'L', 0}
+
+// Record types inside the framed payloads.
+const (
+	recManifest byte = 1
+	recVerdict  byte = 2
+)
+
+// maxPayload bounds a single record's payload so a corrupt length prefix
+// cannot make the reader allocate gigabytes. The largest legitimate
+// record is the manifest, whose only variable part is the heuristic name.
+const maxPayload = 1 << 16
+
+// verdictPayloadLen is the fixed payload size of a verdict record:
+// type byte, two uint32 record indexes, one verdict byte.
+const verdictPayloadLen = 1 + 4 + 4 + 1
+
+// crcTable is the Castagnoli polynomial, chosen over IEEE for its
+// hardware support and better burst-error detection.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNewerVersion marks a journal written by a format version this build
+// does not know how to read.
+var ErrNewerVersion = errors.New("journal: written by a newer format version")
+
+// Manifest identifies the run a journal belongs to. Resumption replays
+// verdicts only into a bit-identical run: the digests cover everything
+// that influences which pairs are ordered for the SMC budget and what
+// their verdicts are, so a mismatch means the journaled verdicts cannot
+// be trusted to apply.
+type Manifest struct {
+	// ConfigDigest hashes the run parameters (QIDs, thresholds, anonymity
+	// requirements, anonymizers, heuristic, strategy, allowance, scale,
+	// seed). Computed by the layer that owns the configuration.
+	ConfigDigest [32]byte
+	// InputsDigest hashes the input relations (or, for a distributed
+	// querying party, the published anonymized views).
+	InputsDigest [32]byte
+	// TotalPairs and UnknownPairs summarize the blocking step the journal
+	// was recorded under.
+	TotalPairs   int64
+	UnknownPairs int64
+	// Allowance is the resolved SMC budget in record pairs.
+	Allowance int64
+	// Seed drives the ordering of the TrainClassifier strategy's random
+	// pair selection; zero elsewhere.
+	Seed int64
+	// Heuristic names the selection heuristic that ordered the pairs.
+	Heuristic string
+}
+
+// CheckCompatible reports whether a journal recorded under m can resume a
+// run currently described by cur. Field-specific errors come first so the
+// operator learns what changed; the digests catch everything else.
+func (m Manifest) CheckCompatible(cur Manifest) error {
+	switch {
+	case m.Heuristic != cur.Heuristic:
+		return fmt.Errorf("journal: heuristic changed: journal recorded %q, run uses %q", m.Heuristic, cur.Heuristic)
+	case m.Allowance != cur.Allowance:
+		return fmt.Errorf("journal: SMC allowance changed: journal recorded %d, run resolves %d", m.Allowance, cur.Allowance)
+	case m.Seed != cur.Seed:
+		return fmt.Errorf("journal: ordering seed changed: journal recorded %d, run uses %d", m.Seed, cur.Seed)
+	case m.TotalPairs != cur.TotalPairs || m.UnknownPairs != cur.UnknownPairs:
+		return fmt.Errorf("journal: blocking summary changed: journal recorded %d pairs (%d unknown), run has %d (%d unknown)",
+			m.TotalPairs, m.UnknownPairs, cur.TotalPairs, cur.UnknownPairs)
+	case m.ConfigDigest != cur.ConfigDigest:
+		return fmt.Errorf("journal: config digest mismatch (journal %x…, run %x…): the run's parameters changed; refusing to resume",
+			m.ConfigDigest[:6], cur.ConfigDigest[:6])
+	case m.InputsDigest != cur.InputsDigest:
+		return fmt.Errorf("journal: inputs digest mismatch (journal %x…, run %x…): the relations changed; refusing to resume",
+			m.InputsDigest[:6], cur.InputsDigest[:6])
+	}
+	return nil
+}
+
+// Verdict is one journaled SMC resolution: Alice's record I matched (or
+// did not match) Bob's record J.
+type Verdict struct {
+	I, J    uint32
+	Matched bool
+}
+
+// Sink is what the linkage engines write runs through. Begin declares the
+// run's manifest: a fresh journal persists it, a resumed journal instead
+// validates it against the recovered manifest and returns the verdicts
+// already purchased, which the engine applies without re-spending
+// allowance. Record appends one resolved pair; Sync makes all appended
+// records durable regardless of the fsync batching cadence.
+type Sink interface {
+	Begin(m Manifest) ([]Verdict, error)
+	Record(i, j int, matched bool) error
+	Sync() error
+}
+
+// Options tunes a journal writer.
+type Options struct {
+	// SyncEvery is how many verdict records may accumulate before an
+	// fsync. 1 syncs every record (maximum durability, slowest); larger
+	// values amortize the fsync over a batch, risking at most that many
+	// re-comparisons after a crash. ≤ 0 selects the default (64).
+	SyncEvery int
+}
+
+const defaultSyncEvery = 64
+
+// Writer appends a run to a journal file. It implements Sink. Writers are
+// not safe for concurrent use; the engines call them from the linking
+// goroutine only.
+type Writer struct {
+	f         *os.File
+	path      string
+	syncEvery int
+	unsynced  int
+	began     bool
+	// recovered is non-nil when the writer was opened with Resume: Begin
+	// then validates instead of writing a second manifest.
+	recovered *Recovered
+}
+
+// Create starts a fresh journal at path. It refuses to overwrite an
+// existing file — an existing journal is a resumable run, and clobbering
+// it would destroy exactly the verdicts this package exists to keep.
+func Create(path string, opts Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("journal: %s already exists; resume it instead of starting over", path)
+		}
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], formatVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: writing header: %w", err)
+	}
+	return &Writer{f: f, path: path, syncEvery: normalizeSyncEvery(opts.SyncEvery)}, nil
+}
+
+// Resume opens an interrupted run's journal for continuation: it replays
+// the manifest and verdicts, truncates any torn tail at the last intact
+// record, and positions the writer to append. The recovered verdicts are
+// handed to the engine by Begin after manifest validation.
+func Resume(path string, opts Options) (*Writer, error) {
+	rec, err := Replay(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reopening for append: %w", err)
+	}
+	if rec.TornBytes > 0 {
+		if err := f.Truncate(rec.goodOffset); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating torn tail (%d bytes): %w", rec.TornBytes, err)
+		}
+	}
+	if _, err := f.Seek(rec.goodOffset, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seeking to append position: %w", err)
+	}
+	return &Writer{f: f, path: path, syncEvery: normalizeSyncEvery(opts.SyncEvery), recovered: rec}, nil
+}
+
+func normalizeSyncEvery(n int) int {
+	if n <= 0 {
+		return defaultSyncEvery
+	}
+	return n
+}
+
+// Begin implements Sink.
+func (w *Writer) Begin(m Manifest) ([]Verdict, error) {
+	if w.began {
+		return nil, fmt.Errorf("journal: Begin called twice")
+	}
+	w.began = true
+	if w.recovered != nil {
+		if err := w.recovered.Manifest.CheckCompatible(m); err != nil {
+			return nil, err
+		}
+		return w.recovered.Verdicts, nil
+	}
+	if err := w.appendRecord(encodeManifest(m)); err != nil {
+		return nil, fmt.Errorf("journal: writing manifest: %w", err)
+	}
+	// The manifest must be durable before any verdict that cites it.
+	if err := w.Sync(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Record implements Sink.
+func (w *Writer) Record(i, j int, matched bool) error {
+	if !w.began {
+		return fmt.Errorf("journal: Record before Begin")
+	}
+	if i < 0 || j < 0 || int64(i) > int64(^uint32(0)) || int64(j) > int64(^uint32(0)) {
+		return fmt.Errorf("journal: pair (%d,%d) outside the uint32 record-index range", i, j)
+	}
+	var payload [verdictPayloadLen]byte
+	payload[0] = recVerdict
+	binary.LittleEndian.PutUint32(payload[1:5], uint32(i))
+	binary.LittleEndian.PutUint32(payload[5:9], uint32(j))
+	if matched {
+		payload[9] = 1
+	}
+	if err := w.appendRecord(payload[:]); err != nil {
+		return err
+	}
+	w.unsynced++
+	if w.unsynced >= w.syncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync implements Sink: flushes appended records to stable storage.
+func (w *Writer) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// Close syncs and releases the file.
+func (w *Writer) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Path returns the journal's file path, for operator messaging.
+func (w *Writer) Path() string { return w.path }
+
+// appendRecord frames and writes one payload:
+//
+//	uint32 LE payload length | payload | uint32 LE CRC32-C(payload)
+func (w *Writer) appendRecord(payload []byte) error {
+	frame := make([]byte, 4+len(payload)+4)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+	binary.LittleEndian.PutUint32(frame[4+len(payload):], crc32.Checksum(payload, crcTable))
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	return nil
+}
+
+// encodeManifest renders the manifest payload:
+//
+//	type byte | config digest (32) | inputs digest (32) |
+//	totalPairs u64 | unknownPairs u64 | allowance u64 | seed u64 |
+//	heuristic length u16 | heuristic bytes
+func encodeManifest(m Manifest) []byte {
+	out := make([]byte, 0, 1+32+32+8*4+2+len(m.Heuristic))
+	out = append(out, recManifest)
+	out = append(out, m.ConfigDigest[:]...)
+	out = append(out, m.InputsDigest[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.TotalPairs))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.UnknownPairs))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.Allowance))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.Seed))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Heuristic)))
+	out = append(out, m.Heuristic...)
+	return out
+}

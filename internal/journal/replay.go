@@ -1,0 +1,143 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Recovered is the durable state replayed from a journal: the run
+// manifest and every intact verdict, in the order they were resolved.
+type Recovered struct {
+	Manifest Manifest
+	Verdicts []Verdict
+	// TornBytes is how much of the file's tail was cut short mid-write
+	// (a crash between write and the record's completion) and therefore
+	// discarded; 0 for a cleanly closed journal.
+	TornBytes int64
+
+	// goodOffset is the file offset just past the last intact record,
+	// where Resume truncates and appends.
+	goodOffset int64
+}
+
+// Replay reads a journal without modifying it. Structural faults before
+// the manifest — wrong magic, a newer format version, a manifest record
+// that never made it to disk intact — are errors: there is nothing safe
+// to resume. A torn tail after the manifest is not an error; the intact
+// prefix is returned and TornBytes reports what was dropped.
+func Replay(path string) (*Recovered, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return parse(data)
+}
+
+// parse decodes a journal image. Framing faults (short frame, oversized
+// length, CRC mismatch) end the replay at the last intact record — in an
+// append-only file everything past the first bad frame was written after
+// it and is equally suspect. Faults inside a CRC-valid payload, by
+// contrast, are hard errors: those bytes are exactly what the writer
+// stored, so the file is not a journal this version understands.
+func parse(data []byte) (*Recovered, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("journal: file too short for a journal header (%d bytes)", len(data))
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, fmt.Errorf("journal: bad magic: not a pprl run journal")
+	}
+	if v := binary.LittleEndian.Uint16(data[8:10]); v != formatVersion {
+		if v > formatVersion {
+			return nil, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrNewerVersion, v, formatVersion)
+		}
+		return nil, fmt.Errorf("journal: unsupported format version %d", v)
+	}
+	rec := &Recovered{goodOffset: headerLen}
+	sawManifest := false
+	off := int64(headerLen)
+	total := int64(len(data))
+	for off < total {
+		payload, next, ok := nextFrame(data, off)
+		if !ok {
+			break // torn tail; truncate here
+		}
+		switch payload[0] {
+		case recManifest:
+			if sawManifest {
+				return nil, fmt.Errorf("journal: duplicate manifest record at offset %d", off)
+			}
+			m, err := decodeManifest(payload)
+			if err != nil {
+				return nil, err
+			}
+			rec.Manifest = m
+			sawManifest = true
+		case recVerdict:
+			if !sawManifest {
+				return nil, fmt.Errorf("journal: verdict record before the manifest at offset %d", off)
+			}
+			if len(payload) != verdictPayloadLen {
+				return nil, fmt.Errorf("journal: verdict record has %d payload bytes, want %d", len(payload), verdictPayloadLen)
+			}
+			rec.Verdicts = append(rec.Verdicts, Verdict{
+				I:       binary.LittleEndian.Uint32(payload[1:5]),
+				J:       binary.LittleEndian.Uint32(payload[5:9]),
+				Matched: payload[9] != 0,
+			})
+		default:
+			return nil, fmt.Errorf("journal: unknown record type %d at offset %d", payload[0], off)
+		}
+		off = next
+		rec.goodOffset = next
+	}
+	rec.TornBytes = total - rec.goodOffset
+	if !sawManifest {
+		return nil, fmt.Errorf("journal: no intact manifest record (journal torn %d bytes in); nothing to resume", rec.goodOffset)
+	}
+	return rec, nil
+}
+
+// nextFrame decodes the frame starting at off. ok is false when the
+// frame is torn: cut short, implausibly long, or failing its checksum.
+func nextFrame(data []byte, off int64) (payload []byte, next int64, ok bool) {
+	if off+4 > int64(len(data)) {
+		return nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+	if n == 0 || n > maxPayload {
+		return nil, 0, false
+	}
+	end := off + 4 + n + 4
+	if end > int64(len(data)) {
+		return nil, 0, false
+	}
+	payload = data[off+4 : off+4+n]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[off+4+n:end]) {
+		return nil, 0, false
+	}
+	return payload, end, true
+}
+
+// decodeManifest parses a CRC-valid manifest payload.
+func decodeManifest(payload []byte) (Manifest, error) {
+	const fixed = 1 + 32 + 32 + 8*4 + 2
+	var m Manifest
+	if len(payload) < fixed {
+		return m, fmt.Errorf("journal: manifest record has %d payload bytes, want ≥ %d", len(payload), fixed)
+	}
+	p := payload[1:]
+	copy(m.ConfigDigest[:], p[:32])
+	copy(m.InputsDigest[:], p[32:64])
+	m.TotalPairs = int64(binary.LittleEndian.Uint64(p[64:72]))
+	m.UnknownPairs = int64(binary.LittleEndian.Uint64(p[72:80]))
+	m.Allowance = int64(binary.LittleEndian.Uint64(p[80:88]))
+	m.Seed = int64(binary.LittleEndian.Uint64(p[88:96]))
+	nameLen := int(binary.LittleEndian.Uint16(p[96:98]))
+	if len(p) != 98+nameLen {
+		return m, fmt.Errorf("journal: manifest heuristic name: %d bytes declared, %d present", nameLen, len(p)-98)
+	}
+	m.Heuristic = string(p[98 : 98+nameLen])
+	return m, nil
+}

@@ -83,6 +83,32 @@ func (m CostModel) Time(n int64) time.Duration {
 // Bytes estimates traffic of n invocations.
 func (m CostModel) Bytes(n int64) int64 { return n * m.BytesPerInvocation }
 
+// ResumeStats accounts for a run resumed from a durable journal: how
+// much of the SMC step was stitched in from a previous process instead
+// of being bought again. A fresh (unjournaled or uninterrupted) run is
+// the zero value. The two counters are reported separately because they
+// answer different questions — ResumedPairs is a verdict count (the
+// oracle harness checks the stitched labeling with it), ReplayedAllowance
+// is the budget the replay consumed (benchmarks check that a resumed run
+// spends exactly Allowance − ReplayedAllowance on live comparisons) —
+// even though the current uniform cost model makes them numerically
+// equal.
+type ResumeStats struct {
+	// ResumedPairs is the number of pair verdicts replayed from the
+	// journal rather than resolved by the comparator.
+	ResumedPairs int64
+	// ReplayedAllowance is the SMC allowance consumed by the replayed
+	// prefix; the live run spends only the remainder.
+	ReplayedAllowance int64
+}
+
+// Resumed reports whether any journaled state was stitched in.
+func (s ResumeStats) Resumed() bool { return s.ResumedPairs > 0 }
+
+func (s ResumeStats) String() string {
+	return fmt.Sprintf("resumed=%d replayed-allowance=%d", s.ResumedPairs, s.ReplayedAllowance)
+}
+
 // ReductionRatio is the standard blocking measure: the fraction of the
 // |R|×|S| comparison space removed before expensive matching. An empty
 // comparison space (either relation empty) returns 0 — no work existed,

@@ -94,3 +94,17 @@ func TestReductionRatio(t *testing.T) {
 		t.Errorf("ReductionRatio(0,0) = %v", got)
 	}
 }
+
+func TestResumeStats(t *testing.T) {
+	var fresh ResumeStats
+	if fresh.Resumed() {
+		t.Error("zero-value ResumeStats claims a resume happened")
+	}
+	s := ResumeStats{ResumedPairs: 40, ReplayedAllowance: 40}
+	if !s.Resumed() {
+		t.Error("non-empty replay not reported as resumed")
+	}
+	if got := s.String(); got != "resumed=40 replayed-allowance=40" {
+		t.Errorf("String() = %q", got)
+	}
+}

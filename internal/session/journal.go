@@ -1,0 +1,74 @@
+package session
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash"
+	"strconv"
+
+	"pprl/internal/blocking"
+	"pprl/internal/journal"
+)
+
+// ErrInterrupted is returned (wrapped) by RunQuery when
+// QueryConfig.Context is cancelled mid-run: the querying party finishes
+// the in-flight SMC batch, syncs the journal, shuts the holder sessions
+// down, and stops. A journaled session interrupted this way is resumable
+// via Resume.
+var ErrInterrupted = errors.New("session interrupted")
+
+// Resume reopens an interrupted session's journal for continuation with
+// default fsync batching; set the returned writer as QueryConfig.Journal
+// and re-run RunQuery with the same parameters against the same holders.
+func Resume(path string) (*journal.Writer, error) {
+	return journal.Resume(path, journal.Options{})
+}
+
+// queryManifest describes a distributed run for the journal. The inputs
+// digest covers the raw serialized views the holders published: the
+// querying party never sees the private relations, but equal views under
+// an equal classifier yield the same blocking, ordering, and verdicts —
+// which is what makes replaying a journaled prefix sound.
+func queryManifest(cfg *QueryConfig, block *blocking.Result, allowance int64, aliceView, bobView []byte) journal.Manifest {
+	return journal.Manifest{
+		ConfigDigest: queryConfigDigest(cfg, allowance),
+		InputsDigest: viewsDigest(aliceView, bobView),
+		TotalPairs:   block.TotalPairs(),
+		UnknownPairs: block.UnknownPairs,
+		Allowance:    allowance,
+		Heuristic:    cfg.Heuristic.Name(),
+	}
+}
+
+// queryConfigDigest hashes the classifier parameters that determine the
+// verdicts. KeyBits and SMCWorkers are deliberately excluded: they change
+// the cost of a comparison, never its outcome, so a resumed session may
+// use a different key size or pipeline depth.
+func queryConfigDigest(cfg *QueryConfig, allowance int64) [32]byte {
+	h := sha256.New()
+	for _, q := range cfg.QIDs {
+		hashField(h, "qid", q)
+	}
+	hashField(h, "theta", strconv.FormatFloat(cfg.Theta, 'g', -1, 64))
+	hashField(h, "heuristic", cfg.Heuristic.Name())
+	hashField(h, "allowance", strconv.FormatInt(allowance, 10))
+	hashField(h, "scale", strconv.FormatInt(cfg.Scale, 10))
+	return [32]byte(h.Sum(nil))
+}
+
+// viewsDigest hashes the holders' published views byte for byte.
+func viewsDigest(aliceView, bobView []byte) [32]byte {
+	h := sha256.New()
+	hashField(h, "alice", strconv.Itoa(len(aliceView)))
+	h.Write(aliceView)
+	hashField(h, "bob", strconv.Itoa(len(bobView)))
+	h.Write(bobView)
+	return [32]byte(h.Sum(nil))
+}
+
+// hashField writes a length-delimited key/value into the digest, so
+// adjacent fields cannot alias.
+func hashField(h hash.Hash, key, value string) {
+	fmt.Fprintf(h, "%s=%d:%s;", key, len(value), value)
+}

@@ -18,6 +18,7 @@ package session
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"pprl/internal/anonymize"
@@ -25,7 +26,9 @@ import (
 	"pprl/internal/dataset"
 	"pprl/internal/distance"
 	"pprl/internal/heuristic"
+	"pprl/internal/journal"
 	"pprl/internal/match"
+	"pprl/internal/metrics"
 	"pprl/internal/smc"
 )
 
@@ -139,6 +142,18 @@ type QueryConfig struct {
 	// the holders' parallel per-attribute work overlaps across requests.
 	// ≤ 0 keeps the default chunking.
 	SMCWorkers int
+	// Journal, when set, receives the run manifest and one record per
+	// resolved SMC pair, making the session crash-resumable: a writer from
+	// journal.Create records a fresh run, one from Resume additionally
+	// replays the interrupted run's verdicts so the querying party never
+	// re-spends allowance on pairs already purchased. Nil disables
+	// journaling.
+	Journal journal.Sink
+	// Context, when set, is polled between SMC batches. On cancellation
+	// the querying party finishes the in-flight batch, syncs the journal,
+	// closes the holder sessions, and returns an error wrapping
+	// ErrInterrupted. Nil means the session cannot be interrupted.
+	Context context.Context
 }
 
 // QueryResult is what the querying party learns.
@@ -151,9 +166,14 @@ type QueryResult struct {
 	BlockingEfficiency float64
 	TotalPairs         int64
 	UnknownPairs       int64
-	// Invocations and Allowance account for the SMC step.
+	// Invocations and Allowance account for the SMC step. Invocations
+	// counts only live protocol comparisons, so a resumed session reports
+	// Invocations + Resume.ReplayedAllowance ≤ Allowance.
 	Invocations int64
 	Allowance   int64
+	// Resume accounts for verdicts stitched in from a durable journal
+	// when the session continued an interrupted one; zero for fresh runs.
+	Resume metrics.ResumeStats
 	// AliceView and BobView are the published views (K, method,
 	// sequence counts — everything this party may inspect).
 	AliceView, BobView *anonymize.Result
@@ -196,11 +216,11 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 		return nil, fmt.Errorf("session: sending parameters to bob: %w", err)
 	}
 
-	aView, err := receiveView(alice, cfg.Schema)
+	aView, aRaw, err := receiveView(alice, cfg.Schema)
 	if err != nil {
 		return nil, fmt.Errorf("session: alice's view: %w", err)
 	}
-	bView, err := receiveView(bob, cfg.Schema)
+	bView, bRaw, err := receiveView(bob, cfg.Schema)
 	if err != nil {
 		return nil, fmt.Errorf("session: bob's view: %w", err)
 	}
@@ -236,6 +256,24 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 	}
 	res.Allowance = allowance
 
+	// Declare the run to the journal before the Paillier handshake: a
+	// fresh journal persists the manifest, a resumed one validates it
+	// (refusing a run whose classifier or views changed) and hands back
+	// the verdicts already purchased by the interrupted run.
+	var replayed map[[2]int]bool
+	if cfg.Journal != nil {
+		prior, err := cfg.Journal.Begin(queryManifest(&cfg, block, allowance, aRaw, bRaw))
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+		if len(prior) > 0 {
+			replayed = make(map[[2]int]bool, len(prior))
+			for _, v := range prior {
+				replayed[[2]int{int(v.I), int(v.J)}] = v.Matched
+			}
+		}
+	}
+
 	sess, err := smc.NewQuerySession(alice, bob, spec, cfg.KeyBits)
 	if err != nil {
 		return nil, err
@@ -250,10 +288,38 @@ groups:
 				if budget <= 0 {
 					break groups
 				}
-				pairs = append(pairs, [2]int{i, j})
 				budget--
+				// A verdict already purchased by the interrupted run is
+				// stitched in from the journal: it consumes allowance but
+				// never reaches the protocol (or the journal, which still
+				// holds it).
+				if matched, ok := replayed[[2]int{i, j}]; ok {
+					if matched {
+						res.Matches = append(res.Matches, match.Pair{I: i, J: j})
+					}
+					res.Resume.ResumedPairs++
+					res.Resume.ReplayedAllowance++
+					continue
+				}
+				pairs = append(pairs, [2]int{i, j})
 			}
 		}
+	}
+	// interrupted checkpoints the session between batches: every verdict
+	// resolved so far is already journaled, so a sync makes the prefix
+	// durable; closing the session tells the holders to shut down cleanly.
+	interrupted := func(done int) error {
+		if cfg.Context == nil || cfg.Context.Err() == nil {
+			return nil
+		}
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Sync(); err != nil {
+				return err
+			}
+		}
+		sess.Close()
+		return fmt.Errorf("session: %w after %d of %d budgeted comparisons: %v",
+			ErrInterrupted, done, len(pairs), cfg.Context.Err())
 	}
 	// Pipelined resolution in chunks: the three parties' work overlaps.
 	chunk := 256
@@ -264,6 +330,9 @@ groups:
 		}
 	}
 	for lo := 0; lo < len(pairs); lo += chunk {
+		if err := interrupted(lo); err != nil {
+			return nil, err
+		}
 		hi := lo + chunk
 		if hi > len(pairs) {
 			hi = len(pairs)
@@ -273,10 +342,22 @@ groups:
 			return nil, fmt.Errorf("session: SMC batch: %w", err)
 		}
 		for x, v := range verdicts {
+			p := pairs[lo+x]
 			if v {
-				p := pairs[lo+x]
 				res.Matches = append(res.Matches, match.Pair{I: p[0], J: p[1]})
 			}
+			if cfg.Journal != nil {
+				if err := cfg.Journal.Record(p[0], p[1], v); err != nil {
+					return nil, fmt.Errorf("session: journal append (%d,%d): %w", p[0], p[1], err)
+				}
+			}
+		}
+	}
+	if cfg.Journal != nil {
+		// Completion checkpoint: a durable journal here means the whole
+		// run is reconstructible without touching the holders again.
+		if err := cfg.Journal.Sync(); err != nil {
+			return nil, err
 		}
 	}
 	res.Invocations = sess.Invocations()
@@ -286,13 +367,19 @@ groups:
 	return res, nil
 }
 
-func receiveView(conn smc.Conn, schema *dataset.Schema) (*anonymize.Result, error) {
+// receiveView returns the parsed view plus its raw serialized bytes; the
+// journal manifest digests the latter.
+func receiveView(conn smc.Conn, schema *dataset.Schema) (*anonymize.Result, []byte, error) {
 	m, err := conn.Recv()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if m.Kind != smc.MsgView || len(m.View) == 0 {
-		return nil, fmt.Errorf("expected view, got kind %d", m.Kind)
+		return nil, nil, fmt.Errorf("expected view, got kind %d", m.Kind)
 	}
-	return anonymize.ReadView(bytes.NewReader(m.View), schema)
+	view, err := anonymize.ReadView(bytes.NewReader(m.View), schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return view, m.View, nil
 }

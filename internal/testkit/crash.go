@@ -1,0 +1,41 @@
+package testkit
+
+import (
+	"errors"
+
+	"pprl/internal/journal"
+)
+
+// ErrCrash is the injected failure CrashSink returns once its budget of
+// journal appends is spent, simulating the process dying at a pair
+// boundary: everything before the crash point is durably journaled,
+// nothing after it ever happens.
+var ErrCrash = errors.New("testkit: injected crash")
+
+// CrashSink wraps a journal writer and kills the run after Remaining
+// verdict records. The linkage engines propagate the append error
+// immediately, so the run stops exactly where a SIGKILL would have
+// stopped it — with the journal holding the purchased prefix and the
+// in-flight pair unrecorded.
+type CrashSink struct {
+	W *journal.Writer
+	// Remaining is how many verdicts may still be journaled before the
+	// injected crash fires.
+	Remaining int
+}
+
+// Begin delegates to the wrapped writer; crashes are injected only at
+// verdict boundaries.
+func (c *CrashSink) Begin(m journal.Manifest) ([]journal.Verdict, error) { return c.W.Begin(m) }
+
+// Record appends until the crash budget is spent, then fails every call.
+func (c *CrashSink) Record(i, j int, matched bool) error {
+	if c.Remaining <= 0 {
+		return ErrCrash
+	}
+	c.Remaining--
+	return c.W.Record(i, j, matched)
+}
+
+// Sync delegates to the wrapped writer.
+func (c *CrashSink) Sync() error { return c.W.Sync() }

@@ -1,0 +1,159 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"pprl/internal/core"
+	"pprl/internal/journal"
+)
+
+// TestCrashResumeMatrix is the journal's end-to-end correctness harness:
+// for every generated world it runs an uninterrupted baseline, then for
+// several kill points re-runs the pipeline with an injected crash at
+// that pair boundary, resumes from the journal, and asserts the stitched
+// run is indistinguishable from the baseline:
+//
+//  1. every record pair carries the same final label,
+//  2. the oracle's invariants hold for the stitched result exactly as
+//     for the baseline,
+//  3. comparator invocations are the baseline's minus the replayed
+//     prefix — a resumed run never re-spends allowance.
+//
+// One kill point per world additionally tears the journal mid-record
+// (truncating the file inside the final frame), modeling a crash during
+// an unsynced write: the torn verdict is lost and re-compared, and the
+// outcome must still be identical.
+func TestCrashResumeMatrix(t *testing.T) {
+	seed := baseSeed(t)
+	worlds := worldCount(t)
+	tested := 0
+	for n := 0; n < worlds; n++ {
+		w := Generate(seed + int64(n))
+		baseline, orcl, err := w.Run()
+		if err != nil {
+			t.Fatal(repro(w, err))
+		}
+		total := baseline.Invocations
+		if total < 2 {
+			continue // nothing to interrupt: zero or one comparison
+		}
+		tested++
+		if _, err := orcl.CheckResult(baseline); err != nil {
+			t.Fatal(repro(w, err))
+		}
+
+		kills := killPoints(total)
+		for ki, kill := range kills {
+			tearTail := ki == len(kills)/2 // one torn-tail variant per world
+			name := fmt.Sprintf("world=%d kill=%d/%d tear=%v", w.Seed, kill, total, tearTail)
+			path := filepath.Join(t.TempDir(), "crash.wal")
+
+			// Phase 1: run until the injected crash.
+			wr, err := journal.Create(path, journal.Options{SyncEvery: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := w.Cfg
+			cfg.Journal = &CrashSink{W: wr, Remaining: int(kill)}
+			_, err = core.Link(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, cfg)
+			if !errors.Is(err, ErrCrash) {
+				t.Fatalf("%s: crashed run returned %v, want ErrCrash", name, err)
+			}
+			if err := wr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if tearTail {
+				tear(t, path, 2)
+			}
+
+			rec, err := journal.Replay(path)
+			if err != nil {
+				t.Fatalf("%s: replay: %v", name, err)
+			}
+			replayed := int64(len(rec.Verdicts))
+			wantReplayed := kill
+			if tearTail {
+				wantReplayed = kill - 1 // the torn final verdict is lost
+			}
+			if replayed != wantReplayed {
+				t.Fatalf("%s: journal holds %d verdicts, want %d", name, replayed, wantReplayed)
+			}
+
+			// Phase 2: resume and stitch.
+			rw, err := journal.Resume(path, journal.Options{})
+			if err != nil {
+				t.Fatalf("%s: resume: %v", name, err)
+			}
+			cfg2 := w.Cfg
+			cfg2.Journal = rw
+			res, err := core.Link(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, cfg2)
+			if err != nil {
+				t.Fatalf("%s: resumed run: %v", name, err)
+			}
+			if err := rw.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Verdict-identical to the uninterrupted baseline.
+			for i := 0; i < w.Alice.Len(); i++ {
+				for j := 0; j < w.Bob.Len(); j++ {
+					if baseline.PairMatched(i, j) != res.PairMatched(i, j) {
+						t.Fatalf("%s: pair (%d,%d) labeled %v, baseline %v\n%s",
+							name, i, j, res.PairMatched(i, j), baseline.PairMatched(i, j), repro(w, errors.New("stitched labeling diverged")))
+					}
+				}
+			}
+			// Oracle invariants hold for the stitched result too.
+			if _, err := orcl.CheckResult(res); err != nil {
+				t.Fatal(repro(w, fmt.Errorf("%s: stitched result: %w", name, err)))
+			}
+			// Cost accounting: live comparisons are the baseline's minus
+			// the replayed prefix.
+			if res.Invocations != total-replayed {
+				t.Fatalf("%s: resumed run spent %d comparisons, want %d-%d", name, res.Invocations, total, replayed)
+			}
+			if res.Resume.ResumedPairs != replayed || res.Resume.ReplayedAllowance != replayed {
+				t.Fatalf("%s: resume stats %v, want %d replayed", name, res.Resume, replayed)
+			}
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no generated world produced ≥ 2 comparisons; crash matrix never ran — adjust seeds")
+	}
+	t.Logf("crash matrix: %d of %d worlds interrupted at up to %d kill points each (reproduce with PPRL_ORACLE_SEED=%s)",
+		tested, worlds, 3, strconv.FormatInt(seed, 10))
+}
+
+// killPoints picks the crash boundaries for a run of total comparisons:
+// a quarter in, halfway, and on the final pair.
+func killPoints(total int64) []int64 {
+	pts := []int64{total / 4, total / 2, total - 1}
+	out := pts[:0]
+	seen := map[int64]bool{}
+	for _, p := range pts {
+		if p < 1 || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// tear truncates the last n bytes of the journal file, cutting inside
+// the final frame the way a crash mid-write would.
+func tear(t *testing.T, path string, n int64) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}

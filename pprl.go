@@ -41,6 +41,7 @@ import (
 	"pprl/internal/core"
 	"pprl/internal/dataset"
 	"pprl/internal/distance"
+	"pprl/internal/journal"
 	"pprl/internal/match"
 	"pprl/internal/metrics"
 	"pprl/internal/schemamatch"
@@ -189,6 +190,9 @@ const (
 var (
 	// DefaultConfig returns the paper's Section VI defaults.
 	DefaultConfig = core.DefaultConfig
+	// ErrInterrupted is wrapped by Link when Config.Context is cancelled:
+	// the engine checkpoints the journal and stops at a chunk boundary.
+	ErrInterrupted = core.ErrInterrupted
 	// Link runs the full hybrid pipeline.
 	Link = core.Link
 	// LinkPrepared finishes a run over a cached blocking stage (for
@@ -200,6 +204,31 @@ var (
 	SecureComparatorFactory = core.SecureComparatorFactory
 	// PlainComparatorFactory is the default cost-model oracle.
 	PlainComparatorFactory = core.PlainComparatorFactory
+)
+
+// ---- Durable run journal ----
+
+// JournalWriter appends a run's manifest and pair verdicts to a durable
+// write-ahead journal file; it implements JournalSink.
+type JournalWriter = journal.Writer
+
+// JournalSink is what the linkage engines write runs through; set it as
+// Config.Journal (or session.QueryConfig.Journal).
+type JournalSink = journal.Sink
+
+// JournalOptions tunes a journal writer (fsync batching).
+type JournalOptions = journal.Options
+
+var (
+	// CreateJournal starts a fresh journal; it refuses to overwrite an
+	// existing file.
+	CreateJournal = journal.Create
+	// ResumeJournal reopens an interrupted run's journal, truncating any
+	// torn tail; the engine replays its verdicts without re-spending the
+	// SMC allowance.
+	ResumeJournal = journal.Resume
+	// ReplayJournal reads a journal without opening it for append.
+	ReplayJournal = journal.Replay
 )
 
 // ---- Evaluation ----
