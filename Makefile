@@ -4,12 +4,17 @@ GO ?= go
 # How long `make fuzz` spends per fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz crash bench perf
+.PHONY: check build binaries vet test race fuzz crash restart bench perf
 
-check: build vet test race crash fuzz
+check: build binaries vet test race crash restart fuzz
 
 build:
 	$(GO) build ./...
+
+# Link every command to a real binary (catches main-package-only
+# breakage that `go build ./...`'s cached compile can miss).
+binaries:
+	$(GO) build -o bin/ ./cmd/...
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +39,13 @@ fuzz:
 # stitched result must be verdict-identical to the uninterrupted run.
 crash:
 	$(GO) test ./internal/testkit -run '^TestCrashResumeMatrix$$' -count=1
+
+# Job-service restart recovery under the race detector: a daemon killed
+# mid-SMC (and one drained on SIGTERM) must resume from its journals
+# with verdict-identical results and exact allowance accounting.
+restart:
+	$(GO) test -race -count=1 -run '^TestService(RestartRecovery|DrainResume)$$' ./internal/service
+	$(GO) test -race -count=1 -run '^TestServeSmoke$$' ./cmd/pprl-serve
 
 # Serial-vs-sharded throughput of the secure comparator (1024-bit key).
 bench:

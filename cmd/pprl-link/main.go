@@ -28,6 +28,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,7 +40,6 @@ import (
 
 	"pprl"
 	"pprl/internal/cliutil"
-	"pprl/internal/heuristic"
 )
 
 // options collects everything the pipeline run needs; flags fill it in
@@ -58,6 +58,7 @@ type options struct {
 	smcWorkers   int
 	eval         bool
 	showPairs    bool
+	jsonOut      bool
 	// journalPath starts a fresh durable journal; resumePath continues an
 	// interrupted one. Mutually exclusive.
 	journalPath string
@@ -82,6 +83,7 @@ func main() {
 	flag.IntVar(&opts.smcWorkers, "smc-workers", 0, "parallel SMC lanes for -secure (0 = GOMAXPROCS)")
 	flag.BoolVar(&opts.eval, "eval", false, "score against exact ground truth (requires both files, which this command has)")
 	flag.BoolVar(&opts.showPairs, "pairs", false, "print matched entity-ID pairs")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit one machine-readable JSON document instead of text")
 	flag.StringVar(&opts.schemaPath, "schema", "", "schema manifest path (default: built-in Adult schema)")
 	flag.StringVar(&opts.journalPath, "journal", "", "record the run to a durable journal at this path (crash-resumable)")
 	flag.StringVar(&opts.resumePath, "resume", "", "resume an interrupted run from its journal")
@@ -138,25 +140,11 @@ func run(out io.Writer, opts options) error {
 	cfg.AliceK, cfg.BobK = opts.k, opts.k
 	cfg.Theta = opts.theta
 	cfg.AllowanceFraction = opts.allowance
-	switch strings.ToLower(opts.heurName) {
-	case "minfirst":
-		cfg.Heuristic = heuristic.MinFirst{}
-	case "maxlast":
-		cfg.Heuristic = heuristic.MaxLast{}
-	case "minavgfirst":
-		cfg.Heuristic = heuristic.MinAvgFirst{}
-	default:
-		return fmt.Errorf("unknown heuristic %q", opts.heurName)
+	if cfg.Heuristic, err = cliutil.HeuristicByName(opts.heurName); err != nil {
+		return err
 	}
-	switch strings.ToLower(opts.strategy) {
-	case "precision":
-		cfg.Strategy = pprl.MaximizePrecision
-	case "recall":
-		cfg.Strategy = pprl.MaximizeRecall
-	case "classifier":
-		cfg.Strategy = pprl.TrainClassifier
-	default:
-		return fmt.Errorf("unknown strategy %q", opts.strategy)
+	if cfg.Strategy, err = cliutil.StrategyByName(opts.strategy); err != nil {
+		return err
 	}
 	if opts.secure {
 		cfg.Comparator = pprl.SecureComparatorFactory(opts.keyBits)
@@ -184,6 +172,9 @@ func run(out io.Writer, opts options) error {
 	res, err := pprl.Link(pprl.Holder{Data: alice}, pprl.Holder{Data: bob}, cfg)
 	if err != nil {
 		return err
+	}
+	if opts.jsonOut {
+		return writeJSON(out, opts, alice, bob, res)
 	}
 	fmt.Fprintln(out, res.Summary())
 	fmt.Fprintf(out, "timings: anonymize=%v+%v blocking=%v smc=%v\n",
@@ -215,6 +206,41 @@ func run(out io.Writer, opts options) error {
 		}
 	}
 	return nil
+}
+
+// writeJSON emits the whole run as one JSON document built from the
+// stable marshalers on Result and Confusion, so scripts and the job
+// service share one wire format instead of scraping the text output.
+func writeJSON(out io.Writer, opts options, alice, bob *pprl.Dataset, res *pprl.Result) error {
+	doc := struct {
+		Result     *pprl.Result    `json:"result"`
+		Evaluation *pprl.Confusion `json:"evaluation,omitempty"`
+		TruthPairs *int            `json:"truth_pairs,omitempty"`
+		Matches    [][2]int        `json:"matches,omitempty"`
+	}{Result: res}
+	if opts.eval {
+		truth, err := pprl.TruePairs(alice, bob, res.QIDs(), res.Rule())
+		if err != nil {
+			return err
+		}
+		ev := res.Evaluate(truth)
+		n := len(truth)
+		doc.Evaluation = &ev
+		doc.TruthPairs = &n
+	}
+	if opts.showPairs {
+		doc.Matches = make([][2]int, 0)
+		for i := 0; i < alice.Len(); i++ {
+			for j := 0; j < bob.Len(); j++ {
+				if res.PairMatched(i, j) {
+					doc.Matches = append(doc.Matches, [2]int{alice.Record(i).EntityID, bob.Record(j).EntityID})
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func readCSV(schema *pprl.Schema, path string) (*pprl.Dataset, error) {

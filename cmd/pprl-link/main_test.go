@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -74,6 +75,48 @@ func TestRunLink(t *testing.T) {
 	}
 	if pairLines == 0 {
 		t.Error("expected matched pairs in output")
+	}
+}
+
+// TestRunLinkJSON: -json emits one parseable document built from the
+// stable marshalers, with evaluation and matches folded in.
+func TestRunLinkJSON(t *testing.T) {
+	a, b := writePair(t)
+	var buf bytes.Buffer
+	opts := baseOpts(a, b)
+	opts.allowance = 1.0
+	opts.eval = true
+	opts.showPairs = true
+	opts.jsonOut = true
+	if err := run(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Result struct {
+			TotalPairs   int64  `json:"total_pairs"`
+			MatchedPairs int64  `json:"matched_pairs"`
+			Strategy     string `json:"strategy"`
+		} `json:"result"`
+		Evaluation *struct {
+			Precision float64 `json:"precision"`
+		} `json:"evaluation"`
+		TruthPairs *int     `json:"truth_pairs"`
+		Matches    [][2]int `json:"matches"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not one JSON document: %v\n%s", err, buf.String())
+	}
+	if doc.Result.TotalPairs == 0 || doc.Result.Strategy != "maximize-precision" {
+		t.Errorf("result summary incomplete: %+v", doc.Result)
+	}
+	if doc.Evaluation == nil || doc.Evaluation.Precision != 1 {
+		t.Errorf("evaluation missing or imprecise: %+v", doc.Evaluation)
+	}
+	if doc.TruthPairs == nil || *doc.TruthPairs == 0 {
+		t.Error("truth_pairs missing")
+	}
+	if int64(len(doc.Matches)) != doc.Result.MatchedPairs {
+		t.Errorf("matches has %d entries, result reports %d", len(doc.Matches), doc.Result.MatchedPairs)
 	}
 }
 

@@ -35,7 +35,6 @@ import (
 
 	"pprl"
 	"pprl/internal/cliutil"
-	"pprl/internal/heuristic"
 	"pprl/internal/session"
 	"pprl/internal/smc"
 )
@@ -63,20 +62,20 @@ type queryOptions struct {
 
 func main() {
 	var (
-		role       = flag.String("role", "", "query, alice, or bob (required)")
-		listen     = flag.String("listen", "", "query: address to accept the two holders on")
-		queryAddr  = flag.String("query", "", "holders: the querying party's address")
-		peerListen = flag.String("peer-listen", "", "alice: address to accept bob's peer link on")
-		peerAddr   = flag.String("peer", "", "bob: alice's peer-link address")
-		data       = flag.String("data", "", "holders: CSV file with this holder's relation")
-		k          = flag.Int("k", 32, "holders: anonymity requirement")
-		method     = flag.String("method", "entropy", "holders: anonymization method (entropy, tds, datafly, mondrian)")
-		qids       = flag.String("qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "query: quasi-identifier attributes")
-		theta      = flag.Float64("theta", 0.05, "query: matching threshold")
-		allowance  = flag.Float64("allowance", 0.015, "query: SMC allowance fraction")
-		heurName   = flag.String("heuristic", "minAvgFirst", "query: selection heuristic")
-		keyBits    = flag.Int("keybits", 1024, "query: Paillier key size")
-		smcWorkers = flag.Int("smc-workers", 0, "query: SMC batch-size scaling (0 = default chunking)")
+		role        = flag.String("role", "", "query, alice, or bob (required)")
+		listen      = flag.String("listen", "", "query: address to accept the two holders on")
+		queryAddr   = flag.String("query", "", "holders: the querying party's address")
+		peerListen  = flag.String("peer-listen", "", "alice: address to accept bob's peer link on")
+		peerAddr    = flag.String("peer", "", "bob: alice's peer-link address")
+		data        = flag.String("data", "", "holders: CSV file with this holder's relation")
+		k           = flag.Int("k", 32, "holders: anonymity requirement")
+		method      = flag.String("method", "entropy", "holders: anonymization method (entropy, tds, datafly, mondrian)")
+		qids        = flag.String("qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "query: quasi-identifier attributes")
+		theta       = flag.Float64("theta", 0.05, "query: matching threshold")
+		allowance   = flag.Float64("allowance", 0.015, "query: SMC allowance fraction")
+		heurName    = flag.String("heuristic", "minAvgFirst", "query: selection heuristic")
+		keyBits     = flag.Int("keybits", 1024, "query: Paillier key size")
+		smcWorkers  = flag.Int("smc-workers", 0, "query: SMC batch-size scaling (0 = default chunking)")
 		shuffle     = flag.Bool("shuffle", true, "query: hide which attribute failed (attribute shuffling)")
 		schemaPath  = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
 		journalPath = flag.String("journal", "", "query: record the run to a durable journal at this path (crash-resumable)")
@@ -108,9 +107,9 @@ func main() {
 			ctx:         ctx,
 		})
 	case "alice":
-		err = runHolder(*schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, session.RoleAlice)
+		err = runHolder(ctx, *schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, session.RoleAlice)
 	case "bob":
-		err = runHolder(*schemaPath, *queryAddr, "", *peerAddr, *data, *k, *method, session.RoleBob)
+		err = runHolder(ctx, *schemaPath, *queryAddr, "", *peerAddr, *data, *k, *method, session.RoleBob)
 	default:
 		err = fmt.Errorf("-role must be query, alice, or bob")
 	}
@@ -145,7 +144,7 @@ func runQuery(out io.Writer, opts queryOptions) error {
 	if opts.journalPath != "" && opts.resumePath != "" {
 		return fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the existing journal)")
 	}
-	h, err := heuristicByName(opts.heurName)
+	h, err := cliutil.HeuristicByName(opts.heurName)
 	if err != nil {
 		return err
 	}
@@ -231,7 +230,7 @@ func runQuery(out io.Writer, opts queryOptions) error {
 
 // runHolder connects to the querying party, establishes the peer link,
 // and serves the session.
-func runHolder(schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k int, method, role string) error {
+func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k int, method, role string) error {
 	schema, err := cliutil.LoadSchemaOrAdult(schemaPath)
 	if err != nil {
 		return err
@@ -239,7 +238,7 @@ func runHolder(schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k i
 	if queryAddr == "" || dataPath == "" {
 		return fmt.Errorf("holder roles need -query and -data")
 	}
-	anon, err := anonymizerByName(method)
+	anon, err := cliutil.AnonymizerByName(method)
 	if err != nil {
 		return err
 	}
@@ -253,7 +252,7 @@ func runHolder(schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k i
 		return err
 	}
 
-	qc, err := dialRetry(queryAddr, 20)
+	qc, err := dialRetry(ctx, queryAddr)
 	if err != nil {
 		return fmt.Errorf("dialing querying party: %w", err)
 	}
@@ -282,7 +281,7 @@ func runHolder(schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k i
 		if peerAddr == "" {
 			return fmt.Errorf("bob needs -peer")
 		}
-		pc, err := dialRetry(peerAddr, 20)
+		pc, err := dialRetry(ctx, peerAddr)
 		if err != nil {
 			return fmt.Errorf("dialing alice: %w", err)
 		}
@@ -293,45 +292,15 @@ func runHolder(schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k i
 	return session.RunHolder(query, peer, cfg, role == session.RoleAlice)
 }
 
-// dialRetry dials with backoff: the peer may not be listening yet when
-// the parties start in arbitrary order.
-func dialRetry(addr string, attempts int) (net.Conn, error) {
-	var lastErr error
-	for i := 0; i < attempts; i++ {
-		c, err := net.Dial("tcp", addr)
-		if err == nil {
-			return c, nil
-		}
-		lastErr = err
-		time.Sleep(250 * time.Millisecond)
-	}
-	return nil, lastErr
+// dialRetry dials with exponential backoff and jitter under a deadline:
+// the peer may not be listening yet when the parties start in arbitrary
+// order, but a peer that never appears must not hang the holder forever.
+func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+	dctx, cancel := context.WithTimeout(ctx, dialDeadline)
+	defer cancel()
+	return cliutil.DialRetry(dctx, "tcp", addr, cliutil.Backoff{})
 }
 
-func anonymizerByName(name string) (pprl.Anonymizer, error) {
-	switch strings.ToLower(name) {
-	case "entropy":
-		return pprl.NewMaxEntropy(), nil
-	case "tds":
-		return pprl.NewTDS(), nil
-	case "datafly":
-		return pprl.NewDataFly(), nil
-	case "mondrian":
-		return pprl.NewMondrian(), nil
-	default:
-		return nil, fmt.Errorf("unknown anonymization method %q", name)
-	}
-}
-
-func heuristicByName(name string) (heuristic.Heuristic, error) {
-	switch strings.ToLower(name) {
-	case "minfirst":
-		return heuristic.MinFirst{}, nil
-	case "maxlast":
-		return heuristic.MaxLast{}, nil
-	case "minavgfirst":
-		return heuristic.MinAvgFirst{}, nil
-	default:
-		return nil, fmt.Errorf("unknown heuristic %q", name)
-	}
-}
+// dialDeadline bounds how long a holder waits for a peer to start
+// listening before giving up.
+const dialDeadline = time.Minute

@@ -1,0 +1,114 @@
+package cliutil
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayGrowsAndCaps: delays grow geometrically from Base and
+// never exceed Max·(1+Jitter), even far past the cap attempt.
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0.25}
+	for attempt := 0; attempt < 20; attempt++ {
+		want := 10 * time.Millisecond << uint(attempt)
+		if want > 80*time.Millisecond {
+			want = 80 * time.Millisecond
+		}
+		lo := time.Duration(float64(want) * 0.75)
+		hi := time.Duration(float64(want) * 1.25)
+		for trial := 0; trial < 50; trial++ {
+			d := b.Delay(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffZeroValueDefaults: the zero value is usable and positive.
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	for attempt := 0; attempt < 10; attempt++ {
+		d := b.Delay(attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, d)
+		}
+		if d > time.Duration(float64(defaultBackoffMax)*(1+defaultBackoffJitter)) {
+			t.Fatalf("attempt %d: delay %v exceeds jittered default cap", attempt, d)
+		}
+	}
+}
+
+// TestDialRetryConnectsToLateListener: the dialer keeps retrying while
+// nothing is listening and connects once the listener appears.
+func TestDialRetryConnectsToLateListener(t *testing.T) {
+	// Reserve a port, then release it so the first dials fail.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	accepted := make(chan struct{})
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		l2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the dial side will time out and report
+		}
+		defer l2.Close()
+		c, err := l2.Accept()
+		if err == nil {
+			c.Close()
+			close(accepted)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := DialRetry(ctx, "tcp", addr, Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	c.Close()
+	select {
+	case <-accepted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("listener never accepted the retried dial")
+	}
+}
+
+// TestDialRetryHonorsDeadline: with nobody listening, the dialer returns
+// the context error once the deadline passes instead of spinning forever.
+func TestDialRetryHonorsDeadline(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := DialRetry(ctx, "tcp", addr, Backoff{Base: 5 * time.Millisecond}); err == nil {
+		t.Fatal("DialRetry succeeded with no listener")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("DialRetry took %v to give up on a 50ms deadline", elapsed)
+	}
+}
+
+// TestListenRetryBindsImmediately: the common case needs no retries.
+func TestListenRetryBindsImmediately(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	l, err := ListenRetry(ctx, "tcp", "127.0.0.1:0", Backoff{})
+	if err != nil {
+		t.Fatalf("ListenRetry: %v", err)
+	}
+	l.Close()
+}

@@ -261,6 +261,9 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	if err := interrupted(); err != nil {
 		return nil, err
 	}
+	// Announce the SMC phase before the first stride so pollers (the job
+	// service's progress endpoint) see the phase change immediately.
+	cfg.report("smc", 0, allowance)
 	budget := allowance
 groups:
 	for _, gp := range ordered {

@@ -57,6 +57,12 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // does not know how to read.
 var ErrNewerVersion = errors.New("journal: written by a newer format version")
 
+// ErrNoManifest marks a journal file whose manifest never became durable
+// — the writer died between Create and the manifest fsync. Such a file
+// holds no verdicts, so Open may safely recreate it; Resume still
+// refuses it, since a caller asking to resume expected recorded state.
+var ErrNoManifest = errors.New("journal: no intact manifest record")
+
 // Manifest identifies the run a journal belongs to. Resumption replays
 // verdicts only into a bit-identical run: the digests cover everything
 // that influences which pairs are ordered for the SMC budget and what

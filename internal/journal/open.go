@@ -1,0 +1,46 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Open starts or continues a job's journal at path, the primitive behind
+// the multi-job layout of the linkage service (one journal per job
+// directory, opened again on every daemon restart):
+//
+//   - no file yet → a fresh journal is created (resumed = false);
+//   - an intact journal → it is resumed, torn tail truncated, and the
+//     engine replays its verdicts (resumed = true);
+//   - a file the crash cut short before the manifest became durable →
+//     there is nothing to resume and nothing to lose, so the file is
+//     recreated fresh (resumed = false).
+//
+// Every other fault — foreign data, a newer format version, corruption
+// inside CRC-valid records — stays a hard error exactly as in Resume:
+// those files hold (or claim to hold) purchased verdicts this build must
+// not silently discard.
+func Open(path string, opts Options) (w *Writer, resumed bool, err error) {
+	if _, statErr := os.Stat(path); statErr != nil {
+		if !os.IsNotExist(statErr) {
+			return nil, false, fmt.Errorf("journal: stat: %w", statErr)
+		}
+		w, err = Create(path, opts)
+		return w, false, err
+	}
+	w, err = Resume(path, opts)
+	if err == nil {
+		return w, true, nil
+	}
+	if !errors.Is(err, ErrNoManifest) {
+		return nil, false, err
+	}
+	// The previous process died before the manifest reached disk: the
+	// journal never recorded a verdict, so starting over loses nothing.
+	if rmErr := os.Remove(path); rmErr != nil {
+		return nil, false, fmt.Errorf("journal: recreating manifest-less journal: %w", rmErr)
+	}
+	w, err = Create(path, opts)
+	return w, false, err
+}

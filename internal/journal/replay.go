@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -43,7 +44,17 @@ func Replay(path string) (*Recovered, error) {
 // stored, so the file is not a journal this version understands.
 func parse(data []byte) (*Recovered, error) {
 	if len(data) < headerLen {
-		return nil, fmt.Errorf("journal: file too short for a journal header (%d bytes)", len(data))
+		// A crash can cut the header itself short. Only a byte-wise
+		// prefix of our own header is recognized as that torn write;
+		// anything else short is foreign data, not a journal to discard.
+		n := len(data)
+		if n > len(magic) {
+			n = len(magic)
+		}
+		if bytes.Equal(data[:n], magic[:n]) {
+			return nil, fmt.Errorf("%w: file too short for a journal header (%d bytes)", ErrNoManifest, len(data))
+		}
+		return nil, fmt.Errorf("journal: file too short for a journal header (%d bytes) and not a torn pprl journal", len(data))
 	}
 	if [8]byte(data[:8]) != magic {
 		return nil, fmt.Errorf("journal: bad magic: not a pprl run journal")
@@ -94,7 +105,7 @@ func parse(data []byte) (*Recovered, error) {
 	}
 	rec.TornBytes = total - rec.goodOffset
 	if !sawManifest {
-		return nil, fmt.Errorf("journal: no intact manifest record (journal torn %d bytes in); nothing to resume", rec.goodOffset)
+		return nil, fmt.Errorf("%w (journal torn %d bytes in); nothing to resume", ErrNoManifest, rec.goodOffset)
 	}
 	return rec, nil
 }

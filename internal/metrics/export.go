@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a small operational-metrics registry: named atomic
+// counters and gauges, rendered in the Prometheus text exposition
+// format and as an expvar-compatible JSON object. It exists so the job
+// service exposes /metrics from the stdlib alone; swapping in a real
+// client library later means replacing this file, not the call sites.
+//
+// Registering is not hot-path work and takes a lock; Add/Set on the
+// returned vars are lock-free atomics safe for concurrent use.
+type Registry struct {
+	// namespace prefixes every exported name ("pprl" → "pprl_jobs_…").
+	namespace string
+
+	mu   sync.Mutex
+	vars map[string]*Var
+	// order preserves registration order for stable /metrics output.
+	order []string
+}
+
+// Var is one exported metric: an atomic int64 with Prometheus metadata.
+type Var struct {
+	name string // fully prefixed
+	help string
+	typ  string // "counter" or "gauge"
+	v    atomic.Int64
+}
+
+// Add increments the metric by n.
+func (v *Var) Add(n int64) { v.v.Add(n) }
+
+// Inc increments the metric by one.
+func (v *Var) Inc() { v.v.Add(1) }
+
+// Set stores an absolute value; meaningful for gauges.
+func (v *Var) Set(n int64) { v.v.Store(n) }
+
+// Value returns the current value.
+func (v *Var) Value() int64 { return v.v.Load() }
+
+// NewRegistry creates a registry whose metric names are prefixed with
+// namespace and an underscore (empty namespace = bare names).
+func NewRegistry(namespace string) *Registry {
+	return &Registry{namespace: namespace, vars: make(map[string]*Var)}
+}
+
+// Counter registers (or returns the existing) monotonically increasing
+// metric. The name must be a valid Prometheus metric name fragment
+// (lowercase, underscores).
+func (r *Registry) Counter(name, help string) *Var { return r.register(name, help, "counter") }
+
+// Gauge registers (or returns the existing) up-and-down metric.
+func (r *Registry) Gauge(name, help string) *Var { return r.register(name, help, "gauge") }
+
+func (r *Registry) register(name, help, typ string) *Var {
+	full := name
+	if r.namespace != "" {
+		full = r.namespace + "_" + name
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vars[full]; ok {
+		return v
+	}
+	v := &Var{name: full, help: help, typ: typ}
+	r.vars[full] = v
+	r.order = append(r.order, full)
+	return v
+}
+
+// WritePrometheus renders every metric in the text exposition format:
+//
+//	# HELP name help
+//	# TYPE name counter
+//	name value
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	vars := make([]*Var, len(names))
+	for i, n := range names {
+		vars[i] = r.vars[n]
+	}
+	r.mu.Unlock()
+	for _, v := range vars {
+		if v.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", v.name, v.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", v.name, v.typ, v.name, v.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the registry as a JSON object of name → value, which
+// makes a Registry an expvar.Var: publish it once per process with
+// expvar.Publish and it appears under /debug/vars.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q: %d", n, r.vars[n].Value())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryPrometheusFormat: names are prefixed, HELP/TYPE lines
+// precede each sample, and values reflect the atomic state.
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry("pprl")
+	c := r.Counter("jobs_submitted_total", "jobs accepted by the API")
+	g := r.Gauge("jobs_running", "jobs currently executing")
+	c.Add(3)
+	g.Set(2)
+	g.Add(-1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP pprl_jobs_submitted_total jobs accepted by the API",
+		"# TYPE pprl_jobs_submitted_total counter",
+		"pprl_jobs_submitted_total 3",
+		"# TYPE pprl_jobs_running gauge",
+		"pprl_jobs_running 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE must precede the sample line for each metric.
+	if strings.Index(out, "# TYPE pprl_jobs_running gauge") > strings.Index(out, "\npprl_jobs_running 1") {
+		t.Errorf("TYPE line does not precede sample:\n%s", out)
+	}
+}
+
+// TestRegistryExpvarString: the registry is a valid expvar.Var whose
+// String() is a JSON object of every metric.
+func TestRegistryExpvarString(t *testing.T) {
+	r := NewRegistry("svc")
+	r.Counter("a_total", "").Add(7)
+	r.Gauge("b", "").Set(-2)
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(r.String()), &m); err != nil {
+		t.Fatalf("String() is not JSON: %v\n%s", err, r.String())
+	}
+	if m["svc_a_total"] != 7 || m["svc_b"] != -2 {
+		t.Errorf("expvar view = %v", m)
+	}
+}
+
+// TestRegistryReregisterReturnsSame: registering a name twice yields the
+// same var, so packages can look metrics up idempotently.
+func TestRegistryReregisterReturnsSame(t *testing.T) {
+	r := NewRegistry("x")
+	a := r.Counter("n", "first")
+	b := r.Counter("n", "second help ignored")
+	if a != b {
+		t.Fatal("re-registration created a second var")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("vars not shared")
+	}
+}
+
+// TestRegistryConcurrentUse: concurrent registration and updates are
+// race-free (run under -race) and lose no increments.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry("pprl")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits_total", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "").Value(); got != 8000 {
+		t.Fatalf("hits_total = %d, want 8000", got)
+	}
+}

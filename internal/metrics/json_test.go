@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestConfusionJSONRoundTrip: counts survive marshal → unmarshal exactly
+// and the derived rates appear on the wire.
+func TestConfusionJSONRoundTrip(t *testing.T) {
+	in := Confusion{TruePositives: 7, FalsePositives: 2, FalseNegatives: 3}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"true_positives", "false_positives", "false_negatives", "precision", "recall", "f1"} {
+		if !strings.Contains(string(data), `"`+field+`"`) {
+			t.Errorf("wire form missing %q: %s", field, data)
+		}
+	}
+	var out Confusion
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip changed the counts: %+v -> %+v", in, out)
+	}
+}
+
+// TestConfusionJSONIgnoresStaleRates: the counts are authoritative; wire
+// rates that disagree are discarded, not stored.
+func TestConfusionJSONIgnoresStaleRates(t *testing.T) {
+	var c Confusion
+	blob := `{"true_positives":4,"false_positives":0,"false_negatives":4,"precision":0.1,"recall":0.1,"f1":0.1}`
+	if err := json.Unmarshal([]byte(blob), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Precision() != 1 {
+		t.Errorf("precision = %v, want 1 (recomputed from counts)", c.Precision())
+	}
+	if c.Recall() != 0.5 {
+		t.Errorf("recall = %v, want 0.5", c.Recall())
+	}
+}
+
+// TestResumeStatsJSONRoundTrip: both counters survive exactly.
+func TestResumeStatsJSONRoundTrip(t *testing.T) {
+	in := ResumeStats{ResumedPairs: 123, ReplayedAllowance: 123}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"resumed_pairs":123,"replayed_allowance":123}`
+	if string(data) != want {
+		t.Errorf("wire form = %s, want %s", data, want)
+	}
+	var out ResumeStats
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip changed the stats: %+v -> %+v", in, out)
+	}
+}

@@ -1,0 +1,58 @@
+package service
+
+import "sync"
+
+// tracker holds a job's latest progress snapshot and wakes event-stream
+// subscribers on every update. The core pipeline calls Update
+// synchronously on the linking goroutine (the hook contract says keep it
+// fast), so Update is a field copy plus a channel close — no I/O.
+type tracker struct {
+	mu      sync.Mutex
+	snap    Progress
+	any     bool
+	changed chan struct{}
+}
+
+func newTracker() *tracker {
+	return &tracker{changed: make(chan struct{})}
+}
+
+// Update implements the core.Config.Progress contract.
+func (t *tracker) Update(stage string, done, total int64) {
+	t.mu.Lock()
+	t.snap = Progress{Phase: stage, Done: done, Total: total}
+	if stage == "smc" {
+		t.snap.PairsPurchased = done
+		if rem := total - done; rem > 0 {
+			t.snap.AllowanceRemaining = rem
+		}
+	}
+	t.any = true
+	close(t.changed)
+	t.changed = make(chan struct{})
+	t.mu.Unlock()
+}
+
+// Snapshot returns the latest position, or nil before the first update.
+func (t *tracker) Snapshot() *Progress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.any {
+		return nil
+	}
+	snap := t.snap
+	return &snap
+}
+
+// Watch returns the latest position plus a channel closed at the next
+// update, so a subscriber loops: read, emit, wait.
+func (t *tracker) Watch() (*Progress, <-chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch := t.changed
+	if !t.any {
+		return nil, ch
+	}
+	snap := t.snap
+	return &snap, ch
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"pprl/internal/journal"
+	"pprl/internal/testkit"
+)
+
+// TestServiceRestartRecovery is the acceptance path for journal-backed
+// restarts: a job hard-stopped mid-SMC (simulated kill that leaves only
+// the journaled prefix on disk) is re-queued by the next daemon start,
+// resumes from its journal, completes with verdicts identical to an
+// uninterrupted control run, and never re-spends the allowance already
+// purchased — exact accounting: replayed + live = control's live total.
+func TestServiceRestartRecovery(t *testing.T) {
+	dataDir := writeDataDir(t, 120, 21)
+	spec := testSpec()
+	const crashAfter = 40 // verdicts journaled before the simulated kill
+
+	// Control: the same spec, uninterrupted.
+	_, control := newTestServer(t, Config{Dir: t.TempDir(), DataDir: dataDir, JournalSync: 1})
+	cid := submit(t, control, spec).ID
+	waitState(t, control, cid, StateDone)
+	want := getResult(t, control, cid)
+	if want.Result.Invocations <= crashAfter {
+		t.Fatalf("control spent only %d comparisons; crash point %d would not interrupt",
+			want.Result.Invocations, crashAfter)
+	}
+
+	// Crash run: the journal sink dies after crashAfter verdicts. Like a
+	// SIGKILL, no terminal state reaches disk — only the journaled prefix.
+	dir := t.TempDir()
+	s1, err := New(Config{
+		Dir: dir, DataDir: dataDir, JournalSync: 1,
+		Hooks: Hooks{
+			WrapJournal: func(id string, w *journal.Writer) journal.Sink {
+				return &testkit.CrashSink{W: w, Remaining: crashAfter}
+			},
+			HardStop: testkit.ErrCrash,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	jid := submit(t, ts1, spec).ID
+	interrupted := waitState(t, ts1, jid, StateInterrupted)
+	if interrupted.Error == "" {
+		t.Error("interrupted job carries no error")
+	}
+	ts1.Close()
+	s1.Drain()
+
+	// Restart on the same service root, crash hooks gone. Recovery must
+	// re-queue the job and the journal replay must carry the prefix.
+	s2, err := New(Config{Dir: dir, DataDir: dataDir, JournalSync: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Drain()
+	}()
+	recovered := waitState(t, ts2, jid, StateDone)
+	if recovered.Resumed == 0 {
+		t.Error("recovered job does not report a resumption")
+	}
+
+	got := getResult(t, ts2, jid)
+
+	// Identical verdicts: the matched pair set equals the control's.
+	if !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Errorf("resumed matches diverge from control: %d vs %d pairs",
+			len(got.Matches), len(want.Matches))
+	}
+	if got.Result.MatchedPairs != want.Result.MatchedPairs ||
+		got.Result.TotalPairs != want.Result.TotalPairs ||
+		got.Result.Allowance != want.Result.Allowance {
+		t.Errorf("resumed summary diverges: %+v vs %+v", got.Result, want.Result)
+	}
+	if !reflect.DeepEqual(got.Evaluation, want.Evaluation) {
+		t.Errorf("resumed evaluation diverges: %+v vs %+v", got.Evaluation, want.Evaluation)
+	}
+
+	// Exact allowance accounting: the crashed run journaled crashAfter
+	// verdicts; the resumed run replays exactly those and buys only the
+	// remainder live. Nothing is purchased twice.
+	if got.Result.Resume.ReplayedAllowance != crashAfter {
+		t.Errorf("replayed allowance = %d, want %d", got.Result.Resume.ReplayedAllowance, crashAfter)
+	}
+	if live := got.Result.Invocations; live+crashAfter != want.Result.Invocations {
+		t.Errorf("live %d + replayed %d != control's %d comparisons",
+			live, crashAfter, want.Result.Invocations)
+	}
+
+	// The daemon's counters agree with the per-job accounting.
+	if v := s2.mSMCReplayed.Value(); v != crashAfter {
+		t.Errorf("smc_replayed_allowance_total = %d, want %d", v, crashAfter)
+	}
+	if v := s2.mSMCPurchased.Value(); v+crashAfter != want.Result.Invocations {
+		t.Errorf("smc_comparisons_total = %d, want %d", v, want.Result.Invocations-crashAfter)
+	}
+}
+
+// TestServiceDrainResume: a graceful drain (SIGTERM path) checkpoints a
+// running job; the next daemon start completes it with full accounting.
+func TestServiceDrainResume(t *testing.T) {
+	dataDir := writeDataDir(t, 120, 33)
+	spec := testSpec()
+	spec.Allowance = 100000 // big enough that drain lands mid-run
+
+	dir := t.TempDir()
+	s1, err := New(Config{Dir: dir, DataDir: dataDir, JournalSync: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	jid := submit(t, ts1, spec).ID
+	waitState(t, ts1, jid, StateRunning, StateDone)
+	s1.Drain() // what the daemon does on SIGTERM
+	ts1.Close()
+
+	st := s1.job(jid).Status()
+	if st.State != StateInterrupted && st.State != StateDone {
+		t.Fatalf("drained job settled as %q", st.State)
+	}
+
+	s2, err := New(Config{Dir: dir, DataDir: dataDir, JournalSync: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Drain()
+	}()
+	done := waitState(t, ts2, jid, StateDone)
+	if st.State == StateInterrupted && done.Resumed == 0 {
+		t.Error("resumed job does not report a resumption")
+	}
+	res := getResult(t, ts2, jid)
+	if res.Result.MatchedPairs != int64(len(res.Matches)) {
+		t.Errorf("matched_pairs %d != len(matches) %d", res.Result.MatchedPairs, len(res.Matches))
+	}
+	if total := res.Result.Invocations + res.Result.Resume.ReplayedAllowance; total > res.Result.Allowance {
+		t.Errorf("spent %d > allowance %d", total, res.Result.Allowance)
+	}
+}

@@ -1,0 +1,482 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+
+	"pprl/internal/adult"
+	"pprl/internal/cliutil"
+	"pprl/internal/core"
+	"pprl/internal/dataset"
+	"pprl/internal/journal"
+	"pprl/internal/match"
+	"pprl/internal/metrics"
+)
+
+// Hooks are test seams. Production leaves them zero.
+type Hooks struct {
+	// WrapJournal, when set, wraps each job's journal writer before the
+	// core pipeline sees it. Tests inject testkit.CrashSink here to
+	// simulate a daemon killed mid-SMC.
+	WrapJournal func(jobID string, w *journal.Writer) journal.Sink
+	// HardStop is the error a wrapped journal returns to simulate that
+	// kill. A job failing with it settles in memory as interrupted but —
+	// exactly like a SIGKILL — writes no terminal state to disk, so the
+	// next daemon start resumes it.
+	HardStop error
+}
+
+// Config configures a Server.
+type Config struct {
+	// Dir is the service root; job state lives under Dir/jobs.
+	Dir string
+	// DataDir, when set, confines spec dataset references to this
+	// directory.
+	DataDir string
+	// Workers bounds concurrent jobs (default 1).
+	Workers int
+	// JournalSync is the journal's SyncEvery (0 = the journal default).
+	JournalSync int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Hooks are test seams; leave zero in production.
+	Hooks Hooks
+}
+
+// Server is the linkage job service: it owns the store, the scheduler,
+// and the HTTP API. Create one with New, serve Handler, and stop with
+// Drain.
+type Server struct {
+	cfg   Config
+	store *Store
+	sched *Scheduler
+	reg   *metrics.Registry
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	byKey map[string]string // idempotency key → job ID
+
+	mJobsSubmitted *metrics.Var
+	mJobsDone      *metrics.Var
+	mJobsFailed    *metrics.Var
+	mJobsCanceled  *metrics.Var
+	mJobsRecovered *metrics.Var
+	mJobsQueued    *metrics.Var
+	mJobsRunning   *metrics.Var
+	mSMCPurchased  *metrics.Var
+	mSMCReplayed   *metrics.Var
+	mHTTPRequests  *metrics.Var
+}
+
+// New opens the service root, recovers jobs left behind by a previous
+// daemon, and starts the worker pool. In-flight jobs from before the
+// restart re-enter the queue in their original FIFO order and resume
+// from their journals.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	store, err := NewStore(cfg.Dir, cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		reg:   metrics.NewRegistry("pprl"),
+		jobs:  make(map[string]*Job),
+		byKey: make(map[string]string),
+	}
+	s.mJobsSubmitted = s.reg.Counter("jobs_submitted_total", "Jobs accepted over the API.")
+	s.mJobsDone = s.reg.Counter("jobs_done_total", "Jobs completed successfully.")
+	s.mJobsFailed = s.reg.Counter("jobs_failed_total", "Jobs ended by an error.")
+	s.mJobsCanceled = s.reg.Counter("jobs_canceled_total", "Jobs ended by DELETE.")
+	s.mJobsRecovered = s.reg.Counter("jobs_recovered_total", "Jobs re-queued from their journals at daemon start.")
+	s.mJobsQueued = s.reg.Gauge("jobs_queued", "Jobs waiting for a worker slot.")
+	s.mJobsRunning = s.reg.Gauge("jobs_running", "Jobs executing right now.")
+	s.mSMCPurchased = s.reg.Counter("smc_comparisons_total", "Live SMC comparisons purchased across completed jobs.")
+	s.mSMCReplayed = s.reg.Counter("smc_replayed_allowance_total", "Allowance satisfied from journals instead of live SMC across completed jobs.")
+	s.mHTTPRequests = s.reg.Counter("http_requests_total", "API requests served.")
+
+	recovered, err := store.Recover()
+	if err != nil {
+		return nil, err
+	}
+	s.sched = NewScheduler(cfg.Workers, s.runJob)
+	for _, j := range recovered {
+		s.jobs[j.ID] = j
+		if key := j.Spec.IdempotencyKey; key != "" {
+			s.byKey[key] = j.ID
+		}
+		if j.State() == StateQueued {
+			s.mJobsRecovered.Inc()
+			if err := s.sched.Enqueue(j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Metrics returns the server's registry, e.g. for expvar.Publish.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Drain stops the scheduler for shutdown: running jobs checkpoint their
+// journals and settle as interrupted; queued jobs stay on disk. Both
+// resume on the next daemon start.
+func (s *Server) Drain() { s.sched.Drain() }
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mHTTPRequests.Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeAPI(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeAPIError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeAPI(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxSpecBytes bounds a submission body; specs are a page of JSON, not
+// record data.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Reject unresolvable dataset references at submit time rather than
+	// letting the job fail later in the queue.
+	for _, ref := range []string{spec.AlicePath, spec.BobPath} {
+		if _, err := s.store.ResolveData(ref); err != nil {
+			writeAPIError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if key := spec.IdempotencyKey; key != "" {
+		if id, ok := s.byKey[key]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			writeAPI(w, http.StatusOK, j.Status())
+			return
+		}
+	}
+	// Holding the lock across NewJob serializes submissions, keeping the
+	// key→job mapping race-free; job creation is two small file writes.
+	j, err := s.store.NewJob(spec)
+	if err != nil {
+		s.mu.Unlock()
+		writeAPIError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.jobs[j.ID] = j
+	if key := spec.IdempotencyKey; key != "" {
+		s.byKey[key] = j.ID
+	}
+	s.mu.Unlock()
+
+	if err := s.sched.Enqueue(j); err != nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.mJobsSubmitted.Inc()
+	writeAPI(w, http.StatusCreated, j.Status())
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	statuses := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, j.Status())
+	}
+	// FIFO order, matching the scheduler.
+	for i := 1; i < len(statuses); i++ {
+		for k := i; k > 0 && statuses[k-1].ID > statuses[k].ID; k-- {
+			statuses[k-1], statuses[k] = statuses[k], statuses[k-1]
+		}
+	}
+	writeAPI(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeAPIError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeAPI(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeAPIError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if wasQueued := s.sched.Cancel(j); wasQueued {
+		// A queued job settles here; a running one settles on its worker
+		// once the engine checkpoints.
+		if err := s.store.WriteTerminal(j.ID, StateCanceled, "canceled while queued"); err != nil {
+			writeAPIError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.mJobsCanceled.Inc()
+	}
+	writeAPI(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeAPIError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if st := j.State(); st != StateDone {
+		writeAPIError(w, http.StatusConflict, "job is %s, not done", st)
+		return
+	}
+	res, err := s.store.ReadResult(j.ID)
+	if err != nil {
+		writeAPIError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeAPI(w, http.StatusOK, res)
+}
+
+// handleEvents streams job status updates as server-sent events: one
+// `data:` line per progress change, a final one when the job settles.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeAPIError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeAPIError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func() bool {
+		raw, err := json.Marshal(j.Status())
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", raw); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for {
+		_, changed := j.Progress.Watch()
+		if !emit() {
+			return
+		}
+		select {
+		case <-j.Settled():
+			emit()
+			return
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.sched.Counts()
+	writeAPI(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.sched.Workers(),
+		"queued":  queued,
+		"running": running,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.sched.Counts()
+	s.mJobsQueued.Set(int64(queued))
+	s.mJobsRunning.Set(int64(running))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// runJob is the scheduler's executor: it settles the job's state from
+// the pipeline's outcome. The key distinction is which failures reach
+// disk — real failures and cancellations persist a terminal state;
+// interruptions (drain, or the test harness's simulated kill) do not,
+// which is precisely what makes them resumable.
+func (s *Server) runJob(ctx context.Context, job *Job) {
+	err := s.execute(ctx, job)
+	switch {
+	case err == nil:
+		job.finish(StateDone, "")
+		s.mJobsDone.Inc()
+	case errors.Is(err, core.ErrInterrupted):
+		if job.UserCanceled() {
+			s.store.WriteTerminal(job.ID, StateCanceled, err.Error())
+			job.finish(StateCanceled, err.Error())
+			s.mJobsCanceled.Inc()
+		} else {
+			job.finish(StateInterrupted, err.Error())
+		}
+	case s.cfg.Hooks.HardStop != nil && errors.Is(err, s.cfg.Hooks.HardStop):
+		// Simulated SIGKILL: settle in memory, leave the disk exactly as
+		// the crash would — journaled prefix, no terminal state.
+		job.finish(StateInterrupted, err.Error())
+	default:
+		s.store.WriteTerminal(job.ID, StateFailed, err.Error())
+		job.finish(StateFailed, err.Error())
+		s.mJobsFailed.Inc()
+	}
+}
+
+// execute runs one job through the core pipeline under its journal.
+func (s *Server) execute(ctx context.Context, job *Job) error {
+	spec := job.Spec
+
+	schemaPath := ""
+	if spec.SchemaPath != "" {
+		p, err := s.store.ResolveData(spec.SchemaPath)
+		if err != nil {
+			return err
+		}
+		schemaPath = p
+	}
+	schema, err := cliutil.LoadSchemaOrAdult(schemaPath)
+	if err != nil {
+		return err
+	}
+	alice, err := s.readDataset(schema, spec.AlicePath)
+	if err != nil {
+		return fmt.Errorf("reading alice: %w", err)
+	}
+	bob, err := s.readDataset(schema, spec.BobPath)
+	if err != nil {
+		return fmt.Errorf("reading bob: %w", err)
+	}
+
+	qids := spec.QIDs
+	if len(qids) == 0 {
+		if spec.SchemaPath == "" {
+			qids = adult.DefaultQIDs()
+		} else {
+			qids = schema.Names()
+		}
+	}
+	cfg, err := spec.Config(qids)
+	if err != nil {
+		return err
+	}
+	cfg.Context = ctx
+	cfg.Progress = job.Progress.Update
+
+	jw, _, err := journal.Open(s.store.JournalPath(job.ID), journal.Options{SyncEvery: s.cfg.JournalSync})
+	if err != nil {
+		return err
+	}
+	defer jw.Close()
+	var sink journal.Sink = jw
+	if s.cfg.Hooks.WrapJournal != nil {
+		sink = s.cfg.Hooks.WrapJournal(job.ID, jw)
+	}
+	cfg.Journal = sink
+
+	res, err := core.Link(core.Holder{Data: alice}, core.Holder{Data: bob}, cfg)
+	if err != nil {
+		return err
+	}
+
+	jr := &JobResult{Result: res.Summarize()}
+	for i := 0; i < alice.Len(); i++ {
+		for j := 0; j < bob.Len(); j++ {
+			if res.PairMatched(i, j) {
+				jr.Matches = append(jr.Matches, [2]int{i, j})
+			}
+		}
+	}
+	if spec.Evaluate {
+		truth, err := match.TruePairs(alice, bob, res.QIDs(), res.Rule())
+		if err != nil {
+			return fmt.Errorf("computing ground truth: %w", err)
+		}
+		conf := res.Evaluate(truth)
+		jr.Evaluation = &conf
+		jr.TruthPairs = len(truth)
+	}
+	if err := s.store.WriteResult(job.ID, jr); err != nil {
+		return err
+	}
+	s.mSMCPurchased.Add(res.Invocations)
+	s.mSMCReplayed.Add(res.Resume.ReplayedAllowance)
+	return nil
+}
+
+func (s *Server) readDataset(schema *dataset.Schema, ref string) (*dataset.Dataset, error) {
+	path, err := s.store.ResolveData(ref)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(schema, f)
+}
