@@ -4,9 +4,9 @@ GO ?= go
 # How long `make fuzz` spends per fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: check build binaries vet test race fuzz crash restart bench perf
+.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke
 
-check: build binaries vet test race crash restart fuzz
+check: build binaries vet test race crash restart fuzz blocking-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSlackDecisionRule$$' -fuzztime $(FUZZTIME) ./internal/blocking
 	$(GO) test -run '^$$' -fuzz '^FuzzHeuristicOrdering$$' -fuzztime $(FUZZTIME) ./internal/heuristic
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime $(FUZZTIME) ./internal/journal
+	$(GO) test -run '^$$' -fuzz '^FuzzIndexPrune$$' -fuzztime $(FUZZTIME) ./internal/index
 
 # Crash-injection matrix: every generated world is killed at seeded pair
 # boundaries (plus a torn-tail variant) and resumed from its journal; the
@@ -47,10 +48,18 @@ restart:
 	$(GO) test -race -count=1 -run '^TestService(RestartRecovery|DrainResume)$$' ./internal/service
 	$(GO) test -race -count=1 -run '^TestServeSmoke$$' ./cmd/pprl-serve
 
-# Serial-vs-sharded throughput of the secure comparator (1024-bit key).
+# Dense-vs-indexed blocking at a smoke scale: the run itself verifies
+# label identity between the engines and fails on any divergence.
+blocking-smoke:
+	$(GO) run ./cmd/pprl-bench -exp blocking -records 600
+
+# Serial-vs-sharded throughput of the secure comparator (1024-bit key),
+# plus the dense-vs-indexed blocking engine comparison.
 bench:
 	$(GO) test ./internal/smc -run XXX -bench BenchmarkSecureBatch -benchtime 3x
+	$(GO) run ./cmd/pprl-bench -exp blocking -json
 
-# Machine-readable engine report (BENCH_smc.json).
+# Machine-readable engine reports (BENCH_smc.json, BENCH_blocking.json).
 perf:
 	$(GO) run ./cmd/pprl-bench -exp smcperf -json
+	$(GO) run ./cmd/pprl-bench -exp blocking -json

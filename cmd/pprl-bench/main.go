@@ -23,21 +23,22 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, example, or all")
-		records = flag.Int("records", 0, "workload size (records before the overlap split); 0 = default 1800")
-		full    = flag.Bool("full", false, "paper-scale workload: 30,162 records (slow)")
-		seed    = flag.Int64("seed", 0, "workload seed; 0 = default")
-		asJSON  = flag.Bool("json", false, "emit tables as JSON for external plotting; smcperf additionally writes -perf-out")
-		perfOut = flag.String("perf-out", "BENCH_smc.json", "smcperf: path of the machine-readable benchmark report (with -json)")
+		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, example, or all")
+		records     = flag.Int("records", 0, "workload size (records before the overlap split); 0 = default 1800")
+		full        = flag.Bool("full", false, "paper-scale workload: 30,162 records (slow)")
+		seed        = flag.Int64("seed", 0, "workload seed; 0 = default")
+		asJSON      = flag.Bool("json", false, "emit tables as JSON for external plotting; smcperf and blocking additionally write their report files")
+		perfOut     = flag.String("perf-out", "BENCH_smc.json", "smcperf: path of the machine-readable benchmark report (with -json)")
+		blockingOut = flag.String("blocking-out", "BENCH_blocking.json", "blocking: path of the machine-readable benchmark report (with -json)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfOut); err != nil {
+	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfOut, *blockingOut); err != nil {
 		fmt.Fprintln(os.Stderr, "pprl-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfOut string) error {
+func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfOut, blockingOut string) error {
 	render := func(t *experiment.Table) error {
 		if asJSON {
 			return t.RenderJSON(out)
@@ -151,6 +152,29 @@ func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON 
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "smcperf: report written to %s\n", perfOut)
+		}
+	}
+	if want("blocking") {
+		rep, t, err := experiment.BlockingPerf(opts)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if asJSON && blockingOut != "" {
+			f, err := os.Create(blockingOut)
+			if err != nil {
+				return fmt.Errorf("blocking: %w", err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("blocking: writing report: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "blocking: report written to %s\n", blockingOut)
 		}
 	}
 	return nil

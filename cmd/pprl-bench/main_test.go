@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden file")
 // `go test ./cmd/pprl-bench -run Golden -update`.
 func TestGoldenOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, ""); err != nil {
+	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "golden.txt")
@@ -44,7 +44,7 @@ func TestGoldenOutput(t *testing.T) {
 
 func TestRunSelectedArtifacts(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig3", 240, false, 3, false, ""); err != nil {
+	if err := run(&buf, "example,fig3", 240, false, 3, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -61,7 +61,7 @@ func TestRunSelectedArtifacts(t *testing.T) {
 
 func TestRunFig6And7Selection(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig7", 240, false, 3, false, ""); err != nil {
+	if err := run(&buf, "fig7", 240, false, 3, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -72,7 +72,7 @@ func TestRunFig6And7Selection(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", 240, false, 3, true, ""); err != nil {
+	if err := run(&buf, "fig3", 240, false, 3, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	var tab struct {
@@ -90,7 +90,7 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunBaselines(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "baselines", 240, false, 3, false, ""); err != nil {
+	if err := run(&buf, "baselines", 240, false, 3, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "pure SMC") {
@@ -103,7 +103,7 @@ func TestRunBaselines(t *testing.T) {
 func TestRunSMCPerfJSON(t *testing.T) {
 	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "smcperf", 240, false, 3, true, perfOut); err != nil {
+	if err := run(&buf, "smcperf", 240, false, 3, true, perfOut, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(perfOut)
@@ -134,11 +134,50 @@ func TestRunSMCPerfJSON(t *testing.T) {
 	}
 }
 
+// TestRunBlockingJSON: -json with the blocking artifact must write a
+// parseable dense-vs-indexed report to the -blocking-out path.
+func TestRunBlockingJSON(t *testing.T) {
+	blockingOut := filepath.Join(t.TempDir(), "BENCH_blocking.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "blocking", 240, false, 3, true, "", blockingOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(blockingOut)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Records        int     `json:"records"`
+		ClassPairs     int64   `json:"class_pairs"`
+		DenseRate      float64 `json:"dense_class_pairs_per_sec"`
+		IndexedRate    float64 `json:"indexed_class_pairs_per_sec"`
+		RuleEvals      int64   `json:"rule_evaluations"`
+		Pruned         int64   `json:"pruned_class_pairs"`
+		PrunedFraction float64 `json:"pruned_fraction"`
+		LabelsBytes    int64   `json:"dense_labels_bytes"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Records != 240 || rep.ClassPairs <= 0 || rep.LabelsBytes <= 0 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.DenseRate <= 0 || rep.IndexedRate <= 0 {
+		t.Errorf("report rates not populated: %+v", rep)
+	}
+	if rep.RuleEvals+rep.Pruned != rep.ClassPairs || rep.PrunedFraction < 0 {
+		t.Errorf("pruning accounting inconsistent: %+v", rep)
+	}
+	if !strings.Contains(buf.String(), "blocking engines") {
+		t.Error("blocking table missing from output")
+	}
+}
+
 // TestRunSMCPerfTextNoFile: without -json no report file is produced.
 func TestRunSMCPerfTextNoFile(t *testing.T) {
 	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "smcperf", 240, false, 3, false, perfOut); err != nil {
+	if err := run(&buf, "smcperf", 240, false, 3, false, perfOut, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(perfOut); err == nil {

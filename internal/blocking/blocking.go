@@ -175,7 +175,9 @@ type GroupPair struct {
 type Result struct {
 	// R and S are the data holders' published views.
 	R, S *anonymize.Result
-	// Labels[ri][si] is the slack rule's label for the class pair.
+	// Labels[ri][si] is the slack rule's label for the class pair. It is
+	// nil for streamed results and after ReleaseLabels; use Label, which
+	// works in both representations.
 	Labels [][]Label
 	// MatchedPairs, NonMatchedPairs and UnknownPairs count *record* pairs
 	// under each label.
@@ -185,6 +187,17 @@ type Result struct {
 	// UnknownGroups counts the *class* pairs labeled Unknown, so
 	// UnknownGroupPairs can size its output exactly.
 	UnknownGroups int64
+	// Stats carries the per-attribute pruning statistics when the result
+	// was produced by the hierarchy index (nil for dense Block).
+	Stats *Stats
+
+	// sparse holds only the M and U class pairs when Labels is nil; a
+	// missing key is NonMatch (which is why NonMatch, not the zero-valued
+	// Unknown, is the implicit label).
+	sparse map[[2]int32]Label
+	// unknownList is the precomputed U class-pair list for the sparse
+	// representation, sorted by (RI, SI) to match the dense scan order.
+	unknownList []GroupPair
 }
 
 // parallelThreshold is the class-pair count above which Block fans out
@@ -197,14 +210,8 @@ var parallelThreshold = 1 << 14
 // Large inputs are processed in parallel; the result is identical either
 // way.
 func Block(r, s *anonymize.Result, rule *Rule) (*Result, error) {
-	if len(r.QIDs) != rule.Len() || len(s.QIDs) != rule.Len() {
-		return nil, fmt.Errorf("blocking: rule has %d attributes, views have %d and %d QIDs",
-			rule.Len(), len(r.QIDs), len(s.QIDs))
-	}
-	for i := range r.QIDs {
-		if r.QIDs[i] != s.QIDs[i] {
-			return nil, fmt.Errorf("blocking: views disagree on QID %d (%d vs %d)", i, r.QIDs[i], s.QIDs[i])
-		}
+	if err := ValidateViews(r, s, rule); err != nil {
+		return nil, err
 	}
 	res := &Result{R: r, S: s, Labels: make([][]Label, len(r.Classes))}
 	workers := runtime.GOMAXPROCS(0)
@@ -261,6 +268,22 @@ func Block(r, s *anonymize.Result, rule *Rule) (*Result, error) {
 	return res, nil
 }
 
+// ValidateViews checks that two anonymized views and a rule agree on the
+// QID list, the precondition shared by every blocking path (dense Block
+// and the hierarchy index).
+func ValidateViews(r, s *anonymize.Result, rule *Rule) error {
+	if len(r.QIDs) != rule.Len() || len(s.QIDs) != rule.Len() {
+		return fmt.Errorf("blocking: rule has %d attributes, views have %d and %d QIDs",
+			rule.Len(), len(r.QIDs), len(s.QIDs))
+	}
+	for i := range r.QIDs {
+		if r.QIDs[i] != s.QIDs[i] {
+			return fmt.Errorf("blocking: views disagree on QID %d (%d vs %d)", i, r.QIDs[i], s.QIDs[i])
+		}
+	}
+	return nil
+}
+
 // TotalPairs returns |R| × |S| in record pairs.
 func (res *Result) TotalPairs() int64 {
 	return res.MatchedPairs + res.NonMatchedPairs + res.UnknownPairs
@@ -277,10 +300,14 @@ func (res *Result) Efficiency() float64 {
 }
 
 // UnknownGroupPairs lists the class pairs labeled U, the SMC step's
-// candidate set. The output is sized from the counts Block already took,
-// so a sweep calling this per configuration does one allocation instead
-// of log₂(|U|) slice growths.
+// candidate set, in row-major (RI, SI) order under both representations.
+// The output is sized from the counts Block already took, so a sweep
+// calling this per configuration does one allocation instead of
+// log₂(|U|) slice growths. Callers may reorder the returned slice.
 func (res *Result) UnknownGroupPairs() []GroupPair {
+	if res.Labels == nil {
+		return append([]GroupPair(nil), res.unknownList...)
+	}
 	out := make([]GroupPair, 0, res.UnknownGroups)
 	for ri, row := range res.Labels {
 		for si, l := range row {

@@ -39,6 +39,19 @@ func StrategyByName(name string) (core.Strategy, error) {
 	}
 }
 
+// BlockingModeByName resolves a blocking engine from its
+// case-insensitive CLI/API name.
+func BlockingModeByName(name string) (core.BlockingMode, error) {
+	switch strings.ToLower(name) {
+	case "", "dense":
+		return core.BlockingDense, nil
+	case "indexed":
+		return core.BlockingIndexed, nil
+	default:
+		return 0, fmt.Errorf("unknown blocking mode %q (want dense or indexed)", name)
+	}
+}
+
 // AnonymizerByName resolves a k-anonymization method from its
 // case-insensitive CLI/API name.
 func AnonymizerByName(name string) (anonymize.Anonymizer, error) {

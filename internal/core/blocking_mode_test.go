@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pprl/internal/adult"
+	"pprl/internal/blocking"
+)
+
+// TestBlockingModesAgree runs the same linkage under both blocking
+// engines and requires identical outputs: same counts, same final label
+// for every record pair, same SMC spending.
+func TestBlockingModesAgree(t *testing.T) {
+	alice, bob := workload(t, 600, 42)
+	cfg := DefaultConfig(adult.DefaultQIDs())
+	cfg.AliceK, cfg.BobK = 8, 8
+
+	dense, err := Link(Holder{Data: alice}, Holder{Data: bob}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Blocking = BlockingIndexed
+	indexed, err := Link(Holder{Data: alice}, Holder{Data: bob}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db, ib := dense.Block, indexed.Block
+	if db.MatchedPairs != ib.MatchedPairs || db.NonMatchedPairs != ib.NonMatchedPairs ||
+		db.UnknownPairs != ib.UnknownPairs || db.UnknownGroups != ib.UnknownGroups {
+		t.Fatalf("blocking counts diverge: dense M/N/U/UG = %d/%d/%d/%d, indexed = %d/%d/%d/%d",
+			db.MatchedPairs, db.NonMatchedPairs, db.UnknownPairs, db.UnknownGroups,
+			ib.MatchedPairs, ib.NonMatchedPairs, ib.UnknownPairs, ib.UnknownGroups)
+	}
+	if dense.Invocations != indexed.Invocations {
+		t.Fatalf("SMC invocations diverge: dense %d, indexed %d", dense.Invocations, indexed.Invocations)
+	}
+	for i := 0; i < alice.Len(); i++ {
+		for j := 0; j < bob.Len(); j++ {
+			if d, x := dense.PairMatched(i, j), indexed.PairMatched(i, j); d != x {
+				t.Fatalf("pair (%d,%d): dense says %v, indexed says %v", i, j, d, x)
+			}
+		}
+	}
+	if ib.Stats == nil {
+		t.Error("indexed result carries no pruning stats")
+	}
+}
+
+// TestBlockingBudget exercises the memory-budget gate: a budget smaller
+// than the dense Labels matrix fails the dense run with a pointer to the
+// indexed mode, while the indexed run completes under the same budget
+// with identical results to an unbudgeted dense run.
+func TestBlockingBudget(t *testing.T) {
+	alice, bob := workload(t, 600, 42)
+	cfg := DefaultConfig(adult.DefaultQIDs())
+	cfg.AliceK, cfg.BobK = 4, 4 // low k → many classes → a real matrix
+
+	reference, err := Link(Holder{Data: alice}, Holder{Data: bob}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := int64(len(reference.Block.R.Classes)) * int64(len(reference.Block.S.Classes))
+	if need < 2 {
+		t.Fatalf("workload degenerated to %d class pairs", need)
+	}
+
+	cfg.BlockingBudgetBytes = 64 // far below any real matrix
+	if _, err := Link(Holder{Data: alice}, Holder{Data: bob}, cfg); err == nil {
+		t.Fatal("dense blocking ran despite a 64-byte matrix budget")
+	} else if !strings.Contains(err.Error(), "BlockingIndexed") {
+		t.Fatalf("budget error should point at BlockingIndexed: %v", err)
+	}
+
+	cfg.Blocking = BlockingIndexed
+	indexed, err := Link(Holder{Data: alice}, Holder{Data: bob}, cfg)
+	if err != nil {
+		t.Fatalf("indexed blocking failed under the budget: %v", err)
+	}
+	if got, want := indexed.MatchedPairCount(), reference.MatchedPairCount(); got != want {
+		t.Fatalf("indexed run under budget reports %d matches, dense reference %d", got, want)
+	}
+	if indexed.Block.UnknownPairs != reference.Block.UnknownPairs {
+		t.Fatalf("unknown pairs diverge: %d vs %d", indexed.Block.UnknownPairs, reference.Block.UnknownPairs)
+	}
+}
+
+// TestReleaseLabelsKeepsSweepsWorking reuses one blocking result across
+// LinkPrepared calls: the first resolve releases the dense matrix, and
+// later sweeps must still see identical labels through the sparse form.
+func TestReleaseLabelsKeepsSweepsWorking(t *testing.T) {
+	alice, bob := workload(t, 400, 7)
+	cfg := DefaultConfig(adult.DefaultQIDs())
+	cfg.AliceK, cfg.BobK = 8, 8
+	first, err := Link(Holder{Data: alice}, Holder{Data: bob}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Block.Labels != nil {
+		t.Fatal("resolve should have released the dense Labels matrix")
+	}
+	again, err := LinkPrepared(Holder{Data: alice}, Holder{Data: bob}, first.Block, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.MatchedPairCount() != again.MatchedPairCount() {
+		t.Fatalf("sweep over released block diverged: %d vs %d matches",
+			first.MatchedPairCount(), again.MatchedPairCount())
+	}
+}
+
+// TestDenseLabelsBytes sanity-checks the budget estimator the gate uses.
+func TestDenseLabelsBytes(t *testing.T) {
+	alice, bob := workload(t, 400, 7)
+	cfg := DefaultConfig(adult.DefaultQIDs())
+	cfg.AliceK, cfg.BobK = 8, 8
+	res, err := Link(Holder{Data: alice}, Holder{Data: bob}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := blocking.DenseLabelsBytes(res.Block.R, res.Block.S)
+	min := int64(len(res.Block.R.Classes)) * int64(len(res.Block.S.Classes))
+	if est < min {
+		t.Fatalf("estimate %d below one byte per class pair (%d pairs)", est, min)
+	}
+}

@@ -61,6 +61,32 @@ func (s Strategy) String() string {
 	}
 }
 
+// BlockingMode selects the blocking engine.
+type BlockingMode int
+
+const (
+	// BlockingDense (default) evaluates the slack rule on every class
+	// pair and materializes the dense Labels matrix, exactly the paper's
+	// formulation.
+	BlockingDense BlockingMode = iota
+	// BlockingIndexed builds the hierarchy-aware inverted index over
+	// Bob's view and streams only the candidate class pairs through the
+	// rule (see internal/index): label-identical to BlockingDense, but
+	// sub-quadratic in practice and never allocating the dense matrix.
+	BlockingIndexed
+)
+
+func (m BlockingMode) String() string {
+	switch m {
+	case BlockingDense:
+		return "dense"
+	case BlockingIndexed:
+		return "indexed"
+	default:
+		return fmt.Sprintf("BlockingMode(%d)", int(m))
+	}
+}
+
 // ComparatorFactory builds the SMC comparator over the holders' encoded
 // records. workers is the resolved Config.SMCWorkers value; factories
 // that cannot parallelize may ignore it. The default (nil) uses the
@@ -122,6 +148,17 @@ type Config struct {
 	// AllowanceFraction is the budget as a fraction of all record pairs
 	// (paper default 0.015, i.e. 1.5%).
 	AllowanceFraction float64
+
+	// Blocking selects the blocking engine (default BlockingDense). Both
+	// modes produce identical labels; BlockingIndexed prunes class pairs
+	// via the hierarchy index and keeps memory proportional to the M/U
+	// pairs instead of the full class-pair matrix.
+	Blocking BlockingMode
+	// BlockingBudgetBytes, when positive, caps the memory the dense
+	// Labels matrix may commit: a dense run whose matrix estimate exceeds
+	// the budget fails fast with a hint to switch to BlockingIndexed,
+	// whose footprint does not depend on the matrix size.
+	BlockingBudgetBytes int64
 
 	// Scale is the fixed-point factor for continuous values in the SMC
 	// circuit; 1 (default via DefaultConfig) is exact for integer data.

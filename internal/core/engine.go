@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"pprl/internal/anonymize"
 	"pprl/internal/blocking"
 	"pprl/internal/dataset"
 	"pprl/internal/heuristic"
+	"pprl/internal/index"
 	"pprl/internal/smc"
 )
 
@@ -50,7 +52,7 @@ func Link(alice, bob Holder, cfg Config) (*Result, error) {
 
 	// Step 2 — blocking over the exchanged anonymized views.
 	start = time.Now()
-	block, err := blocking.Block(aView, bView, rule)
+	block, err := blockViews(aView, bView, rule, &cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: blocking: %w", err)
 	}
@@ -94,6 +96,29 @@ func LinkPrepared(alice, bob Holder, block *blocking.Result, cfg Config) (*Resul
 	return resolve(alice, bob, block, rule, qids, &cfg)
 }
 
+// blockViews dispatches the blocking step per Config.Blocking. The dense
+// path is checked against the memory budget first; the indexed path's
+// footprint does not depend on the matrix size, so it runs under any
+// budget and reports per-row progress while it streams.
+func blockViews(aView, bView *anonymize.Result, rule *blocking.Rule, cfg *Config) (*blocking.Result, error) {
+	switch cfg.Blocking {
+	case BlockingDense:
+		if cfg.BlockingBudgetBytes > 0 {
+			if need := blocking.DenseLabelsBytes(aView, bView); need > cfg.BlockingBudgetBytes {
+				return nil, fmt.Errorf("dense Labels matrix needs %d bytes, over the %d-byte budget; use Config.Blocking = BlockingIndexed",
+					need, cfg.BlockingBudgetBytes)
+			}
+		}
+		return blocking.Block(aView, bView, rule)
+	case BlockingIndexed:
+		return index.Stream(aView, bView, rule, index.Options{
+			Progress: func(done, total int64) { cfg.report("blocking", done, total) },
+		}, nil)
+	default:
+		return nil, fmt.Errorf("unknown blocking mode %v", cfg.Blocking)
+	}
+}
+
 // resolve implements steps 3-5: heuristic ordering, budgeted SMC, and
 // residual labeling.
 func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qids []int, cfg *Config) (*Result, error) {
@@ -113,6 +138,11 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
 	}
+	// The ordering fixed above is the last consumer that scans all class
+	// pairs; drop the dense matrix (when one exists) before the SMC phase
+	// so its memory is reclaimable during the long crypto loop. Label
+	// lookups from here on use the sparse form transparently.
+	block.ReleaseLabels()
 
 	// Step 4 — resolve pairs with the SMC comparator until the allowance
 	// is exhausted.

@@ -77,7 +77,7 @@ func (r *Result) Rule() *blocking.Rule { return r.rule }
 func (r *Result) PairMatched(i, j int) bool {
 	ri := r.Block.R.ClassOf[i]
 	si := r.Block.S.ClassOf[j]
-	switch r.Block.Labels[ri][si] {
+	switch r.Block.Label(ri, si) {
 	case blocking.Match:
 		return true
 	case blocking.NonMatch:

@@ -74,11 +74,13 @@ func Baselines(opts Options) (*Table, error) {
 // optimistic, non-match when pessimistic.
 func sanitizationOnly(p *prepared, w Workload, optimistic bool) metrics.Confusion {
 	block := p.block
-	guessMatch := make([][]bool, len(block.Labels))
-	for ri, row := range block.Labels {
-		guesses := make([]bool, len(row))
-		for si, l := range row {
-			switch l {
+	// Label() works on both the dense and the released/streamed sparse
+	// representation, so this matcher is independent of blocking mode.
+	guessMatch := make([][]bool, len(block.R.Classes))
+	for ri := range block.R.Classes {
+		guesses := make([]bool, len(block.S.Classes))
+		for si := range block.S.Classes {
+			switch block.Label(ri, si) {
 			case blocking.Match:
 				guesses[si] = true
 			case blocking.Unknown:

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pprl/internal/anonymize"
+	"pprl/internal/blocking"
+	"pprl/internal/index"
+)
+
+// BlockingPerfReport is the machine-readable blocking benchmark that
+// `pprl-bench -exp blocking -json` writes to BENCH_blocking.json: the
+// dense class-pair scan against the hierarchy index over an identical
+// Adult workload, with throughput, allocation, and pruning measurements.
+type BlockingPerfReport struct {
+	Records  int     `json:"records"`
+	K        int     `json:"k"`
+	Theta    float64 `json:"theta"`
+	RClasses int     `json:"r_classes"`
+	SClasses int     `json:"s_classes"`
+	// ClassPairs is the full candidate space both engines must label.
+	ClassPairs int64 `json:"class_pairs"`
+
+	DenseSeconds   float64 `json:"dense_seconds"`
+	IndexedSeconds float64 `json:"indexed_seconds"`
+	// Rates are class pairs labeled per second — the indexed engine
+	// labels the same pair space, it just never enumerates most of it.
+	DenseRate   float64 `json:"dense_class_pairs_per_sec"`
+	IndexedRate float64 `json:"indexed_class_pairs_per_sec"`
+	Speedup     float64 `json:"speedup"`
+
+	// AllocBytes are the total heap allocations of each run; the dense
+	// figure includes the Labels matrix the indexed path never builds.
+	DenseAllocBytes   uint64 `json:"dense_alloc_bytes"`
+	IndexedAllocBytes uint64 `json:"indexed_alloc_bytes"`
+	// DenseLabelsBytes is the matrix footprint alone, the part that
+	// scales quadratically with class count.
+	DenseLabelsBytes int64 `json:"dense_labels_bytes"`
+
+	RuleEvaluations  int64   `json:"rule_evaluations"`
+	PrunedClassPairs int64   `json:"pruned_class_pairs"`
+	PrunedFraction   float64 `json:"pruned_fraction"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BlockingPerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// measureAlloc runs f and returns its duration plus the heap bytes it
+// allocated (total allocation, not live set — the stable way to compare
+// two single-shot runs without depending on GC timing).
+func measureAlloc(f func() error) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.TotalAlloc - before.TotalAlloc, err
+}
+
+// BlockingPerf benchmarks the two blocking engines over the standard
+// Adult workload at low k (k = 4 gives enough equivalence classes for
+// the class-pair loop to dominate). Both runs must be label-identical;
+// divergence is an error, not a report.
+func BlockingPerf(opts Options) (*BlockingPerfReport, *Table, error) {
+	w := NewWorkload(opts)
+	o := w.Opts
+	k := w.capK(4)
+	schema := w.Alice.Schema()
+	qids, err := schema.Resolve(o.QIDs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockingperf: %w", err)
+	}
+	rule, err := blocking.RuleFor(schema, qids, o.Theta)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockingperf: %w", err)
+	}
+	anon := anonymize.NewMaxEntropy()
+	aView, err := anon.Anonymize(w.Alice, qids, k)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockingperf: anonymizing alice: %w", err)
+	}
+	bView, err := anon.Anonymize(w.Bob, qids, k)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockingperf: anonymizing bob: %w", err)
+	}
+
+	var dense, indexed *blocking.Result
+	denseTime, denseAlloc, err := measureAlloc(func() error {
+		dense, err = blocking.Block(aView, bView, rule)
+		return err
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockingperf: dense: %w", err)
+	}
+	indexedTime, indexedAlloc, err := measureAlloc(func() error {
+		indexed, err = index.Block(aView, bView, rule)
+		return err
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockingperf: indexed: %w", err)
+	}
+
+	// Label identity is part of the benchmark's contract.
+	if dense.MatchedPairs != indexed.MatchedPairs ||
+		dense.NonMatchedPairs != indexed.NonMatchedPairs ||
+		dense.UnknownPairs != indexed.UnknownPairs {
+		return nil, nil, fmt.Errorf("blockingperf: engines disagree: dense M/N/U %d/%d/%d, indexed %d/%d/%d",
+			dense.MatchedPairs, dense.NonMatchedPairs, dense.UnknownPairs,
+			indexed.MatchedPairs, indexed.NonMatchedPairs, indexed.UnknownPairs)
+	}
+	for ri := range dense.R.Classes {
+		for si := range dense.S.Classes {
+			if dense.Label(ri, si) != indexed.Label(ri, si) {
+				return nil, nil, fmt.Errorf("blockingperf: label mismatch at class pair (%d,%d)", ri, si)
+			}
+		}
+	}
+
+	st := indexed.Stats
+	rep := &BlockingPerfReport{
+		Records:           o.Records,
+		K:                 k,
+		Theta:             o.Theta,
+		RClasses:          st.RClasses,
+		SClasses:          st.SClasses,
+		ClassPairs:        st.ClassPairs,
+		DenseSeconds:      denseTime.Seconds(),
+		IndexedSeconds:    indexedTime.Seconds(),
+		DenseAllocBytes:   denseAlloc,
+		IndexedAllocBytes: indexedAlloc,
+		DenseLabelsBytes:  blocking.DenseLabelsBytes(aView, bView),
+		RuleEvaluations:   st.RuleEvaluations,
+		PrunedClassPairs:  st.PrunedClassPairs,
+		PrunedFraction:    st.PrunedFraction(),
+	}
+	if rep.DenseSeconds > 0 {
+		rep.DenseRate = float64(rep.ClassPairs) / rep.DenseSeconds
+	}
+	if rep.IndexedSeconds > 0 {
+		rep.IndexedRate = float64(rep.ClassPairs) / rep.IndexedSeconds
+	}
+	if rep.DenseRate > 0 {
+		rep.Speedup = rep.IndexedRate / rep.DenseRate
+	}
+
+	t := &Table{
+		ID:      "blocking",
+		Title:   fmt.Sprintf("blocking engines (Adult %d records, k=%d, θ=%.2f: %d×%d classes, %d class pairs)", o.Records, k, o.Theta, st.RClasses, st.SClasses, st.ClassPairs),
+		Columns: []string{"engine", "seconds", "class pairs/sec", "alloc bytes", "rule evals", "pruned"},
+	}
+	t.AddRow("dense", fmt.Sprintf("%.4f", rep.DenseSeconds), fmt.Sprintf("%.0f", rep.DenseRate),
+		fmt.Sprintf("%d", rep.DenseAllocBytes), fmt.Sprintf("%d", rep.ClassPairs), "0.0%")
+	t.AddRow("indexed", fmt.Sprintf("%.4f", rep.IndexedSeconds), fmt.Sprintf("%.0f", rep.IndexedRate),
+		fmt.Sprintf("%d", rep.IndexedAllocBytes), fmt.Sprintf("%d", rep.RuleEvaluations),
+		fmt.Sprintf("%.1f%%", 100*rep.PrunedFraction))
+	return rep, t, nil
+}

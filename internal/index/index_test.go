@@ -1,0 +1,234 @@
+package index_test
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pprl/internal/adult"
+	"pprl/internal/anonymize"
+	"pprl/internal/blocking"
+	"pprl/internal/dataset"
+	"pprl/internal/distance"
+	"pprl/internal/index"
+)
+
+// fixture anonymizes an Adult workload at low k so the class-pair space
+// is large enough for pruning to matter.
+func fixture(t *testing.T, records, k int, theta float64) (av, bv *anonymize.Result, rule *blocking.Rule) {
+	t.Helper()
+	full := adult.Generate(records, 13)
+	alice, bob := dataset.SplitOverlap(full, rand.New(rand.NewSource(14)))
+	qids, err := full.Schema().Resolve(adult.DefaultQIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon := anonymize.NewMaxEntropy()
+	if av, err = anon.Anonymize(alice, qids, k); err != nil {
+		t.Fatal(err)
+	}
+	if bv, err = anon.Anonymize(bob, qids, k); err != nil {
+		t.Fatal(err)
+	}
+	if rule, err = blocking.RuleFor(full.Schema(), qids, theta); err != nil {
+		t.Fatal(err)
+	}
+	return av, bv, rule
+}
+
+// assertEquivalent checks the streamed result against the dense one:
+// identical counts, identical label for every class pair, identical
+// Unknown group-pair order, and consistent pruning statistics.
+func assertEquivalent(t *testing.T, dense, streamed *blocking.Result) {
+	t.Helper()
+	if dense.MatchedPairs != streamed.MatchedPairs ||
+		dense.NonMatchedPairs != streamed.NonMatchedPairs ||
+		dense.UnknownPairs != streamed.UnknownPairs ||
+		dense.UnknownGroups != streamed.UnknownGroups {
+		t.Fatalf("counts diverge: dense M/N/U/UG = %d/%d/%d/%d, indexed = %d/%d/%d/%d",
+			dense.MatchedPairs, dense.NonMatchedPairs, dense.UnknownPairs, dense.UnknownGroups,
+			streamed.MatchedPairs, streamed.NonMatchedPairs, streamed.UnknownPairs, streamed.UnknownGroups)
+	}
+	for ri := range dense.R.Classes {
+		for si := range dense.S.Classes {
+			if d, s := dense.Label(ri, si), streamed.Label(ri, si); d != s {
+				t.Fatalf("label (%d,%d): dense %v, indexed %v", ri, si, d, s)
+			}
+		}
+	}
+	du, su := dense.UnknownGroupPairs(), streamed.UnknownGroupPairs()
+	if len(du) != len(su) {
+		t.Fatalf("unknown group pairs: dense %d, indexed %d", len(du), len(su))
+	}
+	for i := range du {
+		if du[i] != su[i] {
+			t.Fatalf("unknown group pair %d: dense %+v, indexed %+v", i, du[i], su[i])
+		}
+	}
+	st := streamed.Stats
+	if st == nil {
+		t.Fatal("indexed result has no Stats")
+	}
+	if st.RuleEvaluations+st.PrunedClassPairs != st.ClassPairs {
+		t.Fatalf("stats do not add up: %d evaluated + %d pruned != %d class pairs",
+			st.RuleEvaluations, st.PrunedClassPairs, st.ClassPairs)
+	}
+}
+
+func TestIndexedMatchesDenseAdult(t *testing.T) {
+	av, bv, rule := fixture(t, 1200, 4, 0.05)
+	dense, err := blocking.Block(av, bv, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := index.Block(av, bv, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, dense, streamed)
+	// Acceptance criterion: at the paper-default θ the index must prune
+	// more than half of the class-pair rule evaluations on Adult.
+	if f := streamed.Stats.PrunedFraction(); f <= 0.5 {
+		t.Errorf("pruned fraction %.3f ≤ 0.5 on the Adult workload at θ=0.05 (%d of %d class pairs evaluated)",
+			f, streamed.Stats.RuleEvaluations, streamed.Stats.ClassPairs)
+	}
+}
+
+func TestStreamEmitCoversEvaluations(t *testing.T) {
+	av, bv, rule := fixture(t, 600, 4, 0.05)
+	type rec struct {
+		gp blocking.GroupPair
+		l  blocking.Label
+	}
+	var got []rec
+	streamed, err := index.Stream(av, bv, rule, index.Options{}, func(gp blocking.GroupPair, l blocking.Label) error {
+		got = append(got, rec{gp, l})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != streamed.Stats.RuleEvaluations {
+		t.Fatalf("emit saw %d pairs, stats report %d evaluations", len(got), streamed.Stats.RuleEvaluations)
+	}
+	dense, err := blocking.Block(av, bv, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].gp.RI != got[j].gp.RI {
+			return got[i].gp.RI < got[j].gp.RI
+		}
+		return got[i].gp.SI < got[j].gp.SI
+	})
+	seen := make(map[[2]int]bool, len(got))
+	for _, r := range got {
+		if seen[[2]int{r.gp.RI, r.gp.SI}] {
+			t.Fatalf("pair (%d,%d) emitted twice", r.gp.RI, r.gp.SI)
+		}
+		seen[[2]int{r.gp.RI, r.gp.SI}] = true
+		if want := dense.Label(r.gp.RI, r.gp.SI); r.l != want {
+			t.Fatalf("emitted label for (%d,%d) = %v, dense says %v", r.gp.RI, r.gp.SI, r.l, want)
+		}
+		if want := av.Classes[r.gp.RI].Size() * bv.Classes[r.gp.SI].Size(); r.gp.Pairs != want {
+			t.Fatalf("emitted Pairs for (%d,%d) = %d, want %d", r.gp.RI, r.gp.SI, r.gp.Pairs, want)
+		}
+	}
+	// Every M or U pair must have been emitted: pruning only ever drops
+	// certain NonMatches.
+	for ri := range av.Classes {
+		for si := range bv.Classes {
+			if l := dense.Label(ri, si); l != blocking.NonMatch && !seen[[2]int{ri, si}] {
+				t.Fatalf("pair (%d,%d) labeled %v by dense was never emitted", ri, si, l)
+			}
+		}
+	}
+}
+
+func TestStreamEmitErrorAborts(t *testing.T) {
+	av, bv, rule := fixture(t, 600, 4, 0.05)
+	boom := errors.New("boom")
+	if _, err := index.Stream(av, bv, rule, index.Options{}, func(blocking.GroupPair, blocking.Label) error {
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("emit error not propagated: %v", err)
+	}
+}
+
+func TestUnconstrainedThresholdStillEquivalent(t *testing.T) {
+	// θ ≥ 1 disables every Hamming attribute's postings; with θ = 1 on all
+	// attributes the index admits everything and must still agree with the
+	// dense scan.
+	av, bv, _ := fixture(t, 600, 8, 0.05)
+	full := adult.Generate(600, 13)
+	qids, err := full.Schema().Resolve(adult.DefaultQIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := blocking.RuleFor(full.Schema(), qids, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.New(bv, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Euclidean attributes stay indexed even at θ = 1; only Hamming ones
+	// drop out. The Adult QID set has one continuous attribute (age).
+	if ix.Constrained() != 1 {
+		t.Fatalf("constrained attributes at θ=1: got %d, want 1 (age only)", ix.Constrained())
+	}
+	dense, err := blocking.Block(av, bv, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := index.Block(av, bv, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, dense, streamed)
+}
+
+func TestProgressReported(t *testing.T) {
+	av, bv, rule := fixture(t, 600, 4, 0.05)
+	var last, total int64
+	if _, err := index.Stream(av, bv, rule, index.Options{
+		Progress: func(done, tot int64) { last, total = done, tot },
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if last != int64(len(av.Classes)) || total != int64(len(av.Classes)) {
+		t.Fatalf("final progress = %d/%d, want %d/%d", last, total, len(av.Classes), len(av.Classes))
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	av, bv, rule := fixture(t, 600, 4, 0.05)
+	metrics := make([]distance.Metric, rule.Len()+1)
+	for i := range metrics {
+		metrics[i] = distance.Hamming{}
+	}
+	wide, err := blocking.UniformRule(metrics, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := index.New(bv, wide); err == nil {
+		t.Error("New accepted a rule with the wrong attribute count")
+	}
+	if _, err := index.Stream(av, bv, wide, index.Options{}, nil); err == nil {
+		t.Error("Stream accepted a rule with the wrong attribute count")
+	}
+	// A categorical metric over a continuous attribute is a build error.
+	catOnly := make([]distance.Metric, rule.Len())
+	for i := range catOnly {
+		catOnly[i] = distance.Hamming{}
+	}
+	catRule, err := blocking.UniformRule(catOnly, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := index.New(bv, catRule); err == nil {
+		t.Error("New accepted Hamming over the continuous age attribute")
+	}
+}

@@ -143,7 +143,7 @@ func (o *Oracle) CheckBlocking(block *blocking.Result) error {
 						a, d, inf, sup, rSeq[a], sSeq[a], o.aliceSeqs[i][a], o.bobSeqs[j][a])
 				}
 			}
-			label := block.Labels[ri][si]
+			label := block.Label(ri, si)
 			truth := o.Matches(i, j)
 			switch {
 			case label == blocking.Match && !truth:

@@ -43,11 +43,15 @@ type JobSpec struct {
 	// and takes precedence.
 	AllowanceFraction float64 `json:"allowance_fraction,omitempty"`
 	Allowance         int64   `json:"allowance,omitempty"`
-	// Heuristic, Strategy and Anonymizer take the CLI names (see
-	// cliutil); empty selects the paper defaults.
+	// Heuristic, Strategy, Anonymizer and Blocking take the CLI names
+	// (see cliutil); empty selects the paper defaults.
 	Heuristic  string `json:"heuristic,omitempty"`
 	Strategy   string `json:"strategy,omitempty"`
 	Anonymizer string `json:"anonymizer,omitempty"`
+	// Blocking selects the blocking engine: "dense" (default) or
+	// "indexed" (hierarchy index with candidate pruning and streaming
+	// pair emission; same labels, sub-quadratic enumeration).
+	Blocking string `json:"blocking,omitempty"`
 	// Secure runs the real Paillier protocol in-process with KeyBits
 	// keys; false uses the plaintext cost-model oracle.
 	Secure  bool `json:"secure,omitempty"`
@@ -84,6 +88,9 @@ func (s *JobSpec) Validate() error {
 	if _, err := cliutil.AnonymizerByName(s.Anonymizer); err != nil {
 		return err
 	}
+	if _, err := cliutil.BlockingModeByName(s.Blocking); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -115,6 +122,9 @@ func (s *JobSpec) Config(qids []string) (core.Config, error) {
 		return cfg, err
 	}
 	cfg.AliceAnonymizer, cfg.BobAnonymizer = anon, anon
+	if cfg.Blocking, err = cliutil.BlockingModeByName(s.Blocking); err != nil {
+		return cfg, err
+	}
 	if s.Secure {
 		keyBits := s.KeyBits
 		if keyBits == 0 {

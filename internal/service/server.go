@@ -72,6 +72,14 @@ type Server struct {
 	mSMCPurchased  *metrics.Var
 	mSMCReplayed   *metrics.Var
 	mHTTPRequests  *metrics.Var
+
+	mBlockClasses    *metrics.Var
+	mBlockClassPairs *metrics.Var
+	mBlockEvals      *metrics.Var
+	mBlockPruned     *metrics.Var
+	mBlockMatched    *metrics.Var
+	mBlockNonMatched *metrics.Var
+	mBlockUnknown    *metrics.Var
 }
 
 // New opens the service root, recovers jobs left behind by a previous
@@ -103,6 +111,13 @@ func New(cfg Config) (*Server, error) {
 	s.mSMCPurchased = s.reg.Counter("smc_comparisons_total", "Live SMC comparisons purchased across completed jobs.")
 	s.mSMCReplayed = s.reg.Counter("smc_replayed_allowance_total", "Allowance satisfied from journals instead of live SMC across completed jobs.")
 	s.mHTTPRequests = s.reg.Counter("http_requests_total", "API requests served.")
+	s.mBlockClasses = s.reg.Counter("blocking_classes_total", "Equivalence classes blocked across completed jobs (both relations).")
+	s.mBlockClassPairs = s.reg.Counter("blocking_class_pairs_total", "Class pairs in the blocking candidate space across completed jobs.")
+	s.mBlockEvals = s.reg.Counter("blocking_rule_evaluations_total", "Class pairs the slack rule actually evaluated (indexed jobs skip pruned pairs).")
+	s.mBlockPruned = s.reg.Counter("blocking_pruned_class_pairs_total", "Class pairs the hierarchy index pruned without a rule evaluation.")
+	s.mBlockMatched = s.reg.Counter("blocking_matched_pairs_total", "Record pairs blocking labeled Match across completed jobs.")
+	s.mBlockNonMatched = s.reg.Counter("blocking_nonmatched_pairs_total", "Record pairs blocking labeled NonMatch across completed jobs.")
+	s.mBlockUnknown = s.reg.Counter("blocking_unknown_pairs_total", "Record pairs blocking left Unknown for SMC across completed jobs.")
 
 	recovered, err := store.Recover()
 	if err != nil {
@@ -465,6 +480,20 @@ func (s *Server) execute(ctx context.Context, job *Job) error {
 	}
 	s.mSMCPurchased.Add(res.Invocations)
 	s.mSMCReplayed.Add(res.Resume.ReplayedAllowance)
+	block := res.Block
+	s.mBlockClasses.Add(int64(len(block.R.Classes) + len(block.S.Classes)))
+	classPairs := int64(len(block.R.Classes)) * int64(len(block.S.Classes))
+	s.mBlockClassPairs.Add(classPairs)
+	if st := block.Stats; st != nil {
+		s.mBlockEvals.Add(st.RuleEvaluations)
+		s.mBlockPruned.Add(st.PrunedClassPairs)
+	} else {
+		// Dense blocking evaluates the full candidate space.
+		s.mBlockEvals.Add(classPairs)
+	}
+	s.mBlockMatched.Add(block.MatchedPairs)
+	s.mBlockNonMatched.Add(block.NonMatchedPairs)
+	s.mBlockUnknown.Add(block.UnknownPairs)
 	return nil
 }
 

@@ -253,6 +253,7 @@ func TestServiceValidation(t *testing.T) {
 		{},                   // missing datasets
 		{AlicePath: "a.csv"}, // missing bob
 		{AlicePath: "a.csv", BobPath: "b.csv", Heuristic: "nope"}, // unknown heuristic
+		{AlicePath: "a.csv", BobPath: "b.csv", Blocking: "nope"},  // unknown blocking mode
 		{AlicePath: "../a.csv", BobPath: "b.csv"},                 // escapes data dir
 		{AlicePath: "/etc/passwd", BobPath: "b.csv"},              // absolute ref
 		{AlicePath: "a.csv", BobPath: "b.csv", Theta: -1},         // negative parameter
@@ -301,6 +302,55 @@ func TestServiceValidation(t *testing.T) {
 	rr.Body.Close()
 	if rr.StatusCode != http.StatusConflict {
 		t.Errorf("result of failed job returned %d, want 409", rr.StatusCode)
+	}
+}
+
+// TestServiceIndexedBlocking: the same workload linked under both
+// blocking engines returns identical results over the API, and the
+// indexed run feeds the blocking counters (including pruned pairs).
+func TestServiceIndexedBlocking(t *testing.T) {
+	dataDir := writeDataDir(t, 120, 9)
+	_, ts := newTestServer(t, Config{Dir: t.TempDir(), DataDir: dataDir, Workers: 1})
+
+	dense := submit(t, ts, testSpec())
+	waitState(t, ts, dense.ID, StateDone)
+	denseRes := getResult(t, ts, dense.ID)
+
+	spec := testSpec()
+	spec.Blocking = "indexed"
+	indexed := submit(t, ts, spec)
+	waitState(t, ts, indexed.ID, StateDone)
+	indexedRes := getResult(t, ts, indexed.ID)
+
+	if len(denseRes.Matches) != len(indexedRes.Matches) {
+		t.Fatalf("match counts diverge: dense %d, indexed %d", len(denseRes.Matches), len(indexedRes.Matches))
+	}
+	for i := range denseRes.Matches {
+		if denseRes.Matches[i] != indexedRes.Matches[i] {
+			t.Fatalf("match %d diverges: dense %v, indexed %v", i, denseRes.Matches[i], indexedRes.Matches[i])
+		}
+	}
+
+	mt, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mt.Body)
+	mt.Body.Close()
+	for _, want := range []string{
+		"pprl_blocking_class_pairs_total",
+		"pprl_blocking_rule_evaluations_total",
+		"pprl_blocking_pruned_class_pairs_total",
+		"pprl_blocking_unknown_pairs_total",
+	} {
+		if !strings.Contains(string(mraw), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mraw)
+		}
+	}
+	// Two jobs ran; only the indexed one can prune, and at this scale the
+	// index always prunes something.
+	if strings.Contains(string(mraw), "pprl_blocking_pruned_class_pairs_total 0\n") {
+		t.Errorf("indexed job pruned nothing:\n%s", mraw)
 	}
 }
 

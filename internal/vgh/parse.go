@@ -35,14 +35,17 @@ func Parse(name string, r io.Reader) (*Hierarchy, error) {
 		line++
 		raw := sc.Text()
 		trimmed := strings.TrimLeft(raw, " \t")
-		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+		label := strings.TrimSpace(trimmed)
+		// The comment check must look at the fully trimmed label: a line
+		// like "\r#" would otherwise parse as a root named "#", which
+		// Dump re-emits as a comment and can never round-trip.
+		if trimmed == "" || strings.HasPrefix(label, "#") {
 			continue
 		}
 		depth, err := indentDepth(raw[:len(raw)-len(trimmed)])
 		if err != nil {
 			return nil, fmt.Errorf("vgh: line %d: %w", line, err)
 		}
-		label := strings.TrimSpace(trimmed)
 		if label == "" {
 			// Exotic whitespace (e.g. a vertical tab) survives the
 			// blank-line check above but is not a usable label.

@@ -187,6 +187,19 @@ const (
 	TrainClassifier = core.TrainClassifier
 )
 
+// BlockingMode selects the blocking engine (Config.Blocking).
+type BlockingMode = core.BlockingMode
+
+// Blocking engines (DESIGN.md §10).
+const (
+	// BlockingDense evaluates the slack rule on every class pair and
+	// materializes the dense Labels matrix (the default).
+	BlockingDense = core.BlockingDense
+	// BlockingIndexed prunes class pairs through the hierarchy index and
+	// streams labels without the dense matrix; label-identical to dense.
+	BlockingIndexed = core.BlockingIndexed
+)
+
 var (
 	// DefaultConfig returns the paper's Section VI defaults.
 	DefaultConfig = core.DefaultConfig
