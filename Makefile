@@ -4,9 +4,9 @@ GO ?= go
 # How long `make fuzz` spends per fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke
+.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke bench-smoke
 
-check: build binaries vet test race crash restart fuzz blocking-smoke
+check: build binaries vet test race crash restart fuzz blocking-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzHeuristicOrdering$$' -fuzztime $(FUZZTIME) ./internal/heuristic
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime $(FUZZTIME) ./internal/journal
 	$(GO) test -run '^$$' -fuzz '^FuzzIndexPrune$$' -fuzztime $(FUZZTIME) ./internal/index
+	$(GO) test -run '^$$' -fuzz '^FuzzPackedSigned$$' -fuzztime $(FUZZTIME) ./internal/paillier
 
 # Crash-injection matrix: every generated world is killed at seeded pair
 # boundaries (plus a torn-tail variant) and resumed from its journal; the
@@ -52,6 +53,12 @@ restart:
 # label identity between the engines and fails on any divergence.
 blocking-smoke:
 	$(GO) run ./cmd/pprl-bench -exp blocking -records 600
+
+# One-iteration compile-and-run of every crypto micro-benchmark: keeps
+# the paillier kernels and the SMC engine benches from bit-rotting
+# without paying for a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/paillier ./internal/smc
 
 # Serial-vs-sharded throughput of the secure comparator (1024-bit key),
 # plus the dense-vs-indexed blocking engine comparison.

@@ -28,17 +28,18 @@ func main() {
 		full        = flag.Bool("full", false, "paper-scale workload: 30,162 records (slow)")
 		seed        = flag.Int64("seed", 0, "workload seed; 0 = default")
 		asJSON      = flag.Bool("json", false, "emit tables as JSON for external plotting; smcperf and blocking additionally write their report files")
+		perfBits    = flag.Int("perf-keybits", 512, "smcperf: Paillier key size (512 keeps the default run fast; use 1024 for acceptance-grade numbers)")
 		perfOut     = flag.String("perf-out", "BENCH_smc.json", "smcperf: path of the machine-readable benchmark report (with -json)")
 		blockingOut = flag.String("blocking-out", "BENCH_blocking.json", "blocking: path of the machine-readable benchmark report (with -json)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfOut, *blockingOut); err != nil {
+	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut); err != nil {
 		fmt.Fprintln(os.Stderr, "pprl-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfOut, blockingOut string) error {
+func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut string) error {
 	render := func(t *experiment.Table) error {
 		if asJSON {
 			return t.RenderJSON(out)
@@ -130,9 +131,7 @@ func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON 
 		}
 	}
 	if want("smcperf") {
-		// 512-bit keys keep the default run fast; the acceptance-grade
-		// 1024-bit numbers come from BenchmarkSecureBatch.
-		rep, t, err := experiment.SMCPerf(512, 4, 32, 0)
+		rep, t, err := experiment.SMCPerf(perfBits, 4, 32, 0)
 		if err != nil {
 			return err
 		}

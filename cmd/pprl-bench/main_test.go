@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden file")
 // `go test ./cmd/pprl-bench -run Golden -update`.
 func TestGoldenOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, "", ""); err != nil {
+	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, 512, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "golden.txt")
@@ -44,7 +44,7 @@ func TestGoldenOutput(t *testing.T) {
 
 func TestRunSelectedArtifacts(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig3", 240, false, 3, false, "", ""); err != nil {
+	if err := run(&buf, "example,fig3", 240, false, 3, false, 512, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -61,7 +61,7 @@ func TestRunSelectedArtifacts(t *testing.T) {
 
 func TestRunFig6And7Selection(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig7", 240, false, 3, false, "", ""); err != nil {
+	if err := run(&buf, "fig7", 240, false, 3, false, 512, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -72,7 +72,7 @@ func TestRunFig6And7Selection(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", 240, false, 3, true, "", ""); err != nil {
+	if err := run(&buf, "fig3", 240, false, 3, true, 512, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	var tab struct {
@@ -90,7 +90,7 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunBaselines(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "baselines", 240, false, 3, false, "", ""); err != nil {
+	if err := run(&buf, "baselines", 240, false, 3, false, 512, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "pure SMC") {
@@ -103,7 +103,7 @@ func TestRunBaselines(t *testing.T) {
 func TestRunSMCPerfJSON(t *testing.T) {
 	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "smcperf", 240, false, 3, true, perfOut, ""); err != nil {
+	if err := run(&buf, "smcperf", 240, false, 3, true, 512, perfOut, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(perfOut)
@@ -111,13 +111,19 @@ func TestRunSMCPerfJSON(t *testing.T) {
 		t.Fatalf("report not written: %v", err)
 	}
 	var rep struct {
-		GOMAXPROCS  int     `json:"gomaxprocs"`
-		Workers     int     `json:"workers"`
-		KeyBits     int     `json:"key_bits"`
-		SerialRate  float64 `json:"serial_comparisons_per_sec"`
-		ShardedRate float64 `json:"sharded_comparisons_per_sec"`
-		Speedup     float64 `json:"speedup"`
-		Bytes       int64   `json:"bytes_per_comparison"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+		Workers    int `json:"workers"`
+		KeyBits    int `json:"key_bits"`
+		Engines    []struct {
+			Engine      string  `json:"engine"`
+			Packing     string  `json:"packing"`
+			Rate        float64 `json:"comparisons_per_sec"`
+			Bytes       int64   `json:"bytes_per_comparison"`
+			ResultBytes int64   `json:"result_bytes_per_comparison"`
+			Decryptions float64 `json:"decryptions_per_comparison"`
+		} `json:"engines"`
+		Speedup             float64 `json:"speedup"`
+		DecryptionReduction float64 `json:"decryption_reduction"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report does not parse: %v", err)
@@ -125,8 +131,31 @@ func TestRunSMCPerfJSON(t *testing.T) {
 	if rep.GOMAXPROCS < 1 || rep.Workers < 1 || rep.KeyBits != 512 {
 		t.Errorf("report header wrong: %+v", rep)
 	}
-	if rep.SerialRate <= 0 || rep.ShardedRate <= 0 || rep.Speedup <= 0 || rep.Bytes <= 0 {
-		t.Errorf("report metrics not populated: %+v", rep)
+	if len(rep.Engines) != 4 {
+		t.Fatalf("report has %d engine cells, want 4 (serial/sharded × off/packed)", len(rep.Engines))
+	}
+	cells := map[string]int{}
+	for i, e := range rep.Engines {
+		cells[e.Engine+"/"+e.Packing] = i
+		if e.Rate <= 0 || e.Bytes <= 0 || e.ResultBytes <= 0 || e.Decryptions <= 0 {
+			t.Errorf("engine cell %s/%s metrics not populated: %+v", e.Engine, e.Packing, e)
+		}
+	}
+	for _, want := range []string{"serial/off", "serial/packed", "sharded/off", "sharded/packed"} {
+		if _, ok := cells[want]; !ok {
+			t.Errorf("missing engine cell %s", want)
+		}
+	}
+	if rep.Speedup <= 0 || rep.DecryptionReduction <= 1 {
+		t.Errorf("derived ratios not populated: speedup=%v decryption_reduction=%v", rep.Speedup, rep.DecryptionReduction)
+	}
+	// Packing must shrink the result leg and the decryption count.
+	off, packed := rep.Engines[cells["serial/off"]], rep.Engines[cells["serial/packed"]]
+	if packed.ResultBytes >= off.ResultBytes {
+		t.Errorf("packed result bytes %d not below unpacked %d", packed.ResultBytes, off.ResultBytes)
+	}
+	if packed.Decryptions >= off.Decryptions {
+		t.Errorf("packed decryptions %v not below unpacked %v", packed.Decryptions, off.Decryptions)
 	}
 	// The stdout table rides along for humans.
 	if !strings.Contains(buf.String(), "smcperf") {
@@ -139,7 +168,7 @@ func TestRunSMCPerfJSON(t *testing.T) {
 func TestRunBlockingJSON(t *testing.T) {
 	blockingOut := filepath.Join(t.TempDir(), "BENCH_blocking.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "blocking", 240, false, 3, true, "", blockingOut); err != nil {
+	if err := run(&buf, "blocking", 240, false, 3, true, 512, "", blockingOut); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(blockingOut)
@@ -177,7 +206,7 @@ func TestRunBlockingJSON(t *testing.T) {
 func TestRunSMCPerfTextNoFile(t *testing.T) {
 	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "smcperf", 240, false, 3, false, perfOut, ""); err != nil {
+	if err := run(&buf, "smcperf", 240, false, 3, false, 512, perfOut, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(perfOut); err == nil {

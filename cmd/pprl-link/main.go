@@ -57,6 +57,7 @@ type options struct {
 	secure       bool
 	keyBits      int
 	smcWorkers   int
+	packing      string
 	eval         bool
 	showPairs    bool
 	jsonOut      bool
@@ -83,6 +84,7 @@ func main() {
 	flag.BoolVar(&opts.secure, "secure", false, "run the real Paillier SMC protocol instead of the cost-model oracle")
 	flag.IntVar(&opts.keyBits, "keybits", 1024, "Paillier key size for -secure")
 	flag.IntVar(&opts.smcWorkers, "smc-workers", 0, "parallel SMC lanes for -secure (0 = GOMAXPROCS)")
+	flag.StringVar(&opts.packing, "packing", "packed", "SMC result packing for -secure: packed (slot-packed responses) or off")
 	flag.BoolVar(&opts.eval, "eval", false, "score against exact ground truth (requires both files, which this command has)")
 	flag.BoolVar(&opts.showPairs, "pairs", false, "print matched entity-ID pairs")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit one machine-readable JSON document instead of text")
@@ -155,6 +157,9 @@ func run(out io.Writer, opts options) error {
 		cfg.Comparator = pprl.SecureComparatorFactory(opts.keyBits)
 	}
 	cfg.SMCWorkers = opts.smcWorkers
+	if cfg.SMCPacking, err = cliutil.PackingModeByName(opts.packing); err != nil {
+		return err
+	}
 	cfg.Context = opts.ctx
 
 	switch {

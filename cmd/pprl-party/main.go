@@ -50,6 +50,7 @@ type queryOptions struct {
 	heurName   string
 	keyBits    int
 	smcWorkers int
+	packing    string
 	shuffle    bool
 	// journalPath starts a fresh durable journal; resumePath continues an
 	// interrupted one. Mutually exclusive.
@@ -76,6 +77,7 @@ func main() {
 		heurName    = flag.String("heuristic", "minAvgFirst", "query: selection heuristic")
 		keyBits     = flag.Int("keybits", 1024, "query: Paillier key size")
 		smcWorkers  = flag.Int("smc-workers", 0, "query: SMC batch-size scaling (0 = default chunking)")
+		packing     = flag.String("packing", "packed", "query: SMC result packing (packed or off)")
 		shuffle     = flag.Bool("shuffle", true, "query: hide which attribute failed (attribute shuffling)")
 		schemaPath  = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
 		journalPath = flag.String("journal", "", "query: record the run to a durable journal at this path (crash-resumable)")
@@ -100,6 +102,7 @@ func main() {
 			heurName:    *heurName,
 			keyBits:     *keyBits,
 			smcWorkers:  *smcWorkers,
+			packing:     *packing,
 			shuffle:     *shuffle,
 			journalPath: *journalPath,
 			resumePath:  *resumePath,
@@ -145,6 +148,10 @@ func runQuery(out io.Writer, opts queryOptions) error {
 		return fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the existing journal)")
 	}
 	h, err := cliutil.HeuristicByName(opts.heurName)
+	if err != nil {
+		return err
+	}
+	packing, err := cliutil.PackingModeByName(opts.packing)
 	if err != nil {
 		return err
 	}
@@ -204,6 +211,7 @@ func runQuery(out io.Writer, opts queryOptions) error {
 		KeyBits:           opts.keyBits,
 		ShuffleAttributes: opts.shuffle,
 		SMCWorkers:        opts.smcWorkers,
+		Packing:           packing.SMC(),
 		Journal:           journal,
 		Context:           opts.ctx,
 	})

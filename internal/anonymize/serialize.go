@@ -90,7 +90,7 @@ func ReadView(r io.Reader, schema *dataset.Schema) (*Result, error) {
 		return nil, fmt.Errorf("anonymize: not a pprl-view v1 file")
 	}
 	res := &Result{}
-	maxMember := -1
+	maxMember, totalMembers := -1, 0
 	for {
 		fields, ok := next()
 		if !ok {
@@ -155,6 +155,7 @@ func ReadView(r io.Reader, schema *dataset.Schema) (*Result, error) {
 				if m > maxMember {
 					maxMember = m
 				}
+				totalMembers++
 				members = append(members, m)
 			}
 			res.Classes = append(res.Classes, Class{Sequence: seq, Members: members})
@@ -167,6 +168,15 @@ func ReadView(r io.Reader, schema *dataset.Schema) (*Result, error) {
 	}
 	if len(res.Classes) == 0 {
 		return nil, fmt.Errorf("anonymize: view has no classes")
+	}
+	// Record indexes must cover 0..maxMember exactly once (gaps and
+	// duplicates are both rejected below), so a consistent view has
+	// maxMember+1 == totalMembers. Checking the cheap direction first
+	// bounds the ClassOf allocation by the number of parsed member
+	// tokens — a hostile view cannot name record 10¹² and force a
+	// terabyte-sized index.
+	if maxMember+1 > totalMembers {
+		return nil, fmt.Errorf("anonymize: view references record %d but lists only %d members", maxMember, totalMembers)
 	}
 	res.ClassOf = make([]int, maxMember+1)
 	for i := range res.ClassOf {

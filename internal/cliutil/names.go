@@ -52,6 +52,19 @@ func BlockingModeByName(name string) (core.BlockingMode, error) {
 	}
 }
 
+// PackingModeByName resolves the SMC result-packing mode from its
+// case-insensitive CLI/API name.
+func PackingModeByName(name string) (core.PackingMode, error) {
+	switch strings.ToLower(name) {
+	case "", "packed":
+		return core.PackingPacked, nil
+	case "off":
+		return core.PackingOff, nil
+	default:
+		return 0, fmt.Errorf("unknown packing mode %q (want packed or off)", name)
+	}
+}
+
 // AnonymizerByName resolves a k-anonymization method from its
 // case-insensitive CLI/API name.
 func AnonymizerByName(name string) (anonymize.Anonymizer, error) {

@@ -87,6 +87,39 @@ func (m BlockingMode) String() string {
 	}
 }
 
+// PackingMode selects the secure comparator's result-message encoding
+// (Config.SMCPacking).
+type PackingMode int
+
+const (
+	// PackingPacked (default) slot-packs Bob's blinded per-attribute
+	// outputs into ⌈d/slots⌉ ciphertexts, cutting the querying party's
+	// decryptions and the MsgResult bytes by ~d×. Verdict-identical to
+	// PackingOff.
+	PackingPacked PackingMode = iota
+	// PackingOff sends one result ciphertext per active attribute.
+	PackingOff
+)
+
+func (m PackingMode) String() string {
+	switch m {
+	case PackingPacked:
+		return "packed"
+	case PackingOff:
+		return "off"
+	default:
+		return fmt.Sprintf("PackingMode(%d)", int(m))
+	}
+}
+
+// SMC maps the engine-level mode onto the protocol spec's packing field.
+func (m PackingMode) SMC() smc.Packing {
+	if m == PackingOff {
+		return smc.PackingOff
+	}
+	return smc.PackingPacked
+}
+
 // ComparatorFactory builds the SMC comparator over the holders' encoded
 // records. workers is the resolved Config.SMCWorkers value; factories
 // that cannot parallelize may ignore it. The default (nil) uses the
@@ -170,6 +203,13 @@ type Config struct {
 	// and the scaling factor for the engine's batch size. ≤ 0 (the
 	// default) selects GOMAXPROCS.
 	SMCWorkers int
+	// SMCPacking selects the secure comparator's result encoding:
+	// PackingPacked (the default and the zero value) or PackingOff.
+	// Like SMCWorkers it changes only how verdicts are transported,
+	// never what they are, so it is excluded from the journal manifest
+	// and a journaled run may resume under either mode. The plaintext
+	// oracle ignores it.
+	SMCPacking PackingMode
 	// Seed drives the random pair selection of TrainClassifier.
 	Seed int64
 	// Journal, when set, receives the run manifest and one record per
@@ -256,6 +296,9 @@ func (c *Config) normalize(schema *dataset.Schema) ([]int, *blocking.Rule, error
 	}
 	if c.SMCWorkers <= 0 {
 		c.SMCWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.SMCPacking != PackingPacked && c.SMCPacking != PackingOff {
+		return nil, nil, fmt.Errorf("core: unknown SMCPacking mode %d", int(c.SMCPacking))
 	}
 	return qids, rule, nil
 }

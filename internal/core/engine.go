@@ -174,6 +174,7 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	if err != nil {
 		return nil, fmt.Errorf("core: building SMC spec: %w", err)
 	}
+	spec.Packing = cfg.SMCPacking.SMC()
 	cmp, err := cfg.Comparator(
 		smc.EncodeRecords(alice.Data, qids, cfg.Scale),
 		smc.EncodeRecords(bob.Data, qids, cfg.Scale),

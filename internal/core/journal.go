@@ -35,11 +35,12 @@ func runManifest(alice, bob Holder, block *blocking.Result, cfg *Config, allowan
 	}
 }
 
-// configDigest hashes the normalized run parameters. SMCWorkers and the
-// comparator backend are deliberately excluded: they change how fast
-// verdicts arrive, never which verdicts arrive, so a run may resume with
-// different parallelism or switch between the plaintext oracle and the
-// secure protocol.
+// configDigest hashes the normalized run parameters. SMCWorkers,
+// SMCPacking and the comparator backend are deliberately excluded: they
+// change how fast verdicts arrive (or how they are encoded in transit),
+// never which verdicts arrive, so a run may resume with different
+// parallelism, the other packing mode, or switch between the plaintext
+// oracle and the secure protocol.
 func configDigest(cfg *Config, allowance int64) [32]byte {
 	h := sha256.New()
 	for _, q := range cfg.QIDs {

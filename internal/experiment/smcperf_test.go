@@ -13,18 +13,29 @@ import (
 // change this test makes visible instead of silent.
 func TestSMCPerfReportGoldenSchema(t *testing.T) {
 	rep := &SMCPerfReport{
-		GOMAXPROCS:         8,
-		Workers:            4,
-		KeyBits:            1024,
-		Attributes:         3,
-		Pairs:              64,
-		KeygenSeconds:      0.5,
-		SerialSeconds:      10.25,
-		ShardedSeconds:     3.5,
-		SerialRate:         6.2439,
-		ShardedRate:        18.2857,
-		Speedup:            2.9285,
-		BytesPerComparison: 2048,
+		GOMAXPROCS:    8,
+		Workers:       4,
+		KeyBits:       1024,
+		Attributes:    4,
+		Pairs:         64,
+		KeygenSeconds: 0.5,
+		Engines: []SMCPerfEngine{
+			{
+				Engine: "serial", Packing: "off", Workers: 1,
+				Seconds: 10.25, Rate: 6.2439,
+				BytesPerComparison: 2048, ResultBytesPerComparison: 1040,
+				DecryptionsPerComparison: 4,
+			},
+			{
+				Engine: "serial", Packing: "packed", Workers: 1,
+				Seconds: 8.5, Rate: 7.5294,
+				BytesPerComparison: 1560, ResultBytesPerComparison: 272,
+				DecryptionsPerComparison: 1,
+			},
+		},
+		Speedup:             2.9285,
+		PackedSpeedup:       1.2058,
+		DecryptionReduction: 4,
 	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
@@ -34,44 +45,97 @@ func TestSMCPerfReportGoldenSchema(t *testing.T) {
   "gomaxprocs": 8,
   "workers": 4,
   "key_bits": 1024,
-  "attributes": 3,
+  "attributes": 4,
   "pairs": 64,
   "keygen_seconds": 0.5,
-  "serial_seconds": 10.25,
-  "sharded_seconds": 3.5,
-  "serial_comparisons_per_sec": 6.2439,
-  "sharded_comparisons_per_sec": 18.2857,
+  "engines": [
+    {
+      "engine": "serial",
+      "packing": "off",
+      "workers": 1,
+      "seconds": 10.25,
+      "comparisons_per_sec": 6.2439,
+      "bytes_per_comparison": 2048,
+      "result_bytes_per_comparison": 1040,
+      "decryptions_per_comparison": 4
+    },
+    {
+      "engine": "serial",
+      "packing": "packed",
+      "workers": 1,
+      "seconds": 8.5,
+      "comparisons_per_sec": 7.5294,
+      "bytes_per_comparison": 1560,
+      "result_bytes_per_comparison": 272,
+      "decryptions_per_comparison": 1
+    }
+  ],
   "speedup": 2.9285,
-  "bytes_per_comparison": 2048
+  "packed_speedup": 1.2058,
+  "decryption_reduction": 4
 }
 `
 	if got := buf.String(); got != golden {
 		t.Errorf("BENCH_smc.json schema drifted:\ngot:\n%s\nwant:\n%s", got, golden)
 	}
 
-	// Independent of formatting: exactly this key set, every value a
-	// JSON number.
+	// Independent of formatting: exactly these key sets, every scalar a
+	// JSON number except the engine/packing labels.
 	var m map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{
+	wantTop := []string{
 		"gomaxprocs", "workers", "key_bits", "attributes", "pairs",
-		"keygen_seconds", "serial_seconds", "sharded_seconds",
-		"serial_comparisons_per_sec", "sharded_comparisons_per_sec",
-		"speedup", "bytes_per_comparison",
+		"keygen_seconds", "engines",
+		"speedup", "packed_speedup", "decryption_reduction",
 	}
-	if len(m) != len(want) {
-		t.Errorf("report has %d fields, want %d: %v", len(m), len(want), m)
+	if len(m) != len(wantTop) {
+		t.Errorf("report has %d fields, want %d: %v", len(m), len(wantTop), keysOf(m))
 	}
-	for _, k := range want {
+	for _, k := range wantTop {
 		v, ok := m[k]
 		if !ok {
 			t.Errorf("missing field %q", k)
 			continue
 		}
+		if k == "engines" {
+			continue
+		}
 		if _, isNum := v.(float64); !isNum {
 			t.Errorf("field %q is %T, want a JSON number", k, v)
+		}
+	}
+	engines, _ := m["engines"].([]any)
+	if len(engines) != 2 {
+		t.Fatalf("engines has %d entries, want 2", len(engines))
+	}
+	wantEngine := []string{
+		"engine", "packing", "workers", "seconds", "comparisons_per_sec",
+		"bytes_per_comparison", "result_bytes_per_comparison",
+		"decryptions_per_comparison",
+	}
+	for i, e := range engines {
+		em, _ := e.(map[string]any)
+		if len(em) != len(wantEngine) {
+			t.Errorf("engines[%d] has %d fields, want %d: %v", i, len(em), len(wantEngine), keysOf(em))
+		}
+		for _, k := range wantEngine {
+			v, ok := em[k]
+			if !ok {
+				t.Errorf("engines[%d] missing field %q", i, k)
+				continue
+			}
+			switch k {
+			case "engine", "packing":
+				if _, isStr := v.(string); !isStr {
+					t.Errorf("engines[%d].%s is %T, want a JSON string", i, k, v)
+				}
+			default:
+				if _, isNum := v.(float64); !isNum {
+					t.Errorf("engines[%d].%s is %T, want a JSON number", i, k, v)
+				}
+			}
 		}
 	}
 	if t.Failed() {

@@ -1,0 +1,155 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// benchKeyBits is the paper's key size; the micro-benchmarks exist to
+// keep the kernel costs at that size visible (bench-smoke compiles and
+// runs them once per CI pass so they cannot rot).
+const benchKeyBits = 1024
+
+var (
+	benchOnce sync.Once
+	benchSK   *PrivateKey
+)
+
+func benchKey(b *testing.B) *PrivateKey {
+	b.Helper()
+	benchOnce.Do(func() {
+		k, err := GenerateKey(rand.Reader, benchKeyBits)
+		if err != nil {
+			b.Fatalf("GenerateKey: %v", err)
+		}
+		benchSK = k
+	})
+	return benchSK
+}
+
+func benchCiphertext(b *testing.B, sk *PrivateKey, v int64) *Ciphertext {
+	b.Helper()
+	ct, err := sk.EncryptInt64(rand.Reader, v)
+	if err != nil {
+		b.Fatalf("EncryptInt64: %v", err)
+	}
+	return ct
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	sk := benchKey(b)
+	m := big.NewInt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Encrypt(rand.Reader, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptCRT(b *testing.B) {
+	sk := benchKey(b)
+	ct := benchCiphertext(b, sk, 123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptDirect(b *testing.B) {
+	sk := benchKey(b)
+	// A key without the prime factors decrypts via Lambda/Mu.
+	direct := &PrivateKey{PublicKey: sk.PublicKey, Lambda: sk.Lambda, Mu: sk.Mu}
+	ct := benchCiphertext(b, sk, 123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := direct.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	sk := benchKey(b)
+	x := benchCiphertext(b, sk, 11)
+	y := benchCiphertext(b, sk, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Add(x, y)
+	}
+}
+
+func BenchmarkAddConst(b *testing.B) {
+	sk := benchKey(b)
+	ct := benchCiphertext(b, sk, 11)
+	k := big.NewInt(-65)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.AddConst(ct, k)
+	}
+}
+
+// BenchmarkMulConst contrasts the exponent sizes the protocol produces:
+// small positive (Bob's record values), small negative (the fast path
+// that previously cost a full-width exponentiation), the 40-bit blinding
+// factor, and a full-width random constant (the generic path).
+func BenchmarkMulConst(b *testing.B) {
+	sk := benchKey(b)
+	ct := benchCiphertext(b, sk, 17)
+	full, err := rand.Int(rand.Reader, sk.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		k    *big.Int
+	}{
+		{"small", big.NewInt(12345)},
+		{"small-negative", big.NewInt(-12345)},
+		{"blind40", new(big.Int).Lsh(one, 40)},
+		{"full-width", full},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sk.MulConst(ct, tc.k)
+			}
+		})
+	}
+}
+
+// BenchmarkPackUnpack measures the packed-response kernels at the SMC
+// slot width: packing d=4 blinded outputs into one ciphertext versus the
+// single decryption that replaces four.
+func BenchmarkPackUnpack(b *testing.B) {
+	sk := benchKey(b)
+	plan, err := NewPackPlan(sk.N.BitLen(), 106)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cts := make([]*Ciphertext, 4)
+	for i := range cts {
+		cts[i] = benchCiphertext(b, sk, int64(i)-2)
+	}
+	b.Run("pack4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sk.PackSigned(cts, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	packed, err := sk.PackSigned(cts, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unpack4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sk.UnpackSigned(packed[0], plan, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package paillier
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Ciphertext slot packing: k signed plaintexts, each of magnitude below
+// 2^{w-1}, ride in one ciphertext as disjoint w-bit slots of the single
+// plaintext Σ (vᵢ + 2^{w-1})·2^{i·w}. Packing is pure homomorphics — the
+// packer holds only ciphertexts — built from the cheap operators: raising
+// a ciphertext to 2^w is w squarings (shifting its plaintext left by one
+// slot), the per-slot sign offset 2^{w-1} is one AddConst of a public
+// constant, and merging slots is ciphertext multiplication. The private
+// key side then performs ONE decryption per packed ciphertext instead of
+// one per value, which is what makes packing the SMC response hot-path
+// optimization: decryption is the querying party's dominant cost.
+//
+// The offset makes every slot value non-negative (vᵢ + 2^{w-1} ∈ [0, 2^w)
+// exactly when |vᵢ| < 2^{w-1}), so slots never borrow from their
+// neighbours and the packed plaintext stays below 2^{Slots·w} < N — the
+// plan guarantees Slots·w ≤ N.BitLen()−1. UnpackSigned checks that the
+// bits above the occupied slots are zero and fails with ErrPackedOverflow
+// otherwise; a value that overflows its own slot into a neighbour is not
+// detectable here (the carry is absorbed by the next slot), which is why
+// callers must enforce the |vᵢ| < 2^{w-1} bound before packing.
+
+// ErrPackedOverflow reports a packed plaintext with non-zero bits above
+// its occupied slots: some packed value exceeded the slot bound, or the
+// ciphertext was not produced by PackSigned under the same plan.
+var ErrPackedOverflow = errors.New("paillier: packed plaintext overflows its slots")
+
+// PackPlan fixes the slot geometry both ends of a packed exchange must
+// share: the slot width and how many slots one ciphertext carries.
+type PackPlan struct {
+	// SlotBits is the slot width w; packed values must satisfy
+	// |v| < 2^{w-1}.
+	SlotBits int
+	// Slots is the per-ciphertext capacity: ⌊(modBits−1)/w⌋, so a full
+	// ciphertext's plaintext stays strictly below 2^{modBits−1} ≤ N.
+	Slots int
+}
+
+// NewPackPlan derives the packing geometry for a modulus of modBits bits
+// and the given slot width. It fails fast when even a single slot does
+// not fit — the caller must use a larger key or disable packing.
+func NewPackPlan(modBits, slotBits int) (PackPlan, error) {
+	if slotBits < 2 {
+		return PackPlan{}, fmt.Errorf("paillier: slot width %d too small", slotBits)
+	}
+	slots := (modBits - 1) / slotBits
+	if slots < 1 {
+		return PackPlan{}, fmt.Errorf("paillier: %d-bit slots do not fit a %d-bit modulus", slotBits, modBits)
+	}
+	return PackPlan{SlotBits: slotBits, Slots: slots}, nil
+}
+
+// Ciphertexts returns how many packed ciphertexts carry count values:
+// ⌈count/Slots⌉.
+func (p PackPlan) Ciphertexts(count int) int {
+	return (count + p.Slots - 1) / p.Slots
+}
+
+// offset returns the public constant Σ 2^{w-1}·2^{i·w} for i < m: the sum
+// of all m per-slot sign offsets, added homomorphically in one AddConst.
+func (p PackPlan) offset(m int) *big.Int {
+	o := new(big.Int)
+	for i := 0; i < m; i++ {
+		o.SetBit(o, i*p.SlotBits+p.SlotBits-1, 1)
+	}
+	return o
+}
+
+// PackSigned packs the signed plaintexts of cts into ⌈len(cts)/Slots⌉
+// ciphertexts under the plan. Slot i of output ciphertext c holds the
+// plaintext of cts[c·Slots+i]; every input plaintext must have magnitude
+// below 2^{SlotBits-1} (not checkable here — enforce before encrypting).
+// The output randomness is a product of the inputs' units; rerandomize
+// before sending anything adversarial-facing.
+func (pk *PublicKey) PackSigned(cts []*Ciphertext, plan PackPlan) ([]*Ciphertext, error) {
+	if plan.Slots < 1 || plan.SlotBits < 2 {
+		return nil, fmt.Errorf("paillier: invalid pack plan %+v", plan)
+	}
+	out := make([]*Ciphertext, 0, plan.Ciphertexts(len(cts)))
+	shift := new(big.Int).Lsh(one, uint(plan.SlotBits)) // exponent 2^w: one slot left
+	for lo := 0; lo < len(cts); lo += plan.Slots {
+		group := cts[lo:min(lo+plan.Slots, len(cts))]
+		// Horner from the highest slot down: each step shifts the
+		// accumulated slots up by w bits (SlotBits squarings) and merges
+		// the next value into the vacated low slot.
+		acc := new(big.Int).Set(group[len(group)-1].C)
+		for i := len(group) - 2; i >= 0; i-- {
+			acc.Exp(acc, shift, pk.N2)
+			acc.Mul(acc, group[i].C)
+			acc.Mod(acc, pk.N2)
+		}
+		// All sign offsets land in one homomorphic constant addition.
+		out = append(out, pk.AddConst(&Ciphertext{C: acc}, plan.offset(len(group))))
+	}
+	return out, nil
+}
+
+// UnpackSigned decrypts one packed ciphertext and extracts its first
+// count signed slot values, in packing order. It returns
+// ErrPackedOverflow when plaintext bits remain above the occupied slots.
+func (sk *PrivateKey) UnpackSigned(ct *Ciphertext, plan PackPlan, count int) ([]*big.Int, error) {
+	if count < 1 || count > plan.Slots {
+		return nil, fmt.Errorf("paillier: unpacking %d values from a %d-slot plan", count, plan.Slots)
+	}
+	m, err := sk.Decrypt(ct)
+	if err != nil {
+		return nil, err
+	}
+	w := uint(plan.SlotBits)
+	mask := new(big.Int).Sub(new(big.Int).Lsh(one, w), one)
+	half := new(big.Int).Lsh(one, w-1)
+	out := make([]*big.Int, count)
+	for i := 0; i < count; i++ {
+		v := new(big.Int).And(m, mask)
+		out[i] = v.Sub(v, half)
+		m.Rsh(m, w)
+	}
+	if m.Sign() != 0 {
+		return nil, ErrPackedOverflow
+	}
+	return out, nil
+}

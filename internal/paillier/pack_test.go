@@ -1,0 +1,206 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+func TestPackPlanGeometry(t *testing.T) {
+	plan, err := NewPackPlan(256, 100)
+	if err != nil {
+		t.Fatalf("NewPackPlan: %v", err)
+	}
+	if plan.Slots != 2 {
+		t.Errorf("256-bit modulus, 100-bit slots: got %d slots, want 2", plan.Slots)
+	}
+	for _, tc := range []struct{ count, cts int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}} {
+		if got := plan.Ciphertexts(tc.count); got != tc.cts {
+			t.Errorf("Ciphertexts(%d) = %d, want %d", tc.count, got, tc.cts)
+		}
+	}
+	if _, err := NewPackPlan(128, 200); err == nil {
+		t.Error("slot wider than the modulus must be rejected")
+	}
+	if _, err := NewPackPlan(256, 1); err == nil {
+		t.Error("1-bit slots must be rejected")
+	}
+}
+
+// encryptSigned encrypts one signed value for the packing tests.
+func encryptSigned(t *testing.T, sk *PrivateKey, v *big.Int) *Ciphertext {
+	t.Helper()
+	ct, err := sk.Encrypt(rand.Reader, sk.encodeSigned(v))
+	if err != nil {
+		t.Fatalf("Encrypt(%v): %v", v, err)
+	}
+	return ct
+}
+
+// packUnpack round-trips values through PackSigned/UnpackSigned.
+func packUnpack(t *testing.T, sk *PrivateKey, plan PackPlan, values []*big.Int) []*big.Int {
+	t.Helper()
+	cts := make([]*Ciphertext, len(values))
+	for i, v := range values {
+		cts[i] = encryptSigned(t, sk, v)
+	}
+	packed, err := sk.PackSigned(cts, plan)
+	if err != nil {
+		t.Fatalf("PackSigned: %v", err)
+	}
+	if want := plan.Ciphertexts(len(values)); len(packed) != want {
+		t.Fatalf("packed into %d ciphertexts, want %d", len(packed), want)
+	}
+	var out []*big.Int
+	for c, ct := range packed {
+		count := min(plan.Slots, len(values)-c*plan.Slots)
+		vals, err := sk.UnpackSigned(ct, plan, count)
+		if err != nil {
+			t.Fatalf("UnpackSigned(ct %d): %v", c, err)
+		}
+		out = append(out, vals...)
+	}
+	return out
+}
+
+func TestPackSignedRoundTrip(t *testing.T) {
+	sk := key(t)
+	plan, err := NewPackPlan(sk.N.BitLen(), 64)
+	if err != nil {
+		t.Fatalf("NewPackPlan: %v", err)
+	}
+	bound := new(big.Int).Lsh(one, 63) // slot magnitude bound 2^{w-1}
+	maxV := new(big.Int).Sub(bound, one)
+	minV := new(big.Int).Neg(maxV)
+	values := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(-1),
+		big.NewInt(123456789), big.NewInt(-987654321),
+		maxV, minV, // overflow boundary: the extreme representable slots
+	}
+	got := packUnpack(t, sk, plan, values)
+	for i, v := range values {
+		if got[i].Cmp(v) != 0 {
+			t.Errorf("slot %d: %v -> %v", i, v, got[i])
+		}
+	}
+}
+
+func TestPackSignedSingleSlot(t *testing.T) {
+	sk := key(t)
+	// A slot nearly as wide as the modulus leaves exactly one slot per
+	// ciphertext: packing degenerates to offset-plus-rerandomize.
+	plan, err := NewPackPlan(sk.N.BitLen(), sk.N.BitLen()-1)
+	if err != nil {
+		t.Fatalf("NewPackPlan: %v", err)
+	}
+	if plan.Slots != 1 {
+		t.Fatalf("got %d slots, want 1", plan.Slots)
+	}
+	values := []*big.Int{big.NewInt(-42), big.NewInt(7), big.NewInt(0)}
+	got := packUnpack(t, sk, plan, values)
+	for i, v := range values {
+		if got[i].Cmp(v) != 0 {
+			t.Errorf("slot %d: %v -> %v", i, v, got[i])
+		}
+	}
+}
+
+func TestUnpackDetectsOverflow(t *testing.T) {
+	sk := key(t)
+	plan, err := NewPackPlan(sk.N.BitLen(), 64)
+	if err != nil {
+		t.Fatalf("NewPackPlan: %v", err)
+	}
+	// A plaintext with a bit above the top slot cannot come from honest
+	// packing; every slot count must reject it.
+	over := new(big.Int).Lsh(one, uint(plan.Slots*plan.SlotBits))
+	ct, err := sk.Encrypt(rand.Reader, over)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if _, err := sk.UnpackSigned(ct, plan, plan.Slots); !errors.Is(err, ErrPackedOverflow) {
+		t.Errorf("got %v, want ErrPackedOverflow", err)
+	}
+}
+
+func TestUnpackCountValidation(t *testing.T) {
+	sk := key(t)
+	plan, err := NewPackPlan(sk.N.BitLen(), 64)
+	if err != nil {
+		t.Fatalf("NewPackPlan: %v", err)
+	}
+	ct := encryptSigned(t, sk, big.NewInt(5))
+	if _, err := sk.UnpackSigned(ct, plan, 0); err == nil {
+		t.Error("count 0 must be rejected")
+	}
+	if _, err := sk.UnpackSigned(ct, plan, plan.Slots+1); err == nil {
+		t.Error("count beyond the plan's slots must be rejected")
+	}
+}
+
+// TestMulConstFastPathMatchesGeneric pins the small-exponent MulConst
+// paths (direct small positive, inverted small negative) to the generic
+// full-width-exponent computation they replace.
+func TestMulConstFastPathMatchesGeneric(t *testing.T) {
+	sk := key(t)
+	ct := encryptSigned(t, sk, big.NewInt(17))
+	for _, k := range []int64{0, 1, 3, 1 << 40, -1, -2, -7, -(1 << 40)} {
+		kb := big.NewInt(k)
+		got, err := sk.DecryptSigned(sk.MulConst(ct, kb))
+		if err != nil {
+			t.Fatalf("DecryptSigned(MulConst %d): %v", k, err)
+		}
+		generic := new(big.Int).Exp(ct.C, sk.encodeSigned(kb), sk.N2)
+		want, err := sk.DecryptSigned(&Ciphertext{C: generic})
+		if err != nil {
+			t.Fatalf("DecryptSigned(generic %d): %v", k, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Errorf("MulConst(%d): got %v, generic path %v", k, got, want)
+		}
+	}
+}
+
+// FuzzPackedSigned fuzzes the pack/unpack round trip over random slot
+// widths, counts, and signed values, including the ±(2^{w-1}−1) overflow
+// boundary and the single-slot degenerate geometry.
+func FuzzPackedSigned(f *testing.F) {
+	f.Add(uint8(64), uint8(3), int64(12345), true)
+	f.Add(uint8(8), uint8(17), int64(-1), false)
+	f.Add(uint8(200), uint8(2), int64(0), true)  // single-slot plan at 256 bits
+	f.Add(uint8(2), uint8(40), int64(99), false) // minimal slot width
+	f.Fuzz(func(t *testing.T, widthSeed, countSeed uint8, valueSeed int64, boundary bool) {
+		sk := key(t)
+		modBits := sk.N.BitLen()
+		slotBits := 2 + int(widthSeed)%(modBits-2)
+		plan, err := NewPackPlan(modBits, slotBits)
+		if err != nil {
+			t.Fatalf("NewPackPlan(%d, %d): %v", modBits, slotBits, err)
+		}
+		count := 1 + int(countSeed)%(3*plan.Slots)
+		bound := new(big.Int).Lsh(one, uint(slotBits-1)) // values in (−2^{w-1}, 2^{w-1})
+		span := new(big.Int).Sub(new(big.Int).Lsh(bound, 1), one)
+		rng := mrand.New(mrand.NewSource(valueSeed))
+		values := make([]*big.Int, count)
+		for i := range values {
+			if boundary && i%2 == 0 {
+				// Extreme representable slot values, alternating sign.
+				values[i] = new(big.Int).Sub(bound, one)
+				if i%4 == 0 {
+					values[i] = new(big.Int).Neg(values[i])
+				}
+			} else {
+				v := new(big.Int).Rand(rng, span)
+				values[i] = v.Sub(v, new(big.Int).Sub(bound, one))
+			}
+		}
+		got := packUnpack(t, sk, plan, values)
+		for i, v := range values {
+			if got[i].Cmp(v) != 0 {
+				t.Fatalf("w=%d count=%d slot %d: %v -> %v", slotBits, count, i, v, got[i])
+			}
+		}
+	})
+}

@@ -29,6 +29,13 @@ import (
 
 var one = big.NewInt(1)
 
+// scratch pools big.Int temporaries for the homomorphic operators and the
+// decryption fast path. The SMC hot loop calls Add/AddConst/MulConst and
+// decryptCRT thousands of times per second; recycling the full-width
+// intermediates (products mod N² peak at 4× the key size) keeps the
+// allocator off the profile.
+var scratch = sync.Pool{New: func() any { return new(big.Int) }}
+
 // PublicKey holds the Paillier modulus. G is fixed to N+1.
 type PublicKey struct {
 	// N is the RSA-style modulus p·q.
@@ -53,6 +60,12 @@ type PrivateKey struct {
 	// CRT precomputation, derived from P and Q on first use.
 	crt     *crtContext
 	crtOnce sync.Once
+
+	// halfN caches N>>1, the signed-encoding boundary DecryptSigned
+	// tests against on every call; derived lazily so keys built by
+	// struct literal (UnmarshalBinary) get it too.
+	halfN    *big.Int
+	halfOnce sync.Once
 }
 
 // crtContext caches the values the CRT decryption path needs.
@@ -150,11 +163,14 @@ func (pk *PublicKey) encryptWithNoise(m, rn *big.Int) (*Ciphertext, error) {
 	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
 		return nil, ErrMessageRange
 	}
-	c := new(big.Int).Mul(m, pk.N)
-	c.Add(c, one)
-	c.Mod(c, pk.N2)
-	c.Mul(c, rn)
-	c.Mod(c, pk.N2)
+	// 1 + m·n < n² for every valid m, so the only reduction needed is the
+	// one after multiplying in the noise unit.
+	t := scratch.Get().(*big.Int)
+	t.Mul(m, pk.N)
+	t.Add(t, one)
+	t.Mul(t, rn)
+	c := new(big.Int).Mod(t, pk.N2)
+	scratch.Put(t)
 	return &Ciphertext{C: c}, nil
 }
 
@@ -190,25 +206,31 @@ func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
 // it several times faster than the direct form.
 func (sk *PrivateKey) decryptCRT(ct *Ciphertext) *big.Int {
 	c := sk.crtInit()
+	mp := scratch.Get().(*big.Int)
+	mq := scratch.Get().(*big.Int)
 	// m_p = L_p(ct^{p-1} mod p²) · hp mod p.
-	mp := new(big.Int).Exp(ct.C, c.pm1, c.p2)
+	mp.Exp(ct.C, c.pm1, c.p2)
 	mp.Sub(mp, one)
 	mp.Div(mp, sk.P)
 	mp.Mul(mp, c.hp)
 	mp.Mod(mp, sk.P)
 	// m_q likewise.
-	mq := new(big.Int).Exp(ct.C, c.qm1, c.q2)
+	mq.Exp(ct.C, c.qm1, c.q2)
 	mq.Sub(mq, one)
 	mq.Div(mq, sk.Q)
 	mq.Mul(mq, c.hq)
 	mq.Mod(mq, sk.Q)
-	// CRT: m = m_q + q·((m_p − m_q)·q⁻¹ mod p).
-	diff := new(big.Int).Sub(mp, mq)
-	diff.Mul(diff, c.qInvP)
-	diff.Mod(diff, sk.P)
-	m := new(big.Int).Mul(diff, sk.Q)
+	// CRT: m = m_q + q·((m_p − m_q)·q⁻¹ mod p); mp doubles as the diff
+	// scratch since its value is consumed first.
+	mp.Sub(mp, mq)
+	mp.Mul(mp, c.qInvP)
+	mp.Mod(mp, sk.P)
+	m := new(big.Int).Mul(mp, sk.Q)
 	m.Add(m, mq)
-	return m.Mod(m, sk.N)
+	m.Mod(m, sk.N)
+	scratch.Put(mp)
+	scratch.Put(mq)
+	return m
 }
 
 // crtInit lazily derives the CRT context from P and Q, once.
@@ -247,37 +269,70 @@ func (sk *PrivateKey) DecryptSigned(ct *Ciphertext) (*big.Int, error) {
 	if err != nil {
 		return nil, err
 	}
-	half := new(big.Int).Rsh(sk.N, 1)
-	if m.Cmp(half) > 0 {
+	if m.Cmp(sk.half()) > 0 {
 		m.Sub(m, sk.N)
 	}
 	return m, nil
 }
 
+// half lazily caches the signed-encoding boundary N>>1.
+func (sk *PrivateKey) half() *big.Int {
+	sk.halfOnce.Do(func() { sk.halfN = new(big.Int).Rsh(sk.N, 1) })
+	return sk.halfN
+}
+
 // Add returns Enc(m1 + m2) from Enc(m1) and Enc(m2) — the +h operator of
 // the paper's Section V-A.
 func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
-	c := new(big.Int).Mul(a.C, b.C)
-	c.Mod(c, pk.N2)
+	t := scratch.Get().(*big.Int)
+	t.Mul(a.C, b.C)
+	c := new(big.Int).Mod(t, pk.N2)
+	scratch.Put(t)
 	return &Ciphertext{C: c}
 }
 
 // MulConst returns Enc(k·m) from Enc(m) and a plaintext constant — the ×h
 // operator. Negative constants are encoded via the signed mapping.
+//
+// The exponentiation cost is proportional to the exponent's bit length,
+// so small constants take a fast path: a non-negative k < N is used
+// directly, and a negative k of magnitude |k| < N is computed as
+// (ct^{|k|})⁻¹ mod N² — the protocol's small negative constants would
+// otherwise encode to the full-width exponent N−|k| and cost a complete
+// modular exponentiation each.
 func (pk *PublicKey) MulConst(ct *Ciphertext, k *big.Int) *Ciphertext {
-	exp := pk.encodeSigned(k)
-	c := new(big.Int).Exp(ct.C, exp, pk.N2)
-	return &Ciphertext{C: c}
+	if k.Sign() < 0 {
+		abs := scratch.Get().(*big.Int)
+		abs.Neg(k)
+		if abs.Cmp(pk.N) < 0 {
+			c := new(big.Int).Exp(ct.C, abs, pk.N2)
+			scratch.Put(abs)
+			if c.ModInverse(c, pk.N2) != nil {
+				return &Ciphertext{C: c}
+			}
+			// ct shares a factor with N — not a valid ciphertext, but the
+			// generic path is defined on it, so match that result.
+			c.Exp(ct.C, pk.encodeSigned(k), pk.N2)
+			return &Ciphertext{C: c}
+		}
+		scratch.Put(abs)
+	} else if k.Cmp(pk.N) < 0 {
+		return &Ciphertext{C: new(big.Int).Exp(ct.C, k, pk.N2)}
+	}
+	return &Ciphertext{C: new(big.Int).Exp(ct.C, pk.encodeSigned(k), pk.N2)}
 }
 
 // AddConst returns Enc(m + k) without an extra encryption: Enc(m)·g^k.
 func (pk *PublicKey) AddConst(ct *Ciphertext, k *big.Int) *Ciphertext {
-	// g^k = 1 + k·n mod n².
-	gk := new(big.Int).Mul(pk.encodeSigned(k), pk.N)
+	// g^k = 1 + (k mod N)·N ≤ 1 + (N−1)·N < N², so the product with the
+	// ciphertext is the only reduction needed.
+	gk := scratch.Get().(*big.Int)
+	gk.Mod(k, pk.N)
+	gk.Mul(gk, pk.N)
 	gk.Add(gk, one)
-	gk.Mod(gk, pk.N2)
-	c := new(big.Int).Mul(ct.C, gk)
-	c.Mod(c, pk.N2)
+	gk.Mul(gk, ct.C)
+	c := new(big.Int).Mod(gk, pk.N2)
+	scratch.Put(gk)
 	return &Ciphertext{C: c}
 }
 
@@ -334,7 +389,10 @@ func (sk *PrivateKey) checkCiphertext(ct *Ciphertext) error {
 	if ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
 		return ErrCiphertextRange
 	}
-	if new(big.Int).GCD(nil, nil, ct.C, sk.N).Cmp(one) != 0 {
+	g := scratch.Get().(*big.Int)
+	ok := g.GCD(nil, nil, ct.C, sk.N).Cmp(one) == 0
+	scratch.Put(g)
+	if !ok {
 		return ErrCiphertextRange
 	}
 	return nil

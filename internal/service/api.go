@@ -58,6 +58,10 @@ type JobSpec struct {
 	KeyBits int  `json:"key_bits,omitempty"`
 	// SMCWorkers is the SMC parallelism (0 = GOMAXPROCS).
 	SMCWorkers int `json:"smc_workers,omitempty"`
+	// Packing selects the secure comparator's result encoding: "packed"
+	// (default; slot-packed responses, ~d× fewer decryptions) or "off".
+	// Verdict-identical either way; ignored by the plaintext oracle.
+	Packing string `json:"packing,omitempty"`
 	// Seed drives the TrainClassifier strategy's random selection.
 	Seed int64 `json:"seed,omitempty"`
 	// Evaluate additionally scores the result against exact ground
@@ -89,6 +93,9 @@ func (s *JobSpec) Validate() error {
 		return err
 	}
 	if _, err := cliutil.BlockingModeByName(s.Blocking); err != nil {
+		return err
+	}
+	if _, err := cliutil.PackingModeByName(s.Packing); err != nil {
 		return err
 	}
 	return nil
@@ -133,6 +140,9 @@ func (s *JobSpec) Config(qids []string) (core.Config, error) {
 		cfg.Comparator = core.SecureComparatorFactory(keyBits)
 	}
 	cfg.SMCWorkers = s.SMCWorkers
+	if cfg.SMCPacking, err = cliutil.PackingModeByName(s.Packing); err != nil {
+		return cfg, err
+	}
 	cfg.Seed = s.Seed
 	return cfg, nil
 }

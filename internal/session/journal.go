@@ -42,9 +42,10 @@ func queryManifest(cfg *QueryConfig, block *blocking.Result, allowance int64, al
 }
 
 // queryConfigDigest hashes the classifier parameters that determine the
-// verdicts. KeyBits and SMCWorkers are deliberately excluded: they change
-// the cost of a comparison, never its outcome, so a resumed session may
-// use a different key size or pipeline depth.
+// verdicts. KeyBits, SMCWorkers and Packing are deliberately excluded:
+// they change the cost or the encoding of a comparison, never its
+// outcome, so a resumed session may use a different key size, pipeline
+// depth, or result packing.
 func queryConfigDigest(cfg *QueryConfig, allowance int64) [32]byte {
 	h := sha256.New()
 	for _, q := range cfg.QIDs {

@@ -136,6 +136,14 @@ type QueryConfig struct {
 	Scale int64
 	// ShuffleAttributes hides which attribute failed from this party.
 	ShuffleAttributes bool
+	// Packing selects Bob's result encoding (smc.PackingPacked packs the
+	// blinded per-attribute outputs into ⌈d/slots⌉ ciphertexts; the zero
+	// value keeps the one-ciphertext-per-attribute format). The spec
+	// broadcast in MsgParams carries it to the holders, so no separate
+	// negotiation happens; pprl-party defaults its -packing flag to
+	// packed. Like SMCWorkers it never changes verdicts and is excluded
+	// from the journal manifest.
+	Packing smc.Packing
 	// SMCWorkers scales the SMC batch size. A distributed session runs
 	// one protocol lane per transport, so unlike core.Config.SMCWorkers
 	// it cannot shard the crypto; it only keeps deeper pipelines fed so
@@ -207,6 +215,7 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 		return nil, err
 	}
 	spec.ShuffleAttributes = cfg.ShuffleAttributes
+	spec.Packing = cfg.Packing
 
 	params := &smc.Message{Kind: smc.MsgParams, QIDs: cfg.QIDs, Spec: spec}
 	if err := alice.Send(params); err != nil {

@@ -30,11 +30,12 @@ func benchRecords4(n int, seed int64) [][]int64 {
 }
 
 // BenchmarkSecureBatch measures pipelined batch throughput at a 1024-bit
-// key with 4 attributes, serial versus sharded across GOMAXPROCS lanes.
-// The acceptance bar for the sharded engine is ≥ 2× the serial
-// comparisons/sec at GOMAXPROCS ≥ 4.
+// key with 4 attributes, serial versus sharded across GOMAXPROCS lanes,
+// each with packed and unpacked result encoding. The acceptance bar for
+// the sharded engine is ≥ 2× the serial comparisons/sec at GOMAXPROCS
+// ≥ 4; packing must cut decryptions/comparison from 4 to 1 at this
+// geometry (4 × 106-bit slots in a 1024-bit modulus).
 func BenchmarkSecureBatch(b *testing.B) {
-	spec := benchSpec4()
 	alice := benchRecords4(32, 1)
 	bob := benchRecords4(32, 2)
 	pairs := make([][2]int, 48)
@@ -44,6 +45,8 @@ func BenchmarkSecureBatch(b *testing.B) {
 
 	run := func(b *testing.B, cmp interface {
 		CompareBatch([][2]int) ([]bool, error)
+		Invocations() int64
+		Decryptions() int64
 		Close() error
 	}) {
 		defer cmp.Close()
@@ -56,20 +59,25 @@ func BenchmarkSecureBatch(b *testing.B) {
 		b.StopTimer()
 		total := float64(b.N * len(pairs))
 		b.ReportMetric(total/b.Elapsed().Seconds(), "comparisons/sec")
+		b.ReportMetric(float64(cmp.Decryptions())/float64(cmp.Invocations()), "decryptions/comparison")
 	}
 
-	b.Run("serial", func(b *testing.B) {
-		cmp, err := NewLocalSecure(spec, alice, bob, 1024)
-		if err != nil {
-			b.Fatal(err)
-		}
-		run(b, cmp)
-	})
-	b.Run(fmt.Sprintf("sharded-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
-		cmp, err := NewLocalSecureSharded(spec, alice, bob, 1024, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		run(b, cmp)
-	})
+	for _, packing := range []Packing{PackingOff, PackingPacked} {
+		spec := benchSpec4()
+		spec.Packing = packing
+		b.Run("serial-"+packing.String(), func(b *testing.B) {
+			cmp, err := NewLocalSecure(spec, alice, bob, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, cmp)
+		})
+		b.Run(fmt.Sprintf("sharded-%d-%s", runtime.GOMAXPROCS(0), packing), func(b *testing.B) {
+			cmp, err := NewLocalSecureSharded(spec, alice, bob, 1024, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, cmp)
+		})
+	}
 }

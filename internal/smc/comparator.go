@@ -61,8 +61,11 @@ func (p *PlainComparator) Close() error { return nil }
 // distributed deployment, run RunAlice/RunBob remotely over NewNetConn
 // transports and drive a QuerySession directly.
 type SecureComparator struct {
-	session  *QuerySession
-	conns    []Conn
+	session *QuerySession
+	conns   []Conn
+	// bobSend is Bob's end of the query link; its sent-byte counter is
+	// exactly the MsgResult traffic packing compresses.
+	bobSend  Conn
 	wg       sync.WaitGroup
 	errMu    sync.Mutex
 	partyErr error
@@ -71,10 +74,16 @@ type SecureComparator struct {
 // NewLocalSecure spawns Alice and Bob as goroutines over in-memory
 // connections and opens a query session with a fresh key of keyBits.
 func NewLocalSecure(spec *Spec, alice, bob [][]int64, keyBits int) (*SecureComparator, error) {
+	if err := spec.checkRecords(alice); err != nil {
+		return nil, fmt.Errorf("smc: alice: %w", err)
+	}
+	if err := spec.checkRecords(bob); err != nil {
+		return nil, fmt.Errorf("smc: bob: %w", err)
+	}
 	qa, aq := NewConnPair() // query <-> alice
 	qb, bq := NewConnPair() // query <-> bob
 	ab, ba := NewConnPair() // alice <-> bob
-	c := &SecureComparator{conns: []Conn{qa, aq, qb, bq, ab, ba}}
+	c := &SecureComparator{conns: []Conn{qa, aq, qb, bq, ab, ba}, bobSend: bq}
 	c.wg.Add(2)
 	go func() {
 		defer c.wg.Done()
@@ -156,6 +165,18 @@ func (c *SecureComparator) BytesTransferred() int64 {
 		total += conn.Bytes()
 	}
 	return total
+}
+
+// ResultBytes returns the bytes Bob sent to the querying party: the
+// MsgResult traffic, the component response packing compresses.
+func (c *SecureComparator) ResultBytes() int64 { return c.bobSend.Bytes() }
+
+// Decryptions returns the querying party's total Paillier decryptions.
+func (c *SecureComparator) Decryptions() int64 {
+	if c.session == nil {
+		return 0
+	}
+	return c.session.Decryptions()
 }
 
 // Close implements Comparator: shuts the parties down and waits for them.

@@ -240,6 +240,9 @@ func runAlice(query, bob Conn, records [][]int64, spec *Spec, eng *aliceEngine) 
 	if err := eng.init(pk); err != nil {
 		return fmt.Errorf("smc: alice: %w", err)
 	}
+	if err := spec.checkRecords(records); err != nil {
+		return fmt.Errorf("smc: alice: %w", err)
+	}
 	active := spec.activeAttrs()
 	for {
 		m, err := query.Recv()
@@ -302,6 +305,15 @@ func runBob(query, alice Conn, records [][]int64, spec *Spec, eng *bobEngine) er
 	if err := eng.init(pk); err != nil {
 		return fmt.Errorf("smc: bob: %w", err)
 	}
+	if err := spec.checkRecords(records); err != nil {
+		return fmt.Errorf("smc: bob: %w", err)
+	}
+	var plan paillier.PackPlan
+	if spec.packActive() {
+		if plan, err = spec.packPlan(pk.N.BitLen()); err != nil {
+			return fmt.Errorf("smc: bob: %w", err)
+		}
+	}
 	active := spec.activeAttrs()
 	for {
 		m, err := query.Recv()
@@ -334,7 +346,7 @@ func runBob(query, alice Conn, records [][]int64, spec *Spec, eng *bobEngine) er
 			encLin := &paillier.Ciphertext{C: shares.Lin[k]}
 			dist := pk.Add(encSq, pk.MulConst(encLin, big.NewInt(b)))
 			dist = pk.AddConst(dist, big.NewInt(b*b))
-			res, err := bobFinalize(pk, eng.pool, dist, spec.Attrs[active[k]], spec.RevealDistance)
+			res, err := bobFinalize(pk, eng.pool, dist, spec.Attrs[active[k]], spec.RevealDistance, spec.packActive())
 			if err != nil {
 				return err
 			}
@@ -348,6 +360,17 @@ func runBob(query, alice Conn, records [][]int64, spec *Spec, eng *bobEngine) er
 				return fmt.Errorf("smc: bob: shuffling results: %w", err)
 			}
 		}
+		// Packing runs strictly after the shuffle: the slot assignment is
+		// a public deterministic function of the already-permuted order,
+		// so the querying party's view stays a shuffled multiset of
+		// blinded values (see PROTOCOL.md).
+		if spec.packActive() {
+			packed, err := packResults(pk, eng.pool, out.Res, plan)
+			if err != nil {
+				return fmt.Errorf("smc: bob: packing results: %w", err)
+			}
+			out.Res = packed
+		}
 		if err := query.Send(out); err != nil {
 			return fmt.Errorf("smc: bob: sending result: %w", err)
 		}
@@ -355,8 +378,11 @@ func runBob(query, alice Conn, records [][]int64, spec *Spec, eng *bobEngine) er
 }
 
 // bobFinalize turns Enc(d²) into the ciphertext sent to the querying
-// party, per mode, drawing rerandomization noise from the pool.
-func bobFinalize(pk *paillier.PublicKey, pool *paillier.RandomizerPool, dist *paillier.Ciphertext, attr AttrSpec, reveal bool) (*paillier.Ciphertext, error) {
+// party, per mode, drawing rerandomization noise from the pool. When the
+// result will be slot-packed (packing), the per-attribute rerandomization
+// is skipped: these ciphertexts never cross the wire — only the packed
+// aggregate does, and packResults gives it a fresh noise unit of its own.
+func bobFinalize(pk *paillier.PublicKey, pool *paillier.RandomizerPool, dist *paillier.Ciphertext, attr AttrSpec, reveal, packing bool) (*paillier.Ciphertext, error) {
 	if reveal {
 		return pool.Rerandomize(dist)
 	}
@@ -372,7 +398,33 @@ func bobFinalize(pk *paillier.PublicKey, pool *paillier.RandomizerPool, dist *pa
 	shifted := pk.AddConst(dist, big.NewInt(-(t + 1)))
 	blinded := pk.MulConst(shifted, rho)
 	blinded = pk.AddConst(blinded, delta)
+	if packing {
+		return blinded, nil
+	}
 	return pool.Rerandomize(blinded)
+}
+
+// packResults slot-packs Bob's blinded output ciphertexts under the plan
+// and rerandomizes each packed ciphertext, so the wire carries fresh
+// uniform units rather than products of the inputs' randomness.
+func packResults(pk *paillier.PublicKey, pool *paillier.RandomizerPool, res []*big.Int, plan paillier.PackPlan) ([]*big.Int, error) {
+	cts := make([]*paillier.Ciphertext, len(res))
+	for i, c := range res {
+		cts[i] = &paillier.Ciphertext{C: c}
+	}
+	packed, err := pk.PackSigned(cts, plan)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, len(packed))
+	for i, ct := range packed {
+		r, err := pool.Rerandomize(ct)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.C
+	}
+	return out, nil
 }
 
 // shuffleCiphertexts applies a cryptographically random Fisher-Yates
@@ -406,6 +458,9 @@ type QuerySession struct {
 	spec        *Spec
 	window      int
 	invocations int64
+	decryptions int64
+	packed      bool
+	plan        paillier.PackPlan
 	closed      bool
 }
 
@@ -421,6 +476,22 @@ func NewQuerySession(alice, bob Conn, spec *Spec, keyBits int) (*QuerySession, e
 }
 
 func newQuerySessionWithKey(alice, bob Conn, spec *Spec, sk *paillier.PrivateKey) (*QuerySession, error) {
+	q := &QuerySession{
+		alice:  alice,
+		bob:    bob,
+		sk:     sk,
+		spec:   spec,
+		window: pipelineWindowFor(alice, bob),
+	}
+	if spec.packActive() {
+		// Derive the plan before distributing the key so an infeasible
+		// slot width fails here, not asynchronously inside Bob's loop.
+		plan, err := spec.packPlan(sk.N.BitLen())
+		if err != nil {
+			return nil, fmt.Errorf("smc: %w", err)
+		}
+		q.packed, q.plan = true, plan
+	}
 	pkMsg := &Message{Kind: MsgPublicKey, N: sk.N}
 	if err := alice.Send(pkMsg); err != nil {
 		return nil, fmt.Errorf("smc: sending key to alice: %w", err)
@@ -428,13 +499,7 @@ func newQuerySessionWithKey(alice, bob Conn, spec *Spec, sk *paillier.PrivateKey
 	if err := bob.Send(pkMsg); err != nil {
 		return nil, fmt.Errorf("smc: sending key to bob: %w", err)
 	}
-	return &QuerySession{
-		alice:  alice,
-		bob:    bob,
-		sk:     sk,
-		spec:   spec,
-		window: pipelineWindowFor(alice, bob),
-	}, nil
+	return q, nil
 }
 
 // Compare runs one secure comparison: does Alice's record i match Bob's
@@ -453,18 +518,41 @@ func (q *QuerySession) Compare(i, j int) (bool, error) {
 }
 
 // receiveVerdict collects and decrypts one result message from Bob; the
-// per-attribute decryptions run in parallel.
+// per-ciphertext decryptions run in parallel. Under packing, Bob's d
+// blinded outputs arrive in ⌈d/slots⌉ packed ciphertexts, each costing a
+// single decryption.
 func (q *QuerySession) receiveVerdict() (bool, error) {
 	res, err := q.bob.Recv()
 	if err != nil {
 		return false, fmt.Errorf("smc: receiving result: %w", err)
 	}
 	active := q.spec.activeAttrs()
+	vals := make([]*big.Int, len(active))
+	if q.packed {
+		want := q.plan.Ciphertexts(len(active))
+		if res.Kind != MsgResult || len(res.Res) != want {
+			return false, fmt.Errorf("smc: malformed result message")
+		}
+		q.invocations++
+		q.decryptions += int64(want)
+		if err := forEachAttr(want, func(c int) error {
+			count := min(q.plan.Slots, len(active)-c*q.plan.Slots)
+			vs, err := q.sk.UnpackSigned(&paillier.Ciphertext{C: res.Res[c]}, q.plan, count)
+			if err != nil {
+				return fmt.Errorf("smc: unpacking result ciphertext %d: %w", c, err)
+			}
+			copy(vals[c*q.plan.Slots:], vs)
+			return nil
+		}); err != nil {
+			return false, err
+		}
+		return q.verdict(vals, active), nil
+	}
 	if res.Kind != MsgResult || len(res.Res) != len(active) {
 		return false, fmt.Errorf("smc: malformed result message")
 	}
 	q.invocations++
-	vals := make([]*big.Int, len(active))
+	q.decryptions += int64(len(active))
 	if err := forEachAttr(len(active), func(k int) error {
 		v, err := q.sk.DecryptSigned(&paillier.Ciphertext{C: res.Res[k]})
 		if err != nil {
@@ -475,6 +563,11 @@ func (q *QuerySession) receiveVerdict() (bool, error) {
 	}); err != nil {
 		return false, err
 	}
+	return q.verdict(vals, active), nil
+}
+
+// verdict folds the decrypted per-attribute values into the match bit.
+func (q *QuerySession) verdict(vals []*big.Int, active []int) bool {
 	match := true
 	for k, ai := range active {
 		if q.spec.RevealDistance {
@@ -485,7 +578,7 @@ func (q *QuerySession) receiveVerdict() (bool, error) {
 			match = false
 		}
 	}
-	return match, nil
+	return match
 }
 
 // defaultPipelineWindow bounds how many comparison requests may be in
@@ -550,6 +643,11 @@ func (q *QuerySession) CompareBatch(pairs [][2]int) ([]bool, error) {
 // Invocations returns the number of completed secure comparisons, the
 // paper's cost unit.
 func (q *QuerySession) Invocations() int64 { return q.invocations }
+
+// Decryptions returns how many Paillier decryptions the session has
+// performed — the querying party's dominant cost, which packing reduces
+// from d to ⌈d/slots⌉ per comparison.
+func (q *QuerySession) Decryptions() int64 { return q.decryptions }
 
 // Close sends shutdown to both data holders.
 func (q *QuerySession) Close() error {

@@ -26,6 +26,9 @@ import (
 type ShardedComparator struct {
 	sessions []*QuerySession
 	conns    []Conn
+	// bobSends are Bob's ends of every lane's query link; their sent
+	// bytes sum to the MsgResult traffic.
+	bobSends []Conn
 	aliceEng *aliceEngine
 	bobEng   *bobEngine
 	wg       sync.WaitGroup
@@ -39,6 +42,12 @@ type ShardedComparator struct {
 func NewLocalSecureSharded(spec *Spec, alice, bob [][]int64, keyBits, workers int) (*ShardedComparator, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if err := spec.checkRecords(alice); err != nil {
+		return nil, fmt.Errorf("smc: alice: %w", err)
+	}
+	if err := spec.checkRecords(bob); err != nil {
+		return nil, fmt.Errorf("smc: bob: %w", err)
 	}
 	sk, err := paillier.GenerateKey(rand.Reader, keyBits)
 	if err != nil {
@@ -58,6 +67,7 @@ func NewLocalSecureSharded(spec *Spec, alice, bob [][]int64, keyBits, workers in
 		l.qb, l.bq = NewConnPair() // query <-> bob, lane w
 		l.ab, l.ba = NewConnPair() // alice <-> bob, lane w
 		c.conns = append(c.conns, l.qa, l.aq, l.qb, l.bq, l.ab, l.ba)
+		c.bobSends = append(c.bobSends, l.bq)
 	}
 	for w := 0; w < workers; w++ {
 		l := lanes[w]
@@ -184,6 +194,27 @@ func (c *ShardedComparator) BytesTransferred() int64 {
 	var total int64
 	for _, conn := range c.conns {
 		total += conn.Bytes()
+	}
+	return total
+}
+
+// ResultBytes sums the bytes Bob sent to the querying party across all
+// lanes: the MsgResult traffic, the component response packing
+// compresses.
+func (c *ShardedComparator) ResultBytes() int64 {
+	var total int64
+	for _, conn := range c.bobSends {
+		total += conn.Bytes()
+	}
+	return total
+}
+
+// Decryptions sums the querying party's Paillier decryptions over all
+// lanes.
+func (c *ShardedComparator) Decryptions() int64 {
+	var total int64
+	for _, s := range c.sessions {
+		total += s.Decryptions()
 	}
 	return total
 }

@@ -169,10 +169,10 @@ func checkKMonotone(t *testing.T, w *World, o *oracle.Oracle) bool {
 }
 
 // TestSecureEnginesAgainstOracle verifies the real Paillier protocol —
-// both the serial comparator and the sharded engine — against the
-// oracle's exact verdicts on generated worlds, not merely against each
-// other. Test-size keys keep the run fast; the circuit arithmetic is
-// key-size independent.
+// the serial comparator and the sharded engine, each in both result
+// encodings — against the oracle's exact verdicts on generated worlds,
+// not merely against each other. Test-size keys keep the run fast; the
+// circuit arithmetic is key-size independent.
 func TestSecureEnginesAgainstOracle(t *testing.T) {
 	base := baseSeed(t)
 	for wi := int64(0); wi < 3; wi++ {
@@ -181,7 +181,7 @@ func TestSecureEnginesAgainstOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(repro(w, err))
 		}
-		spec, err := smc.SpecFromRule(res.Rule(), 1)
+		baseSpec, err := smc.SpecFromRule(res.Rule(), 1)
 		if err != nil {
 			t.Fatal(repro(w, err))
 		}
@@ -189,24 +189,29 @@ func TestSecureEnginesAgainstOracle(t *testing.T) {
 		bobEnc := smc.EncodeRecords(w.Bob, res.QIDs(), 1)
 		pairs := samplePairs(w, o, 10)
 
-		serial, err := smc.NewLocalSecure(spec, aliceEnc, bobEnc, 256)
-		if err != nil {
-			t.Fatal(repro(w, err))
-		}
-		err = o.CheckComparator(serial, pairs)
-		serial.Close()
-		if err != nil {
-			t.Fatalf("serial engine: %s", repro(w, err))
-		}
+		for _, packing := range []smc.Packing{smc.PackingOff, smc.PackingPacked} {
+			spec := *baseSpec
+			spec.Packing = packing
 
-		sharded, err := smc.NewLocalSecureSharded(spec, aliceEnc, bobEnc, 256, 2)
-		if err != nil {
-			t.Fatal(repro(w, err))
-		}
-		err = o.CheckComparator(sharded, pairs)
-		sharded.Close()
-		if err != nil {
-			t.Fatalf("sharded engine: %s", repro(w, err))
+			serial, err := smc.NewLocalSecure(&spec, aliceEnc, bobEnc, 256)
+			if err != nil {
+				t.Fatal(repro(w, err))
+			}
+			err = o.CheckComparator(serial, pairs)
+			serial.Close()
+			if err != nil {
+				t.Fatalf("serial engine (%s): %s", packing, repro(w, err))
+			}
+
+			sharded, err := smc.NewLocalSecureSharded(&spec, aliceEnc, bobEnc, 256, 2)
+			if err != nil {
+				t.Fatal(repro(w, err))
+			}
+			err = o.CheckComparator(sharded, pairs)
+			sharded.Close()
+			if err != nil {
+				t.Fatalf("sharded engine (%s): %s", packing, repro(w, err))
+			}
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package testkit
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pprl/internal/core"
+	"pprl/internal/journal"
+)
+
+// securePackingCfg returns the world's config switched to the real
+// Paillier protocol at test-size keys with the given result packing.
+func securePackingCfg(w *World, packing core.PackingMode) core.Config {
+	cfg := w.Cfg
+	cfg.Comparator = core.SecureComparatorFactory(256)
+	cfg.SMCPacking = packing
+	return cfg
+}
+
+// TestPackingJournalEquivalence pins the tentpole's equivalence claim
+// end to end: on generated worlds run through the real Paillier
+// protocol, the packed and unpacked result encodings must produce the
+// same labeling for every record pair, spend the same number of
+// comparator invocations, and — because the journal manifest
+// deliberately excludes the packing mode — write byte-identical
+// journals. Packing changes how verdicts travel, never what they say.
+func TestPackingJournalEquivalence(t *testing.T) {
+	seed := baseSeed(t)
+	tested := 0
+	for wi := int64(0); wi < 6 && tested < 2; wi++ {
+		w := Generate(seed + wi)
+
+		run := func(packing core.PackingMode) (*core.Result, []byte) {
+			path := filepath.Join(t.TempDir(), "packing-"+packing.String()+".wal")
+			wr, err := journal.Create(path, journal.Options{SyncEvery: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := securePackingCfg(w, packing)
+			cfg.Journal = wr
+			res, err := core.Link(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, cfg)
+			if err != nil {
+				t.Fatal(repro(w, err))
+			}
+			if err := wr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, raw
+		}
+
+		unpacked, rawOff := run(core.PackingOff)
+		if unpacked.Invocations < 2 {
+			continue // not enough SMC traffic to distinguish the modes
+		}
+		tested++
+		packed, rawPacked := run(core.PackingPacked)
+
+		if packed.Invocations != unpacked.Invocations {
+			t.Fatalf("world %s: packed spent %d invocations, unpacked %d",
+				w.Describe(), packed.Invocations, unpacked.Invocations)
+		}
+		for i := 0; i < w.Alice.Len(); i++ {
+			for j := 0; j < w.Bob.Len(); j++ {
+				if packed.PairMatched(i, j) != unpacked.PairMatched(i, j) {
+					t.Fatal(repro(w, fmt.Errorf("pair (%d,%d): packed=%v unpacked=%v",
+						i, j, packed.PairMatched(i, j), unpacked.PairMatched(i, j))))
+				}
+			}
+		}
+		if !bytes.Equal(rawOff, rawPacked) {
+			t.Fatal(repro(w, errors.New("journals diverged between packing modes; the manifest or verdict stream leaked the encoding")))
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no generated world produced ≥ 2 secure comparisons; packing equivalence never checked — adjust seeds")
+	}
+}
+
+// TestPackingCrossModeResume crashes a journaled secure run mid-SMC in
+// one packing mode and resumes it in the other, both directions. The
+// stitched result must match an uninterrupted baseline pair for pair
+// with no allowance re-spent: a checkpoint written by either encoding
+// is a valid prefix for the other.
+func TestPackingCrossModeResume(t *testing.T) {
+	seed := baseSeed(t)
+	for wi := int64(0); ; wi++ {
+		if wi == 8 {
+			t.Fatal("no generated world produced ≥ 2 secure comparisons; cross-mode resume never checked — adjust seeds")
+		}
+		w := Generate(seed + wi)
+		baseline, err := core.Link(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, securePackingCfg(w, core.PackingOff))
+		if err != nil {
+			t.Fatal(repro(w, err))
+		}
+		if baseline.Invocations < 2 {
+			continue
+		}
+		kill := baseline.Invocations / 2
+		if kill < 1 {
+			kill = 1
+		}
+
+		for _, dir := range []struct {
+			name          string
+			first, second core.PackingMode
+		}{
+			{"packed-then-off", core.PackingPacked, core.PackingOff},
+			{"off-then-packed", core.PackingOff, core.PackingPacked},
+		} {
+			path := filepath.Join(t.TempDir(), "cross.wal")
+
+			wr, err := journal.Create(path, journal.Options{SyncEvery: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := securePackingCfg(w, dir.first)
+			cfg.Journal = &CrashSink{W: wr, Remaining: int(kill)}
+			_, err = core.Link(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, cfg)
+			if !errors.Is(err, ErrCrash) {
+				t.Fatalf("%s: crashed run returned %v, want ErrCrash", dir.name, err)
+			}
+			if err := wr.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			rw, err := journal.Resume(path, journal.Options{})
+			if err != nil {
+				t.Fatalf("%s: resume: %v", dir.name, err)
+			}
+			cfg2 := securePackingCfg(w, dir.second)
+			cfg2.Journal = rw
+			res, err := core.Link(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, cfg2)
+			if err != nil {
+				t.Fatalf("%s: resumed run: %v", dir.name, err)
+			}
+			if err := rw.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			for i := 0; i < w.Alice.Len(); i++ {
+				for j := 0; j < w.Bob.Len(); j++ {
+					if baseline.PairMatched(i, j) != res.PairMatched(i, j) {
+						t.Fatal(repro(w, fmt.Errorf("%s: pair (%d,%d) labeled %v, baseline %v",
+							dir.name, i, j, res.PairMatched(i, j), baseline.PairMatched(i, j))))
+					}
+				}
+			}
+			if res.Invocations != baseline.Invocations-kill {
+				t.Fatalf("%s: resumed run spent %d comparisons, want %d", dir.name, res.Invocations, baseline.Invocations-kill)
+			}
+			if res.Resume.ResumedPairs != kill || res.Resume.ReplayedAllowance != kill {
+				t.Fatalf("%s: resume stats %v, want %d replayed", dir.name, res.Resume, kill)
+			}
+		}
+		return
+	}
+}

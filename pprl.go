@@ -200,6 +200,20 @@ const (
 	BlockingIndexed = core.BlockingIndexed
 )
 
+// PackingMode selects the secure comparator's result encoding
+// (Config.SMCPacking).
+type PackingMode = core.PackingMode
+
+// SMC result-packing modes (DESIGN.md §11).
+const (
+	// PackingPacked slot-packs Bob's blinded responses into ⌈d/slots⌉
+	// ciphertexts (the default): ~d× fewer decryptions and result bytes,
+	// verdict-identical to PackingOff.
+	PackingPacked = core.PackingPacked
+	// PackingOff keeps one response ciphertext per attribute.
+	PackingOff = core.PackingOff
+)
+
 var (
 	// DefaultConfig returns the paper's Section VI defaults.
 	DefaultConfig = core.DefaultConfig
