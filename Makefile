@@ -4,9 +4,9 @@ GO ?= go
 # How long `make fuzz` spends per fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke bench-smoke
+.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke tier-smoke bench-smoke
 
-check: build binaries vet test race crash restart fuzz blocking-smoke bench-smoke
+check: build binaries vet test race crash restart fuzz blocking-smoke tier-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime $(FUZZTIME) ./internal/journal
 	$(GO) test -run '^$$' -fuzz '^FuzzIndexPrune$$' -fuzztime $(FUZZTIME) ./internal/index
 	$(GO) test -run '^$$' -fuzz '^FuzzPackedSigned$$' -fuzztime $(FUZZTIME) ./internal/paillier
+	$(GO) test -run '^$$' -fuzz '^FuzzDiceTier$$' -fuzztime $(FUZZTIME) ./internal/bloom
 
 # Crash-injection matrix: every generated world is killed at seeded pair
 # boundaries (plus a torn-tail variant) and resumed from its journal; the
@@ -54,6 +55,12 @@ restart:
 blocking-smoke:
 	$(GO) run ./cmd/pprl-bench -exp blocking -records 600
 
+# Three-tier triage vs the two-tier baseline at a smoke scale: both arms
+# share one blocking result, so the run also exercises the tier's free
+# labeling end to end and fails on any engine error.
+tier-smoke:
+	$(GO) run ./cmd/pprl-bench -exp tier -records 600
+
 # One-iteration compile-and-run of every crypto micro-benchmark: keeps
 # the paillier kernels and the SMC engine benches from bit-rotting
 # without paying for a real measurement run.
@@ -66,7 +73,9 @@ bench:
 	$(GO) test ./internal/smc -run XXX -bench BenchmarkSecureBatch -benchtime 3x
 	$(GO) run ./cmd/pprl-bench -exp blocking -json
 
-# Machine-readable engine reports (BENCH_smc.json, BENCH_blocking.json).
+# Machine-readable engine reports (BENCH_smc.json, BENCH_blocking.json,
+# BENCH_tier.json).
 perf:
 	$(GO) run ./cmd/pprl-bench -exp smcperf -json
 	$(GO) run ./cmd/pprl-bench -exp blocking -json
+	$(GO) run ./cmd/pprl-bench -exp tier -json

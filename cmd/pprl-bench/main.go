@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, example, or all")
+		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, tier, example, or all")
 		records     = flag.Int("records", 0, "workload size (records before the overlap split); 0 = default 1800")
 		full        = flag.Bool("full", false, "paper-scale workload: 30,162 records (slow)")
 		seed        = flag.Int64("seed", 0, "workload seed; 0 = default")
@@ -31,15 +31,16 @@ func main() {
 		perfBits    = flag.Int("perf-keybits", 512, "smcperf: Paillier key size (512 keeps the default run fast; use 1024 for acceptance-grade numbers)")
 		perfOut     = flag.String("perf-out", "BENCH_smc.json", "smcperf: path of the machine-readable benchmark report (with -json)")
 		blockingOut = flag.String("blocking-out", "BENCH_blocking.json", "blocking: path of the machine-readable benchmark report (with -json)")
+		tierOut     = flag.String("tier-out", "BENCH_tier.json", "tier: path of the machine-readable benchmark report (with -json)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut); err != nil {
+	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut, *tierOut); err != nil {
 		fmt.Fprintln(os.Stderr, "pprl-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut string) error {
+func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut, tierOut string) error {
 	render := func(t *experiment.Table) error {
 		if asJSON {
 			return t.RenderJSON(out)
@@ -174,6 +175,29 @@ func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON 
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "blocking: report written to %s\n", blockingOut)
+		}
+	}
+	if want("tier") {
+		rep, t, err := experiment.TierPerf(opts)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if asJSON && tierOut != "" {
+			f, err := os.Create(tierOut)
+			if err != nil {
+				return fmt.Errorf("tier: %w", err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("tier: writing report: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "tier: report written to %s\n", tierOut)
 		}
 	}
 	return nil

@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden file")
 // `go test ./cmd/pprl-bench -run Golden -update`.
 func TestGoldenOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, 512, "", ""); err != nil {
+	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, 512, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "golden.txt")
@@ -44,7 +44,7 @@ func TestGoldenOutput(t *testing.T) {
 
 func TestRunSelectedArtifacts(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig3", 240, false, 3, false, 512, "", ""); err != nil {
+	if err := run(&buf, "example,fig3", 240, false, 3, false, 512, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -61,7 +61,7 @@ func TestRunSelectedArtifacts(t *testing.T) {
 
 func TestRunFig6And7Selection(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig7", 240, false, 3, false, 512, "", ""); err != nil {
+	if err := run(&buf, "fig7", 240, false, 3, false, 512, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -72,7 +72,7 @@ func TestRunFig6And7Selection(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", 240, false, 3, true, 512, "", ""); err != nil {
+	if err := run(&buf, "fig3", 240, false, 3, true, 512, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	var tab struct {
@@ -90,7 +90,7 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunBaselines(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "baselines", 240, false, 3, false, 512, "", ""); err != nil {
+	if err := run(&buf, "baselines", 240, false, 3, false, 512, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "pure SMC") {
@@ -103,7 +103,7 @@ func TestRunBaselines(t *testing.T) {
 func TestRunSMCPerfJSON(t *testing.T) {
 	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "smcperf", 240, false, 3, true, 512, perfOut, ""); err != nil {
+	if err := run(&buf, "smcperf", 240, false, 3, true, 512, perfOut, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(perfOut)
@@ -168,7 +168,7 @@ func TestRunSMCPerfJSON(t *testing.T) {
 func TestRunBlockingJSON(t *testing.T) {
 	blockingOut := filepath.Join(t.TempDir(), "BENCH_blocking.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "blocking", 240, false, 3, true, 512, "", blockingOut); err != nil {
+	if err := run(&buf, "blocking", 240, false, 3, true, 512, "", blockingOut, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(blockingOut)
@@ -202,11 +202,67 @@ func TestRunBlockingJSON(t *testing.T) {
 	}
 }
 
+// TestRunTierJSON: -json with the tier artifact must write a parseable
+// three-tier-vs-baseline report to the -tier-out path.
+func TestRunTierJSON(t *testing.T) {
+	tierOut := filepath.Join(t.TempDir(), "BENCH_tier.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "tier", 240, false, 3, true, 512, "", "", tierOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tierOut)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Records      int     `json:"records"`
+		TierHigh     float64 `json:"tier_high"`
+		TierLow      float64 `json:"tier_low"`
+		UnknownPairs int64   `json:"unknown_pairs"`
+		Points       []struct {
+			Allowance    int64   `json:"allowance"`
+			TierSpent    int64   `json:"tier_spent"`
+			BaseSpent    int64   `json:"baseline_spent"`
+			Gain         float64 `json:"gain"`
+			TierMatched  int64   `json:"tier_matched_pairs"`
+			TierNonMatch int64   `json:"tier_nonmatched_pairs"`
+		} `json:"points"`
+		BestGain float64 `json:"best_gain"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Records != 240 || rep.UnknownPairs <= 0 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.TierLow >= rep.TierHigh {
+		t.Errorf("thresholds not populated: low=%v high=%v", rep.TierLow, rep.TierHigh)
+	}
+	if len(rep.Points) == 0 || rep.BestGain <= 0 {
+		t.Errorf("sweep points not populated: %+v", rep)
+	}
+	labeled := false
+	for _, pt := range rep.Points {
+		if pt.TierMatched+pt.TierNonMatch > 0 {
+			labeled = true
+		}
+		if pt.TierSpent > pt.BaseSpent {
+			t.Errorf("tier spent %d above baseline %d at allowance %d", pt.TierSpent, pt.BaseSpent, pt.Allowance)
+		}
+	}
+	if !labeled {
+		t.Error("tier never labeled a pair across the sweep")
+	}
+	if !strings.Contains(buf.String(), "three-tier triage") {
+		t.Error("tier table missing from output")
+	}
+}
+
 // TestRunSMCPerfTextNoFile: without -json no report file is produced.
 func TestRunSMCPerfTextNoFile(t *testing.T) {
 	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "smcperf", 240, false, 3, false, 512, perfOut, ""); err != nil {
+	if err := run(&buf, "smcperf", 240, false, 3, false, 512, perfOut, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(perfOut); err == nil {

@@ -58,9 +58,14 @@ type options struct {
 	keyBits      int
 	smcWorkers   int
 	packing      string
-	eval         bool
-	showPairs    bool
-	jsonOut      bool
+	// tier enables the Bloom triage tier between blocking and SMC;
+	// tierHigh/tierLow are its Dice thresholds (0,0 = defaults).
+	tier      string
+	tierHigh  float64
+	tierLow   float64
+	eval      bool
+	showPairs bool
+	jsonOut   bool
 	// journalPath starts a fresh durable journal; resumePath continues an
 	// interrupted one. Mutually exclusive.
 	journalPath string
@@ -85,6 +90,9 @@ func main() {
 	flag.IntVar(&opts.keyBits, "keybits", 1024, "Paillier key size for -secure")
 	flag.IntVar(&opts.smcWorkers, "smc-workers", 0, "parallel SMC lanes for -secure (0 = GOMAXPROCS)")
 	flag.StringVar(&opts.packing, "packing", "packed", "SMC result packing for -secure: packed (slot-packed responses) or off")
+	flag.StringVar(&opts.tier, "tier", "off", "triage tier between blocking and SMC: off or bloom (Dice over CLK encodings)")
+	flag.Float64Var(&opts.tierHigh, "tier-high", 0, "tier Dice threshold for Match (0 = default 0.95)")
+	flag.Float64Var(&opts.tierLow, "tier-low", 0, "tier Dice threshold for NonMatch (0 = default 0.60)")
 	flag.BoolVar(&opts.eval, "eval", false, "score against exact ground truth (requires both files, which this command has)")
 	flag.BoolVar(&opts.showPairs, "pairs", false, "print matched entity-ID pairs")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit one machine-readable JSON document instead of text")
@@ -160,6 +168,10 @@ func run(out io.Writer, opts options) error {
 	if cfg.SMCPacking, err = cliutil.PackingModeByName(opts.packing); err != nil {
 		return err
 	}
+	if cfg.Tier, err = cliutil.TierModeByName(opts.tier); err != nil {
+		return err
+	}
+	cfg.TierHigh, cfg.TierLow = opts.tierHigh, opts.tierLow
 	cfg.Context = opts.ctx
 
 	switch {
@@ -187,8 +199,13 @@ func run(out io.Writer, opts options) error {
 		return writeJSON(out, opts, alice, bob, res)
 	}
 	fmt.Fprintln(out, res.Summary())
-	fmt.Fprintf(out, "timings: anonymize=%v+%v blocking=%v smc=%v\n",
-		res.Timings.AnonymizeAlice, res.Timings.AnonymizeBob, res.Timings.Blocking, res.Timings.SMC)
+	if res.TierMode() != pprl.TierOff {
+		fmt.Fprintf(out, "timings: anonymize=%v+%v blocking=%v tier=%v smc=%v\n",
+			res.Timings.AnonymizeAlice, res.Timings.AnonymizeBob, res.Timings.Blocking, res.Timings.Tier, res.Timings.SMC)
+	} else {
+		fmt.Fprintf(out, "timings: anonymize=%v+%v blocking=%v smc=%v\n",
+			res.Timings.AnonymizeAlice, res.Timings.AnonymizeBob, res.Timings.Blocking, res.Timings.SMC)
+	}
 	if opts.secure {
 		fmt.Fprintf(out, "smc engine: workers=%d rate=%.1f comparisons/sec bytes=%d\n",
 			res.SMCWorkers, res.SMCRate(), res.SMCBytes)

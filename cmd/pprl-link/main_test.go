@@ -203,3 +203,52 @@ func TestRunLinkErrors(t *testing.T) {
 		t.Error("missing resume journal should fail")
 	}
 }
+
+// TestRunLinkTier: -tier bloom threads through to the engine — the
+// summary reports tier accounting, the timings line gains the tier
+// stage, and the JSON document carries the tier counters.
+func TestRunLinkTier(t *testing.T) {
+	a, b := writePair(t)
+	var buf bytes.Buffer
+	opts := baseOpts(a, b)
+	opts.tier = "bloom"
+	if err := run(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tier=bloom") || !strings.Contains(out, "tier-labeled=") {
+		t.Errorf("summary missing tier accounting: %q", out)
+	}
+	if !strings.Contains(out, "tier=") || !strings.Contains(out, "timings:") {
+		t.Errorf("timings missing tier stage: %q", out)
+	}
+
+	buf.Reset()
+	opts.jsonOut = true
+	if err := run(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Result struct {
+			Tier               string `json:"tier"`
+			TierMatchedPairs   int64  `json:"tier_matched_pairs"`
+			TierNonMatched     int64  `json:"tier_nonmatched_pairs"`
+			TierUncertainPairs int64  `json:"tier_uncertain_pairs"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON output unparseable: %v\n%s", err, buf.String())
+	}
+	if doc.Result.Tier != "bloom" {
+		t.Errorf("JSON tier = %q, want bloom", doc.Result.Tier)
+	}
+	if doc.Result.TierMatchedPairs+doc.Result.TierNonMatched+doc.Result.TierUncertainPairs == 0 {
+		t.Error("JSON tier counters all zero; the tier never ran")
+	}
+
+	// Unknown mode is rejected before any work happens.
+	opts.tier = "paillier"
+	if err := run(&bytes.Buffer{}, opts); err == nil || !strings.Contains(err.Error(), "unknown tier mode") {
+		t.Errorf("bad -tier accepted: %v", err)
+	}
+}

@@ -52,6 +52,11 @@ type queryOptions struct {
 	smcWorkers int
 	packing    string
 	shuffle    bool
+	// tier enables the Bloom triage tier; tierHigh/tierLow are its Dice
+	// thresholds (0,0 = defaults).
+	tier     string
+	tierHigh float64
+	tierLow  float64
 	// journalPath starts a fresh durable journal; resumePath continues an
 	// interrupted one. Mutually exclusive.
 	journalPath string
@@ -79,6 +84,10 @@ func main() {
 		smcWorkers  = flag.Int("smc-workers", 0, "query: SMC batch-size scaling (0 = default chunking)")
 		packing     = flag.String("packing", "packed", "query: SMC result packing (packed or off)")
 		shuffle     = flag.Bool("shuffle", true, "query: hide which attribute failed (attribute shuffling)")
+		tier        = flag.String("tier", "off", "query: triage tier between blocking and SMC (off or bloom)")
+		tierHigh    = flag.Float64("tier-high", 0, "query: tier Dice threshold for Match (0 = default 0.95)")
+		tierLow     = flag.Float64("tier-low", 0, "query: tier Dice threshold for NonMatch (0 = default 0.60)")
+		tierKey     = flag.String("tier-key", "", "holders: shared secret keying the tier's CLK encodings (required when the query enables the tier)")
 		schemaPath  = flag.String("schema", "", "schema manifest path (default: built-in Adult schema)")
 		journalPath = flag.String("journal", "", "query: record the run to a durable journal at this path (crash-resumable)")
 		resumePath  = flag.String("resume", "", "query: resume an interrupted run from its journal")
@@ -104,15 +113,18 @@ func main() {
 			smcWorkers:  *smcWorkers,
 			packing:     *packing,
 			shuffle:     *shuffle,
+			tier:        *tier,
+			tierHigh:    *tierHigh,
+			tierLow:     *tierLow,
 			journalPath: *journalPath,
 			resumePath:  *resumePath,
 			journalSync: *journalSync,
 			ctx:         ctx,
 		})
 	case "alice":
-		err = runHolder(ctx, *schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, session.RoleAlice)
+		err = runHolder(ctx, *schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, *tierKey, session.RoleAlice)
 	case "bob":
-		err = runHolder(ctx, *schemaPath, *queryAddr, "", *peerAddr, *data, *k, *method, session.RoleBob)
+		err = runHolder(ctx, *schemaPath, *queryAddr, "", *peerAddr, *data, *k, *method, *tierKey, session.RoleBob)
 	default:
 		err = fmt.Errorf("-role must be query, alice, or bob")
 	}
@@ -154,6 +166,14 @@ func runQuery(out io.Writer, opts queryOptions) error {
 	packing, err := cliutil.PackingModeByName(opts.packing)
 	if err != nil {
 		return err
+	}
+	tierMode, err := cliutil.TierModeByName(opts.tier)
+	if err != nil {
+		return err
+	}
+	var tier *smc.TierParams
+	if tierMode == pprl.TierBloom {
+		tier = &smc.TierParams{} // session fills the CLK defaults
 	}
 	var journal pprl.JournalSink
 	switch {
@@ -212,6 +232,9 @@ func runQuery(out io.Writer, opts queryOptions) error {
 		ShuffleAttributes: opts.shuffle,
 		SMCWorkers:        opts.smcWorkers,
 		Packing:           packing.SMC(),
+		Tier:              tier,
+		TierHigh:          opts.tierHigh,
+		TierLow:           opts.tierLow,
 		Journal:           journal,
 		Context:           opts.ctx,
 	})
@@ -223,6 +246,10 @@ func runQuery(out io.Writer, opts queryOptions) error {
 		res.BobView.Method, res.BobView.K, res.BobView.NumSequences())
 	fmt.Fprintf(out, "blocking: %.2f%% of %d pairs decided; %d unknown\n",
 		100*res.BlockingEfficiency, res.TotalPairs, res.UnknownPairs)
+	if tier != nil {
+		fmt.Fprintf(out, "tier: %d match / %d non-match labeled free; %d uncertain\n",
+			res.TierMatchedPairs, res.TierNonMatchedPairs, res.TierUncertainPairs)
+	}
 	fmt.Fprintf(out, "smc: %d invocations of %d allowed\n", res.Invocations, res.Allowance)
 	if res.Resume.Resumed() {
 		fmt.Fprintf(out, "journal: %v\n", res.Resume)
@@ -238,7 +265,7 @@ func runQuery(out io.Writer, opts queryOptions) error {
 
 // runHolder connects to the querying party, establishes the peer link,
 // and serves the session.
-func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k int, method, role string) error {
+func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k int, method, tierKey, role string) error {
 	schema, err := cliutil.LoadSchemaOrAdult(schemaPath)
 	if err != nil {
 		return err
@@ -297,6 +324,9 @@ func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr,
 	}
 
 	cfg := session.HolderConfig{Data: data, K: k, Anonymizer: anon}
+	if tierKey != "" {
+		cfg.TierKey = []byte(tierKey)
+	}
 	return session.RunHolder(query, peer, cfg, role == session.RoleAlice)
 }
 

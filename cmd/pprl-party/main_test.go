@@ -71,10 +71,10 @@ func TestThreePartyOverTCP(t *testing.T) {
 		})
 	}()
 	go func() {
-		errs <- runHolder(context.Background(), "", queryAddr, peerAddr, "", aCSV, 8, "entropy", "alice")
+		errs <- runHolder(context.Background(), "", queryAddr, peerAddr, "", aCSV, 8, "entropy", "", "alice")
 	}()
 	go func() {
-		errs <- runHolder(context.Background(), "", queryAddr, "", peerAddr, bCSV, 8, "entropy", "bob")
+		errs <- runHolder(context.Background(), "", queryAddr, "", peerAddr, bCSV, 8, "entropy", "", "bob")
 	}()
 	if err := <-done; err != nil {
 		t.Fatalf("query: %v", err)
@@ -106,13 +106,57 @@ func TestRoleValidation(t *testing.T) {
 	if err := runQuery(nil, queryOptions{listen: "127.0.0.1:0", heurName: "minFirst", resumePath: "/nonexistent.wal"}); err == nil {
 		t.Error("missing resume journal should fail")
 	}
-	if err := runHolder(context.Background(), "", "", "", "", "x.csv", 8, "entropy", "alice"); err == nil {
+	if err := runHolder(context.Background(), "", "", "", "", "x.csv", 8, "entropy", "", "alice"); err == nil {
 		t.Error("holder without -query should fail")
 	}
-	if err := runHolder(context.Background(), "", "127.0.0.1:1", "", "", "/nonexistent.csv", 8, "entropy", "bob"); err == nil {
+	if err := runHolder(context.Background(), "", "127.0.0.1:1", "", "", "/nonexistent.csv", 8, "entropy", "", "bob"); err == nil {
 		t.Error("missing data file should fail")
 	}
-	if err := runHolder(context.Background(), "", "127.0.0.1:1", "", "", "x.csv", 8, "bogus", "bob"); err == nil {
+	if err := runHolder(context.Background(), "", "127.0.0.1:1", "", "", "x.csv", 8, "bogus", "", "bob"); err == nil {
 		t.Error("bad method should fail")
+	}
+}
+
+// TestThreePartyTierOverTCP runs the distributed deployment with the
+// triage tier on: the holders share a tier key out of band, the query
+// enables -tier bloom, and the output reports the tier's free labels.
+func TestThreePartyTierOverTCP(t *testing.T) {
+	aCSV, bCSV := writePairCSVs(t)
+	queryAddr := freePort(t)
+	peerAddr := freePort(t)
+
+	errs := make(chan error, 2)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runQuery(&out, queryOptions{
+			listen:     queryAddr,
+			qids:       strings.Join(pprl.DefaultAdultQIDs(), ","),
+			theta:      0.05,
+			allowance:  0.002,
+			heurName:   "minAvgFirst",
+			keyBits:    256,
+			smcWorkers: 2,
+			shuffle:    true,
+			tier:       "bloom",
+		})
+	}()
+	go func() {
+		errs <- runHolder(context.Background(), "", queryAddr, peerAddr, "", aCSV, 8, "entropy", "tcp-tier-secret", "alice")
+	}()
+	go func() {
+		errs <- runHolder(context.Background(), "", queryAddr, "", peerAddr, bCSV, 8, "entropy", "tcp-tier-secret", "bob")
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("holder: %v", err)
+		}
+	}
+	text := out.String()
+	if !strings.Contains(text, "tier:") || !strings.Contains(text, "labeled free") {
+		t.Errorf("query output missing tier accounting: %q", text)
 	}
 }

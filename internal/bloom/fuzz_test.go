@@ -1,0 +1,89 @@
+package bloom
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDiceTier fuzzes CLK inputs and tier thresholds together, asserting
+// the algebra the tier engine relies on: the encoder is deterministic,
+// Dice is symmetric and confined to [0, 1], serialization round-trips,
+// and every similarity lands in exactly one threshold band.
+func FuzzDiceTier(f *testing.F) {
+	f.Add("smith", "smyth", 0.9, 0.5, uint16(512), uint8(8), uint8(2))
+	f.Add("", "jones", 0.95, 0.0, uint16(64), uint8(1), uint8(1))
+	f.Add("a", "a", 0.0, 0.0, uint16(8), uint8(30), uint8(3))
+	f.Add("ünïcode", "unicode", 1.0, 1.0, uint16(1000), uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, sa, sb string, high, low float64, m uint16, k, q uint8) {
+		// Clamp the fuzzed parameters into the encoder's valid domain;
+		// NewEncoder's rejection of the rest has its own unit tests.
+		enc, err := NewEncoder(int(m%2048)+8, int(k%64)+1, int(q%8)+1, []byte("fuzz-key"))
+		if err != nil {
+			t.Fatalf("clamped parameters rejected: %v", err)
+		}
+		fa, fb := enc.Encode(sa), enc.Encode(sb)
+
+		// Determinism: re-encoding the same input yields identical bytes.
+		if !bytes.Equal(fa.Marshal(), enc.Encode(sa).Marshal()) {
+			t.Fatalf("encoder not deterministic for %q", sa)
+		}
+
+		// Serialization round-trips to a Dice-identical filter.
+		back, err := Unmarshal(fa.Marshal(), fa.M())
+		if err != nil {
+			t.Fatalf("round trip rejected own output: %v", err)
+		}
+		if fa.Ones() > 0 && back.Dice(fa) != 1 {
+			t.Fatalf("round trip changed the filter: dice=%v", back.Dice(fa))
+		}
+
+		// Dice symmetry and range.
+		ab, ba := fa.Dice(fb), fb.Dice(fa)
+		if ab != ba {
+			t.Fatalf("Dice not symmetric: %v vs %v", ab, ba)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("Dice out of range: %v", ab)
+		}
+		if sa == sb && fa.Ones() > 0 && ab != 1 {
+			t.Fatalf("identical non-empty inputs: dice=%v, want 1", ab)
+		}
+
+		// Threshold-band exhaustiveness: with any low ≤ high (fuzzed
+		// values are folded into [0,1] and ordered), the similarity lands
+		// in exactly one of Match / NonMatch / Uncertain.
+		lo, hi := fold01(low), fold01(high)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		isMatch := ab >= hi
+		isNon := !isMatch && ab <= lo
+		isUnc := !isMatch && !isNon
+		got := Classify(ab, lo, hi)
+		switch {
+		case isMatch && got != BandMatch,
+			isNon && got != BandNonMatch,
+			isUnc && got != BandUncertain:
+			t.Fatalf("Classify(%v, %v, %v) = %v; bands not exhaustive", ab, lo, hi, got)
+		}
+	})
+}
+
+// fold01 maps an arbitrary fuzzed float64 into [0, 1], sending the
+// non-finite values to the boundaries.
+func fold01(x float64) float64 {
+	switch {
+	case x != x: // NaN
+		return 0
+	case math.IsInf(x, 0):
+		return 1
+	case x < 0:
+		x = -x
+	}
+	// Fold magnitude into [0,1] without losing low-bit variety.
+	for x > 1 {
+		x /= 2
+	}
+	return x
+}

@@ -1,0 +1,119 @@
+// Tier support: the three-tier hybrid engine (DESIGN.md §12) triages
+// Unknown record pairs by Dice similarity over CLK encodings before any
+// SMC allowance is spent. This file holds the pieces that tier shares
+// across processes — band classification, a stable byte serialization so
+// holders can ship encodings to the matcher, and the canonical mapping
+// from dataset records to CLK input fields.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"pprl/internal/dataset"
+)
+
+// Band is a tier classification of one record pair's Dice similarity.
+type Band int
+
+const (
+	// BandUncertain marks a pair the encoding cannot confidently label;
+	// only these pairs compete for the SMC allowance.
+	BandUncertain Band = iota
+	// BandMatch marks a pair at or above the high threshold.
+	BandMatch
+	// BandNonMatch marks a pair at or below the low threshold.
+	BandNonMatch
+)
+
+// String names the band for tables and logs.
+func (b Band) String() string {
+	switch b {
+	case BandMatch:
+		return "match"
+	case BandNonMatch:
+		return "nonmatch"
+	default:
+		return "uncertain"
+	}
+}
+
+// Classify places a Dice similarity into exactly one band: ≥ high is a
+// Match, ≤ low a NonMatch, everything strictly between is Uncertain.
+// Callers must ensure low ≤ high; when low == high no pair is uncertain.
+func Classify(dice, low, high float64) Band {
+	switch {
+	case dice >= high:
+		return BandMatch
+	case dice <= low:
+		return BandNonMatch
+	default:
+		return BandUncertain
+	}
+}
+
+// Marshal serializes the filter's bit array as little-endian 64-bit
+// words. The filter size m is not embedded — both sides already share the
+// CLK parameters out of band (MsgParams in the session protocol), and
+// omitting it keeps the wire form exactly ⌈m/64⌉·8 bytes per record.
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 8*len(f.words))
+	for i, w := range f.words {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+// Unmarshal reconstructs a filter of size m from Marshal's output. Bits
+// at positions ≥ m must be zero: a foreign or truncated payload fails
+// loudly instead of skewing every Dice score it touches.
+func Unmarshal(data []byte, m int) (*Filter, error) {
+	if m < 8 {
+		return nil, fmt.Errorf("bloom: filter size %d too small", m)
+	}
+	words := (m + 63) / 64
+	if len(data) != 8*words {
+		return nil, fmt.Errorf("bloom: encoding is %d bytes, want %d for m=%d", len(data), 8*words, m)
+	}
+	f := &Filter{words: make([]uint64, words), m: m}
+	for i := range f.words {
+		f.words[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	if tail := m % 64; tail != 0 {
+		if f.words[words-1]&^(1<<tail-1) != 0 {
+			return nil, fmt.Errorf("bloom: encoding has bits set beyond m=%d", m)
+		}
+	}
+	return f, nil
+}
+
+// M returns the filter size in bits.
+func (f *Filter) M() int { return f.m }
+
+// FieldsOf renders record i's quasi-identifier cells as the strings the
+// CLK hashes: categorical values verbatim, numeric values in their
+// shortest decimal form. Both holders must use this same mapping or their
+// encodings are incomparable.
+func FieldsOf(d *dataset.Dataset, qids []int, i int) []string {
+	rec := d.Record(i)
+	fields := make([]string, 0, len(qids))
+	for _, q := range qids {
+		if d.Schema().Attr(q).Kind == dataset.Categorical {
+			fields = append(fields, rec.Cells[q].Node.Value)
+		} else {
+			fields = append(fields, strconv.FormatFloat(rec.Cells[q].Num, 'g', -1, 64))
+		}
+	}
+	return fields
+}
+
+// EncodeRecords builds every record's composite CLK over its
+// quasi-identifier fields.
+func EncodeRecords(enc *Encoder, d *dataset.Dataset, qids []int) []*Filter {
+	out := make([]*Filter, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		out[i] = enc.Encode(FieldsOf(d, qids, i)...)
+	}
+	return out
+}

@@ -65,6 +65,19 @@ func PackingModeByName(name string) (core.PackingMode, error) {
 	}
 }
 
+// TierModeByName resolves the triage-tier mode from its
+// case-insensitive CLI/API name.
+func TierModeByName(name string) (core.TierMode, error) {
+	switch strings.ToLower(name) {
+	case "", "off":
+		return core.TierOff, nil
+	case "bloom":
+		return core.TierBloom, nil
+	default:
+		return 0, fmt.Errorf("unknown tier mode %q (want off or bloom)", name)
+	}
+}
+
 // AnonymizerByName resolves a k-anonymization method from its
 // case-insensitive CLI/API name.
 func AnonymizerByName(name string) (anonymize.Anonymizer, error) {

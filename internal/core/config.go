@@ -120,6 +120,37 @@ func (m PackingMode) SMC() smc.Packing {
 	return smc.PackingPacked
 }
 
+// TierMode selects the optional triage tier between blocking and the SMC
+// budget (DESIGN.md §12): a cheap encoded comparator that labels the
+// confidently-similar and confidently-dissimilar Unknown pairs so the
+// Paillier allowance is spent only inside the uncertain band.
+type TierMode int
+
+const (
+	// TierOff (default) runs the paper's two-tier pipeline: every Unknown
+	// pair competes for the SMC allowance.
+	TierOff TierMode = iota
+	// TierBloom triages Unknown pairs by Dice similarity over CLK Bloom
+	// encodings (internal/bloom) before any allowance is spent: pairs
+	// with similarity ≥ TierHigh are labeled Match, ≤ TierLow NonMatch,
+	// and only the band in between is ordered for the SMC budget. Tier
+	// labels are heuristic — unlike blocking and SMC verdicts they can be
+	// wrong — so precision is no longer structurally 1.0 under
+	// MaximizePrecision; the thresholds price that risk.
+	TierBloom
+)
+
+func (m TierMode) String() string {
+	switch m {
+	case TierOff:
+		return "off"
+	case TierBloom:
+		return "bloom"
+	default:
+		return fmt.Sprintf("TierMode(%d)", int(m))
+	}
+}
+
 // ComparatorFactory builds the SMC comparator over the holders' encoded
 // records. workers is the resolved Config.SMCWorkers value; factories
 // that cannot parallelize may ignore it. The default (nil) uses the
@@ -193,6 +224,29 @@ type Config struct {
 	// whose footprint does not depend on the matrix size.
 	BlockingBudgetBytes int64
 
+	// Tier selects the triage tier between blocking and SMC (default
+	// TierOff). Like SMCWorkers and SMCPacking it is excluded from the
+	// journal manifest: tier labels are deterministic and free to
+	// recompute, so a journaled run may resume with the tier switched on,
+	// off, or retuned — the replayed purchased verdicts stay exact and
+	// always take precedence over tier labels.
+	Tier TierMode
+	// TierHigh and TierLow are the Dice thresholds of the tier's three
+	// bands: ≥ TierHigh labels Match, ≤ TierLow labels NonMatch, the band
+	// strictly between stays Unknown and competes for the SMC allowance.
+	// Both zero selects the defaults (0.95, 0.60); otherwise they must
+	// satisfy 0 ≤ TierLow ≤ TierHigh ≤ 1.
+	TierHigh, TierLow float64
+	// TierM, TierK and TierQ are the CLK encoding parameters (filter
+	// bits, hash functions per q-gram, gram size); zero values select the
+	// conventional 1000/30/2.
+	TierM, TierK, TierQ int
+	// TierKey is the keyed-hash secret the holders share. In this
+	// in-process engine both encoders live in one address space, so an
+	// empty key selects a fixed default; the distributed session requires
+	// an explicit key on the holders and never reveals it to the matcher.
+	TierKey []byte
+
 	// Scale is the fixed-point factor for continuous values in the SMC
 	// circuit; 1 (default via DefaultConfig) is exact for integer data.
 	Scale int64
@@ -227,9 +281,10 @@ type Config struct {
 	Context context.Context
 	// Progress, when set, receives coarse stage events during Link:
 	// "anonymize-alice", "anonymize-bob", "blocking" (done == total on
-	// completion) and periodic "smc" events with comparisons done vs the
-	// allowance. Called synchronously on the linking goroutine; keep it
-	// fast.
+	// completion), periodic "tier" events with Unknown pairs scored vs
+	// the Unknown total (TierBloom only), and periodic "smc" events with
+	// comparisons done vs the allowance. Called synchronously on the
+	// linking goroutine; keep it fast.
 	Progress func(stage string, done, total int64)
 }
 
@@ -300,5 +355,38 @@ func (c *Config) normalize(schema *dataset.Schema) ([]int, *blocking.Rule, error
 	if c.SMCPacking != PackingPacked && c.SMCPacking != PackingOff {
 		return nil, nil, fmt.Errorf("core: unknown SMCPacking mode %d", int(c.SMCPacking))
 	}
+	switch c.Tier {
+	case TierOff:
+	case TierBloom:
+		if c.TierM == 0 {
+			c.TierM = 1000
+		}
+		if c.TierK == 0 {
+			c.TierK = 30
+		}
+		if c.TierQ == 0 {
+			c.TierQ = 2
+		}
+		if len(c.TierKey) == 0 {
+			c.TierKey = []byte(defaultTierKey)
+		}
+		if c.TierHigh == 0 && c.TierLow == 0 {
+			c.TierHigh, c.TierLow = defaultTierHigh, defaultTierLow
+		}
+		if c.TierLow < 0 || c.TierHigh > 1 || c.TierLow > c.TierHigh {
+			return nil, nil, fmt.Errorf("core: tier thresholds must satisfy 0 ≤ low ≤ high ≤ 1 (got low=%v high=%v)", c.TierLow, c.TierHigh)
+		}
+	default:
+		return nil, nil, fmt.Errorf("core: unknown Tier mode %d", int(c.Tier))
+	}
 	return qids, rule, nil
 }
+
+// Tier defaults: the conservative thresholds keep the Match band tight
+// (false matches are the costly error under MaximizePrecision) while the
+// NonMatch band discards only clearly-dissimilar encodings.
+const (
+	defaultTierHigh = 0.95
+	defaultTierLow  = 0.60
+	defaultTierKey  = "pprl-tier-default-key"
+)

@@ -170,6 +170,43 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 		}
 	}
 
+	// The SMC step resolves at most min(allowance, unknown pairs) entries;
+	// size the verdict map once instead of growing it through rehashes.
+	sized := allowance
+	if block.UnknownPairs < sized {
+		sized = block.UnknownPairs
+	}
+	if sized < 0 {
+		sized = 0
+	}
+	res.smcLabels = make(map[int64]bool, sized)
+	res.resolvedInGroup = make(map[[2]int]int, len(ordered))
+
+	// Replayed verdicts are applied upfront rather than stitched into the
+	// ordered iteration: the ordering the interrupted run purchased under
+	// may differ from this run's (the tier mode or thresholds may have
+	// changed — both are deliberately outside the manifest digest), but a
+	// purchased verdict is exact under any tier configuration. Each one
+	// consumes allowance exactly once, here.
+	for key, matched := range replayed {
+		i := int(key / int64(res.bobLen))
+		j := int(key % int64(res.bobLen))
+		res.applySMC(key, [2]int{block.R.ClassOf[i], block.S.ClassOf[j]}, matched)
+		res.Resume.ResumedPairs++
+		res.Resume.ReplayedAllowance++
+	}
+
+	// The triage tier labels the confident Unknown pairs for free before
+	// any allowance is spent; only the uncertain band reaches the budget
+	// loop below.
+	if cfg.Tier == TierBloom {
+		start := time.Now()
+		if err := applyTier(alice, bob, ordered, block, qids, cfg, res, replayed); err != nil {
+			return nil, err
+		}
+		res.Timings.Tier = time.Since(start)
+	}
+
 	spec, err := smc.SpecFromRule(rule, cfg.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("core: building SMC spec: %w", err)
@@ -188,18 +225,6 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	res.SMCWorkers = cfg.SMCWorkers
 
 	start := time.Now()
-	// The SMC step resolves min(allowance, unknown pairs) entries; size
-	// the verdict map once instead of growing it through rehashes.
-	sized := allowance
-	if block.UnknownPairs < sized {
-		sized = block.UnknownPairs
-	}
-	if sized < 0 {
-		sized = 0
-	}
-	res.smcLabels = make(map[int64]bool, sized)
-	res.resolvedInGroup = make(map[[2]int]int, len(ordered))
-
 	// Resolve the budgeted pairs in heuristic order, streaming: a small
 	// chunk buffer feeds the pipelined batch path when the comparator
 	// supports it (the real SMC protocol), per-pair calls otherwise —
@@ -220,20 +245,15 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	}
 	chunk := make([]job, 0, chunkSize)
 	pairs := make([][2]int, 0, chunkSize)
-	var done int64
-	apply := func(key int64, group [2]int, matched bool) {
-		res.smcLabels[key] = matched
-		if matched {
-			res.smcMatched++
-		}
-		res.resolvedInGroup[group]++
+	// Progress and budget both start past the replayed verdicts, which
+	// were applied (and their allowance consumed) upfront.
+	done := res.Resume.ReplayedAllowance
+	record := func(jb job, matched bool) error {
+		res.applySMC(pairKey(jb.i, jb.j, res.bobLen), jb.group, matched)
 		done++
 		if done%smcProgressStride == 0 {
 			cfg.report("smc", done, allowance)
 		}
-	}
-	record := func(jb job, matched bool) error {
-		apply(pairKey(jb.i, jb.j, res.bobLen), jb.group, matched)
 		if cfg.Journal != nil {
 			if err := cfg.Journal.Record(jb.i, jb.j, matched); err != nil {
 				return fmt.Errorf("core: journal append (%d,%d): %w", jb.i, jb.j, err)
@@ -294,30 +314,30 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	}
 	// Announce the SMC phase before the first stride so pollers (the job
 	// service's progress endpoint) see the phase change immediately.
-	cfg.report("smc", 0, allowance)
-	budget := allowance
+	cfg.report("smc", done, allowance)
+	budget := allowance - res.Resume.ReplayedAllowance
 groups:
 	for _, gp := range ordered {
 		rc := &block.R.Classes[gp.RI]
 		sc := &block.S.Classes[gp.SI]
 		for _, i := range rc.Members {
 			for _, j := range sc.Members {
+				key := pairKey(i, j, res.bobLen)
+				// A pair already carrying a verdict never reaches the
+				// comparator: replayed purchased verdicts were applied
+				// (and their allowance consumed) upfront, and tier labels
+				// are free — the budget below is spent exclusively on the
+				// still-uncertain band.
+				if _, ok := res.smcLabels[key]; ok {
+					continue
+				}
+				if _, ok := res.tierLabels[key]; ok {
+					continue
+				}
 				if budget <= 0 {
 					break groups
 				}
 				budget--
-				// A verdict already purchased by the interrupted run is
-				// stitched in from the journal: it consumes allowance but
-				// never reaches the comparator (or the journal, which
-				// still holds it).
-				if key := pairKey(i, j, res.bobLen); replayed != nil {
-					if matched, ok := replayed[key]; ok {
-						apply(key, [2]int{gp.RI, gp.SI}, matched)
-						res.Resume.ResumedPairs++
-						res.Resume.ReplayedAllowance++
-						continue
-					}
-				}
 				chunk = append(chunk, job{i: i, j: j, group: [2]int{gp.RI, gp.SI}})
 				if len(chunk) == chunkSize {
 					if err := flush(); err != nil {

@@ -40,7 +40,13 @@ func runManifest(alice, bob Holder, block *blocking.Result, cfg *Config, allowan
 // change how fast verdicts arrive (or how they are encoded in transit),
 // never which verdicts arrive, so a run may resume with different
 // parallelism, the other packing mode, or switch between the plaintext
-// oracle and the secure protocol.
+// oracle and the secure protocol. The Tier knobs (mode, thresholds, CLK
+// parameters) are excluded for a different reason: tier labels are
+// deterministic, free to recompute, and journaled separately from
+// purchased verdicts, while a purchased verdict is exact under any tier
+// configuration — so a journaled run may resume with the tier switched
+// on, off, or retuned, and the engine applies the replayed purchases
+// upfront before recomputing tier labels around them.
 func configDigest(cfg *Config, allowance int64) [32]byte {
 	h := sha256.New()
 	for _, q := range cfg.QIDs {

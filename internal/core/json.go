@@ -23,6 +23,10 @@ type ResultJSON struct {
 	SMCWorkers         int                 `json:"smc_workers"`
 	Strategy           string              `json:"strategy"`
 	Heuristic          string              `json:"heuristic"`
+	Tier               string              `json:"tier"`
+	TierMatchedPairs   int64               `json:"tier_matched_pairs"`
+	TierNonMatched     int64               `json:"tier_nonmatched_pairs"`
+	TierUncertainPairs int64               `json:"tier_uncertain_pairs"`
 	Resume             metrics.ResumeStats `json:"resume"`
 	Timings            Timings             `json:"timings"`
 }
@@ -41,6 +45,10 @@ func (r *Result) Summarize() ResultJSON {
 		SMCWorkers:         r.SMCWorkers,
 		Strategy:           r.cfg.Strategy.String(),
 		Heuristic:          r.cfg.Heuristic.Name(),
+		Tier:               r.cfg.Tier.String(),
+		TierMatchedPairs:   r.tierMatched,
+		TierNonMatched:     r.tierNonMatched,
+		TierUncertainPairs: r.TierUncertainPairs,
 		Resume:             r.Resume,
 		Timings:            r.Timings,
 	}
@@ -59,6 +67,7 @@ type timingsJSON struct {
 	AnonymizeAliceNS int64 `json:"anonymize_alice_ns"`
 	AnonymizeBobNS   int64 `json:"anonymize_bob_ns"`
 	BlockingNS       int64 `json:"blocking_ns"`
+	TierNS           int64 `json:"tier_ns"`
 	SMCNS            int64 `json:"smc_ns"`
 }
 
@@ -68,6 +77,7 @@ func (t Timings) MarshalJSON() ([]byte, error) {
 		AnonymizeAliceNS: int64(t.AnonymizeAlice),
 		AnonymizeBobNS:   int64(t.AnonymizeBob),
 		BlockingNS:       int64(t.Blocking),
+		TierNS:           int64(t.Tier),
 		SMCNS:            int64(t.SMC),
 	})
 }
@@ -81,6 +91,7 @@ func (t *Timings) UnmarshalJSON(data []byte) error {
 	t.AnonymizeAlice = time.Duration(w.AnonymizeAliceNS)
 	t.AnonymizeBob = time.Duration(w.AnonymizeBobNS)
 	t.Blocking = time.Duration(w.BlockingNS)
+	t.Tier = time.Duration(w.TierNS)
 	t.SMC = time.Duration(w.SMCNS)
 	return nil
 }

@@ -15,6 +15,7 @@ type Timings struct {
 	AnonymizeAlice time.Duration
 	AnonymizeBob   time.Duration
 	Blocking       time.Duration
+	Tier           time.Duration
 	SMC            time.Duration
 }
 
@@ -39,6 +40,10 @@ type Result struct {
 	// Invocations counts only live comparisons, so a resumed run reports
 	// Invocations + Resume.ReplayedAllowance ≤ Allowance.
 	Resume metrics.ResumeStats
+	// TierUncertainPairs counts the Unknown pairs the triage tier could
+	// not confidently label — the band the SMC budget is spent on. Zero
+	// when the tier is off.
+	TierUncertainPairs int64
 	// Timings holds per-stage durations.
 	Timings Timings
 
@@ -59,6 +64,26 @@ type Result struct {
 	// groupVerdicts, under TrainClassifier, labels whole Unknown group
 	// pairs via the trained classifier.
 	groupVerdicts map[[2]int]bool
+
+	// tierLabels maps pair keys the triage tier labeled (heuristically)
+	// to their verdicts; nil when the tier is off. A pair never appears
+	// in both tierLabels and smcLabels: purchased verdicts are exact and
+	// the tier skips them.
+	tierLabels                  map[int64]bool
+	tierMatched, tierNonMatched int64
+	// tierInGroup counts how many pairs of each Unknown group pair the
+	// tier labeled, mirroring resolvedInGroup for the SMC step.
+	tierInGroup map[[2]int]int
+}
+
+// applySMC stores one exact SMC verdict — live or replayed — with its
+// group accounting.
+func (r *Result) applySMC(key int64, group [2]int, matched bool) {
+	r.smcLabels[key] = matched
+	if matched {
+		r.smcMatched++
+	}
+	r.resolvedInGroup[group]++
 }
 
 // QIDs returns the resolved quasi-identifier positions.
@@ -73,7 +98,9 @@ func (r *Result) Strategy() Strategy { return r.cfg.Strategy }
 func (r *Result) Rule() *blocking.Rule { return r.rule }
 
 // PairMatched returns the final label of record pair (i, j): i indexes
-// Alice's relation, j Bob's.
+// Alice's relation, j Bob's. Precedence mirrors the labels' certainty:
+// blocking (certain) → SMC verdicts (exact, purchased) → tier labels
+// (heuristic) → the residual strategy.
 func (r *Result) PairMatched(i, j int) bool {
 	ri := r.Block.R.ClassOf[i]
 	si := r.Block.S.ClassOf[j]
@@ -83,7 +110,11 @@ func (r *Result) PairMatched(i, j int) bool {
 	case blocking.NonMatch:
 		return false
 	}
-	if v, ok := r.smcLabels[pairKey(i, j, r.bobLen)]; ok {
+	key := pairKey(i, j, r.bobLen)
+	if v, ok := r.smcLabels[key]; ok {
+		return v
+	}
+	if v, ok := r.tierLabels[key]; ok {
 		return v
 	}
 	if r.groupVerdicts != nil {
@@ -92,10 +123,39 @@ func (r *Result) PairMatched(i, j int) bool {
 	return r.residualMatch
 }
 
+// TierMode reports the tier configuration this result ran under.
+func (r *Result) TierMode() TierMode { return r.cfg.Tier }
+
+// TierThresholds returns the (low, high) Dice thresholds in effect;
+// (0, 0) when the tier is off.
+func (r *Result) TierThresholds() (low, high float64) { return r.cfg.TierLow, r.cfg.TierHigh }
+
+// TierLabel reports the tier's verdict for pair (i, j), and whether the
+// tier labeled it at all. Pairs resolved by blocking or SMC are never
+// tier-labeled.
+func (r *Result) TierLabel(i, j int) (matched, ok bool) {
+	matched, ok = r.tierLabels[pairKey(i, j, r.bobLen)]
+	return matched, ok
+}
+
+// SMCLabel reports the purchased (exact) SMC verdict for pair (i, j),
+// and whether the SMC step resolved it at all.
+func (r *Result) SMCLabel(i, j int) (matched, ok bool) {
+	matched, ok = r.smcLabels[pairKey(i, j, r.bobLen)]
+	return matched, ok
+}
+
+// TierResolvedPairs returns how many Unknown pairs the tier labeled.
+func (r *Result) TierResolvedPairs() int64 { return int64(len(r.tierLabels)) }
+
+// TierMatchedPairs and TierNonMatchedPairs split the tier's labels.
+func (r *Result) TierMatchedPairs() int64    { return r.tierMatched }
+func (r *Result) TierNonMatchedPairs() int64 { return r.tierNonMatched }
+
 // MatchedPairCount returns |reported matches| exactly, without
 // enumerating the pair space.
 func (r *Result) MatchedPairCount() int64 {
-	total := r.Block.MatchedPairs + r.smcMatched
+	total := r.Block.MatchedPairs + r.smcMatched + r.tierMatched
 	switch {
 	case r.groupVerdicts != nil:
 		for key, matched := range r.groupVerdicts {
@@ -103,11 +163,11 @@ func (r *Result) MatchedPairCount() int64 {
 				continue
 			}
 			gpPairs := int64(r.Block.R.Classes[key[0]].Size()) * int64(r.Block.S.Classes[key[1]].Size())
-			resolved := int64(r.resolvedInGroup[key])
+			resolved := int64(r.resolvedInGroup[key]) + int64(r.tierInGroup[key])
 			total += gpPairs - resolved
 		}
 	case r.residualMatch:
-		resolved := int64(len(r.smcLabels))
+		resolved := int64(len(r.smcLabels)) + int64(len(r.tierLabels))
 		total += r.Block.UnknownPairs - resolved
 	}
 	return total
@@ -148,9 +208,14 @@ func (r *Result) Evaluate(truth []match.Pair) metrics.Confusion {
 
 // Summary renders a one-line overview for logs and CLIs.
 func (r *Result) Summary() string {
-	return fmt.Sprintf("pairs=%d blocked=%.2f%% unknown=%d allowance=%d smc=%d matched=%d strategy=%v",
+	s := fmt.Sprintf("pairs=%d blocked=%.2f%% unknown=%d allowance=%d smc=%d matched=%d strategy=%v",
 		r.Block.TotalPairs(), 100*r.BlockingEfficiency(), r.Block.UnknownPairs,
 		r.Allowance, r.Invocations, r.MatchedPairCount(), r.cfg.Strategy)
+	if r.cfg.Tier != TierOff {
+		s += fmt.Sprintf(" tier=%v tier-labeled=%d/%d uncertain=%d",
+			r.cfg.Tier, r.tierMatched, r.tierNonMatched, r.TierUncertainPairs)
+	}
+	return s
 }
 
 // trainResidualClassifier implements the paper's strategy 3 (classifier
@@ -182,23 +247,32 @@ func trainResidualClassifier(res *Result, ordered []blocking.GroupPair, rule *bl
 	for _, gp := range ordered {
 		resolved := res.resolvedInGroup[[2]int{gp.RI, gp.SI}]
 		if resolved == 0 {
-			break // budget ran out here; later groups are unresolved
+			if res.cfg.Tier == TierOff {
+				break // budget ran out here; later groups are unresolved
+			}
+			// With the tier on, a group with no SMC verdicts may simply
+			// have been tier-labeled end to end while the budget kept
+			// flowing to later groups; keep scanning.
+			continue
 		}
 		f := feature(gp)
-		matchedCount := 0
+		// Count the group's SMC outcomes by lookup rather than assuming
+		// they occupy a prefix of the member enumeration: tier labels and
+		// replayed cross-mode verdicts interleave with live purchases.
+		matchedCount, seen := 0, 0
 		rc := &res.Block.R.Classes[gp.RI]
 		sc := &res.Block.S.Classes[gp.SI]
-		seen := 0
 	count:
 		for _, i := range rc.Members {
 			for _, j := range sc.Members {
-				if seen >= resolved {
-					break count
+				if v, ok := res.smcLabels[pairKey(i, j, res.bobLen)]; ok {
+					if v {
+						matchedCount++
+					}
+					if seen++; seen == resolved {
+						break count
+					}
 				}
-				if res.smcLabels[pairKey(i, j, res.bobLen)] {
-					matchedCount++
-				}
-				seen++
 			}
 		}
 		if matchedCount > 0 {

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"pprl/internal/blocking"
+	"pprl/internal/bloom"
+)
+
+// tierProgressStride is how often the tier pass emits progress events.
+const tierProgressStride = 1 << 16
+
+// applyTier runs the triage tier (DESIGN.md §12) over the ordered Unknown
+// group pairs: each member pair's CLK encodings are compared with the
+// Dice coefficient and the confident bands are labeled without touching
+// the SMC allowance. Pairs already holding a purchased verdict (replayed
+// from a journal) are skipped — an exact verdict is never re-labeled by a
+// heuristic one. Labels land in res.tierLabels and the per-group counts
+// in res.tierInGroup; every label is journaled as a tier record so resume
+// accounting can tell free labels from purchased ones.
+func applyTier(alice, bob Holder, ordered []blocking.GroupPair, block *blocking.Result, qids []int, cfg *Config, res *Result, replayed map[int64]bool) error {
+	enc, err := bloom.NewEncoder(cfg.TierM, cfg.TierK, cfg.TierQ, cfg.TierKey)
+	if err != nil {
+		return fmt.Errorf("core: tier encoder: %w", err)
+	}
+	aF := bloom.EncodeRecords(enc, alice.Data, qids)
+	bF := bloom.EncodeRecords(enc, bob.Data, qids)
+
+	res.tierLabels = make(map[int64]bool)
+	res.tierInGroup = make(map[[2]int]int)
+	total := block.UnknownPairs
+	cfg.report("tier", 0, total)
+	var done int64
+	for _, gp := range ordered {
+		rc := &block.R.Classes[gp.RI]
+		sc := &block.S.Classes[gp.SI]
+		group := [2]int{gp.RI, gp.SI}
+		for _, i := range rc.Members {
+			for _, j := range sc.Members {
+				done++
+				if done%tierProgressStride == 0 {
+					cfg.report("tier", done, total)
+				}
+				key := pairKey(i, j, res.bobLen)
+				if replayed != nil {
+					if _, ok := replayed[key]; ok {
+						continue
+					}
+				}
+				switch bloom.Classify(aF[i].Dice(bF[j]), cfg.TierLow, cfg.TierHigh) {
+				case bloom.BandMatch:
+					res.tierLabels[key] = true
+					res.tierMatched++
+				case bloom.BandNonMatch:
+					res.tierLabels[key] = false
+					res.tierNonMatched++
+				default:
+					res.TierUncertainPairs++
+					continue
+				}
+				res.tierInGroup[group]++
+				if cfg.Journal != nil {
+					if err := cfg.Journal.RecordTier(i, j, res.tierLabels[key]); err != nil {
+						return fmt.Errorf("core: journal tier append (%d,%d): %w", i, j, err)
+					}
+				}
+			}
+		}
+	}
+	cfg.report("tier", done, total)
+	return nil
+}

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
-	"strconv"
 
 	"pprl/internal/blocking"
 	"pprl/internal/bloom"
@@ -50,8 +49,8 @@ func Bloom(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	aFilters := encodeAll(enc, alice, qids)
-	bFilters := encodeAll(enc, bob, qids)
+	aFilters := bloom.EncodeRecords(enc, alice, qids)
+	bFilters := bloom.EncodeRecords(enc, bob, qids)
 	for _, tau := range []float64{0.95, 0.90, 0.85} {
 		conf := bloomLink(aFilters, bFilters, tau, truth)
 		t.AddRow(fmt.Sprintf("Bloom CLK, Dice ≥ %.2f", tau),
@@ -64,25 +63,6 @@ func Bloom(opts Options) (*Table, error) {
 	}
 	t.AddRow("hybrid edit rule (2% SMC budget)", pct(1), pct(rec))
 	return t, nil
-}
-
-// encodeAll builds each record's CLK over its string fields plus the
-// stringified age (everything the classifier sees).
-func encodeAll(enc *bloom.Encoder, d *dataset.Dataset, qids []int) []*bloom.Filter {
-	out := make([]*bloom.Filter, d.Len())
-	for i := 0; i < d.Len(); i++ {
-		rec := d.Record(i)
-		fields := make([]string, 0, len(qids))
-		for _, q := range qids {
-			if d.Schema().Attr(q).Kind == dataset.Categorical {
-				fields = append(fields, rec.Cells[q].Node.Value)
-			} else {
-				fields = append(fields, strconv.Itoa(int(rec.Cells[q].Num)))
-			}
-		}
-		out[i] = enc.Encode(fields...)
-	}
-	return out
 }
 
 // bloomLink scores the all-pairs Dice threshold matcher against truth.

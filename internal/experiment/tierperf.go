@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pprl/internal/core"
+	"pprl/internal/metrics"
+)
+
+// TierPerfPoint is one allowance point of the three-tier benchmark: the
+// two-tier baseline (blocking + budgeted SMC) against the three-tier
+// pipeline (blocking + Bloom triage + budgeted SMC) at the same
+// allowance, over the same blocking result.
+type TierPerfPoint struct {
+	AllowanceFraction float64 `json:"allowance_fraction"`
+	Allowance         int64   `json:"allowance"`
+
+	// Spent counts live SMC comparisons (the cost axis); the tier's free
+	// labels never appear here.
+	BaselineSpent int64 `json:"baseline_spent"`
+	TierSpent     int64 `json:"tier_spent"`
+
+	BaselineRecall    float64 `json:"baseline_recall"`
+	TierRecall        float64 `json:"tier_recall"`
+	BaselinePrecision float64 `json:"baseline_precision"`
+	TierPrecision     float64 `json:"tier_precision"`
+
+	// Efficiency is recall per allowance unit actually spent, with spend
+	// floored at 1 so the zero-allowance point stays finite; Gain is the
+	// three-tier efficiency over the two-tier one. When the baseline buys
+	// zero true matches the true ratio is unbounded, so the baseline is
+	// floored at one recovered truth pair and Gain is a lower bound.
+	BaselineEfficiency float64 `json:"baseline_recall_per_unit"`
+	TierEfficiency     float64 `json:"tier_recall_per_unit"`
+	Gain               float64 `json:"gain"`
+
+	TierMatched   int64 `json:"tier_matched_pairs"`
+	TierNonMatch  int64 `json:"tier_nonmatched_pairs"`
+	TierUncertain int64 `json:"tier_uncertain_pairs"`
+}
+
+// TierPerfReport is the machine-readable benchmark `pprl-bench -exp
+// tier -json` writes to BENCH_tier.json: the recall-per-allowance-unit
+// gain of the Bloom triage tier over the two-tier baseline across an
+// allowance sweep on the Adult workload.
+type TierPerfReport struct {
+	Records      int     `json:"records"`
+	K            int     `json:"k"`
+	Theta        float64 `json:"theta"`
+	TierHigh     float64 `json:"tier_high"`
+	TierLow      float64 `json:"tier_low"`
+	TotalPairs   int64   `json:"total_pairs"`
+	UnknownPairs int64   `json:"unknown_pairs"`
+	TruthPairs   int     `json:"truth_pairs"`
+
+	Points []TierPerfPoint `json:"points"`
+
+	// BestGain is the largest per-point gain and the allowance fraction
+	// it occurred at — the figure the acceptance gate reads.
+	BestGain              float64 `json:"best_gain"`
+	BestGainAllowanceFrac float64 `json:"best_gain_allowance_fraction"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *TierPerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// TierPerf benchmarks the three-tier pipeline against the two-tier
+// baseline on the standard Adult workload. Both arms share one blocking
+// result and one heuristic ordering; the only difference is the triage
+// tier. The headline metric is recall per allowance unit: the tier
+// labels the confident Dice bands for free, so at small allowances the
+// three-tier arm reaches recall the baseline can only buy.
+func TierPerf(opts Options) (*TierPerfReport, *Table, error) {
+	w := NewWorkload(opts)
+	o := w.Opts
+	base := w.baseConfig()
+	base.Strategy = core.MaximizePrecision
+
+	prep, err := w.prepare(base)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tierperf: %w", err)
+	}
+	run := func(tier core.TierMode, allowanceFrac float64) (*core.Result, metrics.Confusion, error) {
+		cfg := base
+		cfg.Tier = tier
+		cfg.AllowanceFraction = allowanceFrac
+		res, err := core.LinkPrepared(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, prep.block, cfg)
+		if err != nil {
+			return nil, metrics.Confusion{}, err
+		}
+		return res, res.Evaluate(prep.truth), nil
+	}
+
+	rep := &TierPerfReport{
+		Records:    o.Records,
+		K:          base.AliceK,
+		Theta:      o.Theta,
+		TruthPairs: len(prep.truth),
+	}
+
+	for _, frac := range o.Allowances {
+		bRes, bConf, err := run(core.TierOff, frac)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tierperf: baseline at %.4f: %w", frac, err)
+		}
+		tRes, tConf, err := run(core.TierBloom, frac)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tierperf: tier at %.4f: %w", frac, err)
+		}
+		if rep.TotalPairs == 0 {
+			rep.TotalPairs = bRes.Block.TotalPairs()
+			rep.UnknownPairs = bRes.Block.UnknownPairs
+			rep.TierLow, rep.TierHigh = tRes.TierThresholds()
+		}
+		spend := func(n int64) int64 {
+			if n < 1 {
+				return 1
+			}
+			return n
+		}
+		pt := TierPerfPoint{
+			AllowanceFraction: frac,
+			Allowance:         bRes.Allowance,
+			BaselineSpent:     bRes.Invocations,
+			TierSpent:         tRes.Invocations,
+			BaselineRecall:    bConf.Recall(),
+			TierRecall:        tConf.Recall(),
+			BaselinePrecision: bConf.Precision(),
+			TierPrecision:     tConf.Precision(),
+			TierMatched:       tRes.TierMatchedPairs(),
+			TierNonMatch:      tRes.TierNonMatchedPairs(),
+			TierUncertain:     tRes.TierUncertainPairs,
+		}
+		pt.BaselineEfficiency = pt.BaselineRecall / float64(spend(pt.BaselineSpent))
+		pt.TierEfficiency = pt.TierRecall / float64(spend(pt.TierSpent))
+		minRecall := 1.0
+		if rep.TruthPairs > 0 {
+			minRecall = 1.0 / float64(rep.TruthPairs)
+		}
+		floor := pt.BaselineEfficiency
+		if minEff := minRecall / float64(spend(pt.BaselineSpent)); floor < minEff {
+			floor = minEff
+		}
+		pt.Gain = pt.TierEfficiency / floor
+		if pt.Gain > rep.BestGain {
+			rep.BestGain, rep.BestGainAllowanceFrac = pt.Gain, frac
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	t := &Table{
+		ID: "tier",
+		Title: fmt.Sprintf("three-tier triage vs two-tier baseline (Adult %d records, k=%d, θ=%.2f, dice bands [%.2f, %.2f], %d unknown pairs)",
+			o.Records, rep.K, o.Theta, rep.TierLow, rep.TierHigh, rep.UnknownPairs),
+		Columns: []string{"allowance", "base spent", "tier spent", "base recall", "tier recall", "tier precision", "recall/unit gain"},
+	}
+	for _, pt := range rep.Points {
+		t.AddRow(
+			fmt.Sprintf("%.4f", pt.AllowanceFraction),
+			fmt.Sprintf("%d", pt.BaselineSpent),
+			fmt.Sprintf("%d", pt.TierSpent),
+			fmt.Sprintf("%.4f", pt.BaselineRecall),
+			fmt.Sprintf("%.4f", pt.TierRecall),
+			fmt.Sprintf("%.4f", pt.TierPrecision),
+			fmt.Sprintf("%.1f×", pt.Gain),
+		)
+	}
+	return rep, t, nil
+}

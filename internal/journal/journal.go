@@ -34,10 +34,18 @@ const (
 
 var magic = [8]byte{'P', 'P', 'R', 'L', 'W', 'A', 'L', 0}
 
-// Record types inside the framed payloads.
+// Record types inside the framed payloads. Purchased SMC verdicts
+// (recVerdict) and tier-labeled verdicts (recTierVerdict) are distinct
+// types on disk because resume accounting treats them differently: only
+// purchased verdicts were paid for out of the allowance and must never be
+// re-spent, while tier labels are deterministic and free to recompute —
+// a resumed run replays the former and regenerates the latter. Old
+// journals simply contain no tier records, so the format version is
+// unchanged.
 const (
-	recManifest byte = 1
-	recVerdict  byte = 2
+	recManifest    byte = 1
+	recVerdict     byte = 2
+	recTierVerdict byte = 3
 )
 
 // maxPayload bounds a single record's payload so a corrupt length prefix
@@ -124,11 +132,14 @@ type Verdict struct {
 // run's manifest: a fresh journal persists it, a resumed journal instead
 // validates it against the recovered manifest and returns the verdicts
 // already purchased, which the engine applies without re-spending
-// allowance. Record appends one resolved pair; Sync makes all appended
-// records durable regardless of the fsync batching cadence.
+// allowance. Record appends one purchased SMC pair and RecordTier one
+// tier-labeled pair — the distinction is what keeps resume accounting
+// exact. Sync makes all appended records durable regardless of the fsync
+// batching cadence.
 type Sink interface {
 	Begin(m Manifest) ([]Verdict, error)
 	Record(i, j int, matched bool) error
+	RecordTier(i, j int, matched bool) error
 	Sync() error
 }
 
@@ -235,6 +246,16 @@ func (w *Writer) Begin(m Manifest) ([]Verdict, error) {
 
 // Record implements Sink.
 func (w *Writer) Record(i, j int, matched bool) error {
+	return w.record(recVerdict, i, j, matched)
+}
+
+// RecordTier implements Sink: appends a tier-labeled verdict, which
+// resume accounting keeps separate from the purchased ones.
+func (w *Writer) RecordTier(i, j int, matched bool) error {
+	return w.record(recTierVerdict, i, j, matched)
+}
+
+func (w *Writer) record(kind byte, i, j int, matched bool) error {
 	if !w.began {
 		return fmt.Errorf("journal: Record before Begin")
 	}
@@ -242,7 +263,7 @@ func (w *Writer) Record(i, j int, matched bool) error {
 		return fmt.Errorf("journal: pair (%d,%d) outside the uint32 record-index range", i, j)
 	}
 	var payload [verdictPayloadLen]byte
-	payload[0] = recVerdict
+	payload[0] = kind
 	binary.LittleEndian.PutUint32(payload[1:5], uint32(i))
 	binary.LittleEndian.PutUint32(payload[5:9], uint32(j))
 	if matched {

@@ -12,7 +12,14 @@ import (
 // manifest and every intact verdict, in the order they were resolved.
 type Recovered struct {
 	Manifest Manifest
+	// Verdicts holds the purchased SMC resolutions — the ones a resumed
+	// run replays instead of re-spending allowance on.
 	Verdicts []Verdict
+	// TierVerdicts holds the tier-labeled resolutions. A resumed engine
+	// ignores them (tier labels are deterministic and recomputed fresh,
+	// possibly under different thresholds); they exist so auditors can
+	// distinguish heuristic labels from exact purchased verdicts.
+	TierVerdicts []Verdict
 	// TornBytes is how much of the file's tail was cut short mid-write
 	// (a crash between write and the record's completion) and therefore
 	// discarded; 0 for a cleanly closed journal.
@@ -85,18 +92,23 @@ func parse(data []byte) (*Recovered, error) {
 			}
 			rec.Manifest = m
 			sawManifest = true
-		case recVerdict:
+		case recVerdict, recTierVerdict:
 			if !sawManifest {
 				return nil, fmt.Errorf("journal: verdict record before the manifest at offset %d", off)
 			}
 			if len(payload) != verdictPayloadLen {
 				return nil, fmt.Errorf("journal: verdict record has %d payload bytes, want %d", len(payload), verdictPayloadLen)
 			}
-			rec.Verdicts = append(rec.Verdicts, Verdict{
+			v := Verdict{
 				I:       binary.LittleEndian.Uint32(payload[1:5]),
 				J:       binary.LittleEndian.Uint32(payload[5:9]),
 				Matched: payload[9] != 0,
-			})
+			}
+			if payload[0] == recTierVerdict {
+				rec.TierVerdicts = append(rec.TierVerdicts, v)
+			} else {
+				rec.Verdicts = append(rec.Verdicts, v)
+			}
 		default:
 			return nil, fmt.Errorf("journal: unknown record type %d at offset %d", payload[0], off)
 		}

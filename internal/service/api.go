@@ -62,6 +62,14 @@ type JobSpec struct {
 	// (default; slot-packed responses, ~d× fewer decryptions) or "off".
 	// Verdict-identical either way; ignored by the plaintext oracle.
 	Packing string `json:"packing,omitempty"`
+	// Tier selects the triage tier between blocking and SMC: "off"
+	// (default) or "bloom" (Dice over keyed CLK encodings; confident
+	// bands labeled free, allowance reserved for the uncertain middle).
+	Tier string `json:"tier,omitempty"`
+	// TierHigh and TierLow are the tier's Dice thresholds; both zero
+	// selects the defaults (0.95 / 0.60).
+	TierHigh float64 `json:"tier_high,omitempty"`
+	TierLow  float64 `json:"tier_low,omitempty"`
 	// Seed drives the TrainClassifier strategy's random selection.
 	Seed int64 `json:"seed,omitempty"`
 	// Evaluate additionally scores the result against exact ground
@@ -97,6 +105,12 @@ func (s *JobSpec) Validate() error {
 	}
 	if _, err := cliutil.PackingModeByName(s.Packing); err != nil {
 		return err
+	}
+	if _, err := cliutil.TierModeByName(s.Tier); err != nil {
+		return err
+	}
+	if s.TierLow < 0 || s.TierHigh > 1 || s.TierLow > s.TierHigh {
+		return fmt.Errorf("tier thresholds must satisfy 0 ≤ tier_low ≤ tier_high ≤ 1")
 	}
 	return nil
 }
@@ -143,6 +157,10 @@ func (s *JobSpec) Config(qids []string) (core.Config, error) {
 	if cfg.SMCPacking, err = cliutil.PackingModeByName(s.Packing); err != nil {
 		return cfg, err
 	}
+	if cfg.Tier, err = cliutil.TierModeByName(s.Tier); err != nil {
+		return cfg, err
+	}
+	cfg.TierHigh, cfg.TierLow = s.TierHigh, s.TierLow
 	cfg.Seed = s.Seed
 	return cfg, nil
 }
@@ -175,7 +193,7 @@ func (s State) Terminal() bool {
 // pipeline's progress hook.
 type Progress struct {
 	// Phase is the pipeline stage: "anonymize-alice", "anonymize-bob",
-	// "blocking", or "smc".
+	// "blocking", "tier", or "smc".
 	Phase string `json:"phase"`
 	// Done and Total are the stage's position; for the "smc" phase they
 	// are pairs purchased vs the resolved allowance.

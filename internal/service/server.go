@@ -80,6 +80,10 @@ type Server struct {
 	mBlockMatched    *metrics.Var
 	mBlockNonMatched *metrics.Var
 	mBlockUnknown    *metrics.Var
+
+	mTierMatched    *metrics.Var
+	mTierNonMatched *metrics.Var
+	mTierUncertain  *metrics.Var
 }
 
 // New opens the service root, recovers jobs left behind by a previous
@@ -118,6 +122,9 @@ func New(cfg Config) (*Server, error) {
 	s.mBlockMatched = s.reg.Counter("blocking_matched_pairs_total", "Record pairs blocking labeled Match across completed jobs.")
 	s.mBlockNonMatched = s.reg.Counter("blocking_nonmatched_pairs_total", "Record pairs blocking labeled NonMatch across completed jobs.")
 	s.mBlockUnknown = s.reg.Counter("blocking_unknown_pairs_total", "Record pairs blocking left Unknown for SMC across completed jobs.")
+	s.mTierMatched = s.reg.Counter("tier_matched_pairs_total", "Unknown pairs the triage tier labeled Match for free across completed jobs.")
+	s.mTierNonMatched = s.reg.Counter("tier_nonmatched_pairs_total", "Unknown pairs the triage tier labeled NonMatch for free across completed jobs.")
+	s.mTierUncertain = s.reg.Counter("tier_uncertain_pairs_total", "Unknown pairs the tier left for the SMC allowance across completed jobs.")
 
 	recovered, err := store.Recover()
 	if err != nil {
@@ -494,6 +501,9 @@ func (s *Server) execute(ctx context.Context, job *Job) error {
 	s.mBlockMatched.Add(block.MatchedPairs)
 	s.mBlockNonMatched.Add(block.NonMatchedPairs)
 	s.mBlockUnknown.Add(block.UnknownPairs)
+	s.mTierMatched.Add(res.TierMatchedPairs())
+	s.mTierNonMatched.Add(res.TierNonMatchedPairs())
+	s.mTierUncertain.Add(res.TierUncertainPairs)
 	return nil
 }
 

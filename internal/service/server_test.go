@@ -524,3 +524,52 @@ func TestServiceConcurrencyBoundUnderLoad(t *testing.T) {
 		}
 	}
 }
+
+// TestServiceTierJob: a job submitted with the triage tier on reports
+// the tier's accounting in its result and feeds the tier counters in
+// /metrics; a tier spec with inverted thresholds is rejected at submit.
+func TestServiceTierJob(t *testing.T) {
+	dataDir := writeDataDir(t, 120, 11)
+	_, ts := newTestServer(t, Config{Dir: t.TempDir(), DataDir: dataDir, Workers: 1})
+
+	spec := testSpec()
+	spec.Tier = "bloom"
+	job := submit(t, ts, spec)
+	waitState(t, ts, job.ID, StateDone)
+	res := getResult(t, ts, job.ID)
+
+	if res.Result.Tier != "bloom" {
+		t.Errorf("result tier = %q, want bloom", res.Result.Tier)
+	}
+	if res.Result.TierMatchedPairs+res.Result.TierNonMatched+res.Result.TierUncertainPairs == 0 {
+		t.Error("tier counters all zero; the tier never ran")
+	}
+
+	mt, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mt.Body)
+	mt.Body.Close()
+	for _, want := range []string{
+		"pprl_tier_matched_pairs_total",
+		"pprl_tier_nonmatched_pairs_total",
+		"pprl_tier_uncertain_pairs_total",
+	} {
+		if !strings.Contains(string(mraw), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mraw)
+		}
+	}
+
+	bad := testSpec()
+	bad.Tier = "bloom"
+	bad.TierLow, bad.TierHigh = 0.9, 0.5
+	if _, code := submitCode(t, ts, bad); code != http.StatusBadRequest {
+		t.Errorf("inverted tier thresholds accepted with HTTP %d", code)
+	}
+	unknown := testSpec()
+	unknown.Tier = "paillier"
+	if _, code := submitCode(t, ts, unknown); code != http.StatusBadRequest {
+		t.Errorf("unknown tier mode accepted with HTTP %d", code)
+	}
+}

@@ -45,7 +45,11 @@ func queryManifest(cfg *QueryConfig, block *blocking.Result, allowance int64, al
 // verdicts. KeyBits, SMCWorkers and Packing are deliberately excluded:
 // they change the cost or the encoding of a comparison, never its
 // outcome, so a resumed session may use a different key size, pipeline
-// depth, or result packing.
+// depth, or result packing. The triage tier (Tier, TierHigh, TierLow)
+// is excluded for the same reason: tier labels are free, deterministic,
+// and journaled as a separate record type, while purchased SMC verdicts
+// stay exact under any tier configuration — so a session journaled with
+// the tier off may resume with it on, and vice versa.
 func queryConfigDigest(cfg *QueryConfig, allowance int64) [32]byte {
 	h := sha256.New()
 	for _, q := range cfg.QIDs {

@@ -23,6 +23,7 @@ import (
 
 	"pprl/internal/anonymize"
 	"pprl/internal/blocking"
+	"pprl/internal/bloom"
 	"pprl/internal/dataset"
 	"pprl/internal/distance"
 	"pprl/internal/heuristic"
@@ -69,6 +70,12 @@ type HolderConfig struct {
 	K int
 	// Anonymizer defaults to the paper's max-entropy method.
 	Anonymizer anonymize.Anonymizer
+	// TierKey is the CLK keyed-hash secret shared between the holders
+	// (out of band, like the schema) and withheld from the querying
+	// party. Required when the broadcast parameters enable the triage
+	// tier; a holder without it refuses the session rather than encode
+	// with a guessable key.
+	TierKey []byte
 }
 
 // RunHolder executes a data holder end to end: receive the classifier
@@ -106,6 +113,27 @@ func RunHolder(query, peer smc.Conn, cfg HolderConfig, isAlice bool) error {
 	}
 	if err := query.Send(&smc.Message{Kind: smc.MsgView, View: buf.Bytes()}); err != nil {
 		return fmt.Errorf("session: publishing view: %w", err)
+	}
+	if params.Tier != nil {
+		// The querying party asked for triage-tier encodings. Encode the
+		// raw records under the holders' shared key and publish only the
+		// filters: the matcher can compute Dice scores but, lacking the
+		// key, cannot build dictionaries of candidate values.
+		if len(cfg.TierKey) == 0 {
+			return fmt.Errorf("session: query enabled the triage tier but this holder has no tier key (set -tier-key)")
+		}
+		tierEnc, err := bloom.NewEncoder(params.Tier.M, params.Tier.K, params.Tier.Q, cfg.TierKey)
+		if err != nil {
+			return fmt.Errorf("session: tier encoder: %w", err)
+		}
+		filters := bloom.EncodeRecords(tierEnc, cfg.Data, qids)
+		encodings := make([][]byte, len(filters))
+		for i, f := range filters {
+			encodings[i] = f.Marshal()
+		}
+		if err := query.Send(&smc.Message{Kind: smc.MsgEncodings, Encodings: encodings}); err != nil {
+			return fmt.Errorf("session: publishing tier encodings: %w", err)
+		}
 	}
 	enc := smc.EncodeRecords(cfg.Data, qids, params.Spec.Scale)
 	if isAlice {
@@ -150,6 +178,18 @@ type QueryConfig struct {
 	// the holders' parallel per-attribute work overlaps across requests.
 	// ≤ 0 keeps the default chunking.
 	SMCWorkers int
+	// Tier, when non-nil, enables the triage tier: the holders publish
+	// CLK encodings of their raw records (keyed with a secret the
+	// querying party never sees), and Unknown pairs whose Dice similarity
+	// clears TierHigh / falls below TierLow are labeled without spending
+	// SMC allowance. Zero-valued M/K/Q select the conventional 1000/30/2.
+	// Like the packing mode, the tier knobs are excluded from the journal
+	// manifest: a journaled session may resume with the tier switched on,
+	// off, or retuned, and replayed purchased verdicts always win.
+	Tier *smc.TierParams
+	// TierHigh and TierLow are the tier's Dice thresholds (≥ high labels
+	// Match, ≤ low NonMatch). Both zero selects the defaults (0.95, 0.60).
+	TierHigh, TierLow float64
 	// Journal, when set, receives the run manifest and one record per
 	// resolved SMC pair, making the session crash-resumable: a writer from
 	// journal.Create records a fresh run, one from Resume additionally
@@ -182,6 +222,14 @@ type QueryResult struct {
 	// Resume accounts for verdicts stitched in from a durable journal
 	// when the session continued an interrupted one; zero for fresh runs.
 	Resume metrics.ResumeStats
+	// TierMatchedPairs, TierNonMatchedPairs and TierUncertainPairs
+	// account for the triage tier: how many Unknown pairs it labeled
+	// Match (these join Matches) or NonMatch for free, and how many fell
+	// in the uncertain band that competes for the allowance. All zero
+	// when the tier is off.
+	TierMatchedPairs    int64
+	TierNonMatchedPairs int64
+	TierUncertainPairs  int64
 	// AliceView and BobView are the published views (K, method,
 	// sequence counts — everything this party may inspect).
 	AliceView, BobView *anonymize.Result
@@ -216,8 +264,25 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 	}
 	spec.ShuffleAttributes = cfg.ShuffleAttributes
 	spec.Packing = cfg.Packing
+	if cfg.Tier != nil {
+		if cfg.Tier.M == 0 {
+			cfg.Tier.M = 1000
+		}
+		if cfg.Tier.K == 0 {
+			cfg.Tier.K = 30
+		}
+		if cfg.Tier.Q == 0 {
+			cfg.Tier.Q = 2
+		}
+		if cfg.TierHigh == 0 && cfg.TierLow == 0 {
+			cfg.TierHigh, cfg.TierLow = 0.95, 0.60
+		}
+		if cfg.TierLow < 0 || cfg.TierHigh > 1 || cfg.TierLow > cfg.TierHigh {
+			return nil, fmt.Errorf("session: tier thresholds must satisfy 0 ≤ low ≤ high ≤ 1 (got low=%v high=%v)", cfg.TierLow, cfg.TierHigh)
+		}
+	}
 
-	params := &smc.Message{Kind: smc.MsgParams, QIDs: cfg.QIDs, Spec: spec}
+	params := &smc.Message{Kind: smc.MsgParams, QIDs: cfg.QIDs, Spec: spec, Tier: cfg.Tier}
 	if err := alice.Send(params); err != nil {
 		return nil, fmt.Errorf("session: sending parameters to alice: %w", err)
 	}
@@ -229,9 +294,20 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("session: alice's view: %w", err)
 	}
+	var aFilters, bFilters []*bloom.Filter
+	if cfg.Tier != nil {
+		if aFilters, err = receiveEncodings(alice, cfg.Tier.M, len(aView.ClassOf)); err != nil {
+			return nil, fmt.Errorf("session: alice's tier encodings: %w", err)
+		}
+	}
 	bView, bRaw, err := receiveView(bob, cfg.Schema)
 	if err != nil {
 		return nil, fmt.Errorf("session: bob's view: %w", err)
+	}
+	if cfg.Tier != nil {
+		if bFilters, err = receiveEncodings(bob, cfg.Tier.M, len(bView.ClassOf)); err != nil {
+			return nil, fmt.Errorf("session: bob's tier encodings: %w", err)
+		}
 	}
 
 	block, err := blocking.Block(aView, bView, rule)
@@ -283,33 +359,66 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 		}
 	}
 
+	// Replayed verdicts are applied upfront rather than stitched into the
+	// ordered iteration: the ordering the interrupted session purchased
+	// under may differ from this one's (the tier mode or thresholds may
+	// have changed — both are outside the manifest digest), but a
+	// purchased verdict is exact under any tier configuration. Each one
+	// consumes allowance exactly once, here.
+	for p, matched := range replayed {
+		if matched {
+			res.Matches = append(res.Matches, match.Pair{I: p[0], J: p[1]})
+		}
+		res.Resume.ResumedPairs++
+		res.Resume.ReplayedAllowance++
+	}
+
 	sess, err := smc.NewQuerySession(alice, bob, spec, cfg.KeyBits)
 	if err != nil {
 		return nil, err
 	}
 	ordered := heuristic.Order(block, rule, cfg.Heuristic, false)
 	var pairs [][2]int
-	budget := allowance
+	budget := allowance - res.Resume.ReplayedAllowance
 groups:
 	for _, gp := range ordered {
 		for _, i := range aView.Classes[gp.RI].Members {
 			for _, j := range bView.Classes[gp.SI].Members {
-				if budget <= 0 {
-					break groups
-				}
-				budget--
-				// A verdict already purchased by the interrupted run is
-				// stitched in from the journal: it consumes allowance but
-				// never reaches the protocol (or the journal, which still
-				// holds it).
-				if matched, ok := replayed[[2]int{i, j}]; ok {
-					if matched {
-						res.Matches = append(res.Matches, match.Pair{I: i, J: j})
-					}
-					res.Resume.ResumedPairs++
-					res.Resume.ReplayedAllowance++
+				// Already purchased by the interrupted session; applied
+				// upfront above, never re-bought.
+				if _, ok := replayed[[2]int{i, j}]; ok {
 					continue
 				}
+				// The triage tier labels the confident bands for free;
+				// only the uncertain band competes for the budget.
+				if cfg.Tier != nil {
+					band := bloom.Classify(aFilters[i].Dice(bFilters[j]), cfg.TierLow, cfg.TierHigh)
+					if band != bloom.BandUncertain {
+						matched := band == bloom.BandMatch
+						if matched {
+							res.Matches = append(res.Matches, match.Pair{I: i, J: j})
+							res.TierMatchedPairs++
+						} else {
+							res.TierNonMatchedPairs++
+						}
+						if cfg.Journal != nil {
+							if err := cfg.Journal.RecordTier(i, j, matched); err != nil {
+								return nil, fmt.Errorf("session: journal tier append (%d,%d): %w", i, j, err)
+							}
+						}
+						continue
+					}
+					res.TierUncertainPairs++
+				}
+				if budget <= 0 {
+					if cfg.Tier == nil {
+						break groups
+					}
+					// Tier labeling is free; keep scanning for confident
+					// bands even though the budget is gone.
+					continue
+				}
+				budget--
 				pairs = append(pairs, [2]int{i, j})
 			}
 		}
@@ -374,6 +483,29 @@ groups:
 		return nil, fmt.Errorf("session: closing: %w", err)
 	}
 	return res, nil
+}
+
+// receiveEncodings collects a holder's CLK filters for the triage tier,
+// validating the count against the published view and every filter's
+// shape against the broadcast parameters.
+func receiveEncodings(conn smc.Conn, m, records int) ([]*bloom.Filter, error) {
+	msg, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if msg.Kind != smc.MsgEncodings {
+		return nil, fmt.Errorf("expected tier encodings, got kind %d", msg.Kind)
+	}
+	if len(msg.Encodings) != records {
+		return nil, fmt.Errorf("holder sent %d tier encodings for %d records", len(msg.Encodings), records)
+	}
+	filters := make([]*bloom.Filter, len(msg.Encodings))
+	for i, data := range msg.Encodings {
+		if filters[i], err = bloom.Unmarshal(data, m); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return filters, nil
 }
 
 // receiveView returns the parsed view plus its raw serialized bytes; the

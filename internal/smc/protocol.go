@@ -35,6 +35,12 @@ const (
 	MsgParams
 	// MsgView carries a data holder's serialized anonymized view.
 	MsgView
+	// MsgEncodings carries a data holder's per-record CLK Bloom encodings
+	// to the querying party for the triage tier (sent after MsgView when
+	// the broadcast parameters enable the tier). The keyed-hash secret
+	// behind the encodings stays holder-side, per the bloom package
+	// contract.
+	MsgEncodings
 )
 
 // Message is the single wire format; fields are used according to Kind.
@@ -59,6 +65,21 @@ type Message struct {
 	Spec *Spec
 	// View is a serialized anonymized view (MsgView).
 	View []byte
+	// Tier, when non-nil on MsgParams, asks the holders to also publish
+	// CLK encodings for the triage tier.
+	Tier *TierParams
+	// Encodings are a holder's serialized per-record CLK filters, indexed
+	// by record (MsgEncodings).
+	Encodings [][]byte
+}
+
+// TierParams are the public tier parameters the querying party broadcasts
+// in MsgParams: the CLK shape every holder must encode with. The Dice
+// thresholds stay querying-party-local (they affect only how the matcher
+// spends its budget), and the encoding key is shared between the holders
+// out of band — it deliberately has no field here.
+type TierParams struct {
+	M, K, Q int
 }
 
 // blindBits is the size of the multiplicative blinding factor ρ; δ noise

@@ -37,5 +37,17 @@ func (c *CrashSink) Record(i, j int, matched bool) error {
 	return c.W.Record(i, j, matched)
 }
 
+// RecordTier delegates without consuming the crash budget: the budget
+// counts purchased SMC verdicts so kill points land at the same pair
+// boundaries whether or not the tier is enabled, and the tier phase —
+// deterministic and recomputed on resume — is not where the crash matrix
+// aims its faults.
+func (c *CrashSink) RecordTier(i, j int, matched bool) error {
+	if c.Remaining <= 0 {
+		return ErrCrash
+	}
+	return c.W.RecordTier(i, j, matched)
+}
+
 // Sync delegates to the wrapped writer.
 func (c *CrashSink) Sync() error { return c.W.Sync() }

@@ -214,6 +214,21 @@ const (
 	PackingOff = core.PackingOff
 )
 
+// TierMode selects the triage tier between blocking and SMC
+// (Config.Tier, DESIGN.md §12).
+type TierMode = core.TierMode
+
+// Triage-tier modes.
+const (
+	// TierOff disables the tier: every Unknown pair competes for the SMC
+	// allowance directly (the paper's two-tier pipeline).
+	TierOff = core.TierOff
+	// TierBloom scores Unknown pairs with the Dice coefficient over
+	// keyed CLK Bloom encodings and labels the confident bands for free,
+	// reserving the allowance for the uncertain middle band.
+	TierBloom = core.TierBloom
+)
+
 var (
 	// DefaultConfig returns the paper's Section VI defaults.
 	DefaultConfig = core.DefaultConfig
