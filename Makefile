@@ -4,9 +4,9 @@ GO ?= go
 # How long `make fuzz` spends per fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke tier-smoke bench-smoke
+.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke tier-smoke bench-smoke distributed-smoke
 
-check: build binaries vet test race crash restart fuzz blocking-smoke tier-smoke bench-smoke
+check: build binaries vet test race crash restart fuzz blocking-smoke tier-smoke bench-smoke distributed-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,12 @@ blocking-smoke:
 tier-smoke:
 	$(GO) run ./cmd/pprl-bench -exp tier -records 600
 
+# 1/2/4-worker fleet scaling at a smoke scale: the run stripes a real
+# batch across in-process workers and fails on any verdict divergence
+# from the single-process oracle.
+distributed-smoke:
+	$(GO) run ./cmd/pprl-bench -exp distributed -records 400
+
 # One-iteration compile-and-run of every crypto micro-benchmark: keeps
 # the paillier kernels and the SMC engine benches from bit-rotting
 # without paying for a real measurement run.
@@ -74,8 +80,9 @@ bench:
 	$(GO) run ./cmd/pprl-bench -exp blocking -json
 
 # Machine-readable engine reports (BENCH_smc.json, BENCH_blocking.json,
-# BENCH_tier.json).
+# BENCH_tier.json, BENCH_distributed.json).
 perf:
 	$(GO) run ./cmd/pprl-bench -exp smcperf -json
 	$(GO) run ./cmd/pprl-bench -exp blocking -json
 	$(GO) run ./cmd/pprl-bench -exp tier -json
+	$(GO) run ./cmd/pprl-bench -exp distributed -json

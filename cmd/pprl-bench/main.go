@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, tier, example, or all")
+		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, tier, distributed, example, or all")
 		records     = flag.Int("records", 0, "workload size (records before the overlap split); 0 = default 1800")
 		full        = flag.Bool("full", false, "paper-scale workload: 30,162 records (slow)")
 		seed        = flag.Int64("seed", 0, "workload seed; 0 = default")
@@ -32,15 +32,17 @@ func main() {
 		perfOut     = flag.String("perf-out", "BENCH_smc.json", "smcperf: path of the machine-readable benchmark report (with -json)")
 		blockingOut = flag.String("blocking-out", "BENCH_blocking.json", "blocking: path of the machine-readable benchmark report (with -json)")
 		tierOut     = flag.String("tier-out", "BENCH_tier.json", "tier: path of the machine-readable benchmark report (with -json)")
+		distPairs   = flag.Int("dist-pairs", 256, "distributed: SMC comparisons striped across each fleet size")
+		distOut     = flag.String("distributed-out", "BENCH_distributed.json", "distributed: path of the machine-readable benchmark report (with -json)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut, *tierOut); err != nil {
+	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut, *tierOut, *distPairs, *distOut); err != nil {
 		fmt.Fprintln(os.Stderr, "pprl-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut, tierOut string) error {
+func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut, tierOut string, distPairs int, distOut string) error {
 	render := func(t *experiment.Table) error {
 		if asJSON {
 			return t.RenderJSON(out)
@@ -198,6 +200,29 @@ func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON 
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "tier: report written to %s\n", tierOut)
+		}
+	}
+	if want("distributed") {
+		rep, t, err := experiment.DistPerf(opts, perfBits, distPairs)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if asJSON && distOut != "" {
+			f, err := os.Create(distOut)
+			if err != nil {
+				return fmt.Errorf("distributed: %w", err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("distributed: writing report: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "distributed: report written to %s\n", distOut)
 		}
 	}
 	return nil

@@ -33,13 +33,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"pprl"
 	"pprl/internal/cliutil"
+	"pprl/internal/distrib"
 )
 
 // options collects everything the pipeline run needs; flags fill it in
@@ -58,6 +61,9 @@ type options struct {
 	keyBits      int
 	smcWorkers   int
 	packing      string
+	// workers are SMC fleet worker addresses (pprl-party -role worker
+	// -worker-listen …); non-empty stripes the SMC step across them.
+	workers []string
 	// tier enables the Bloom triage tier between blocking and SMC;
 	// tierHigh/tierLow are its Dice thresholds (0,0 = defaults).
 	tier      string
@@ -90,6 +96,8 @@ func main() {
 	flag.IntVar(&opts.keyBits, "keybits", 1024, "Paillier key size for -secure")
 	flag.IntVar(&opts.smcWorkers, "smc-workers", 0, "parallel SMC lanes for -secure (0 = GOMAXPROCS)")
 	flag.StringVar(&opts.packing, "packing", "packed", "SMC result packing for -secure: packed (slot-packed responses) or off")
+	var workerAddrs cliutil.WorkerAddrs
+	flag.Var(&workerAddrs, "worker", "SMC fleet worker address (repeatable, or comma-separated); stripes the SMC step across the fleet")
 	flag.StringVar(&opts.tier, "tier", "off", "triage tier between blocking and SMC: off or bloom (Dice over CLK encodings)")
 	flag.Float64Var(&opts.tierHigh, "tier-high", 0, "tier Dice threshold for Match (0 = default 0.95)")
 	flag.Float64Var(&opts.tierLow, "tier-low", 0, "tier Dice threshold for NonMatch (0 = default 0.60)")
@@ -101,6 +109,7 @@ func main() {
 	flag.StringVar(&opts.resumePath, "resume", "", "resume an interrupted run from its journal")
 	flag.IntVar(&opts.journalSync, "journal-sync", 0, "fsync the journal every N verdicts (0 = default batching)")
 	flag.Parse()
+	opts.workers = workerAddrs
 
 	// SIGINT/SIGTERM cancel the run's context: the engine drains the
 	// in-flight SMC chunk (sharded lanes finish cleanly), checkpoints the
@@ -163,6 +172,31 @@ func run(out io.Writer, opts options) error {
 	}
 	if opts.secure {
 		cfg.Comparator = pprl.SecureComparatorFactory(opts.keyBits)
+	}
+	if len(opts.workers) > 0 {
+		pool := distrib.NewPool(distrib.PoolOptions{Logger: log.New(os.Stderr, "pprl-link: ", log.LstdFlags)})
+		defer pool.Close()
+		dctx := opts.ctx
+		if dctx == nil {
+			dctx = context.Background()
+		}
+		dctx, cancel := context.WithTimeout(dctx, time.Minute)
+		defer cancel()
+		for _, addr := range opts.workers {
+			conn, err := cliutil.DialRetry(dctx, "tcp", addr, cliutil.Backoff{})
+			if err != nil {
+				return fmt.Errorf("worker %s: %w", addr, err)
+			}
+			if err := pool.AddConn(conn); err != nil {
+				return fmt.Errorf("worker %s: %w", addr, err)
+			}
+		}
+		jc := distrib.JobConfig{Job: "link"}
+		if opts.secure {
+			jc.Engine = distrib.EngineSecure
+			jc.KeyBits = opts.keyBits
+		}
+		cfg.Comparator = pool.Factory(jc)
 	}
 	cfg.SMCWorkers = opts.smcWorkers
 	if cfg.SMCPacking, err = cliutil.PackingModeByName(opts.packing); err != nil {

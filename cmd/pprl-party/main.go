@@ -17,6 +17,14 @@
 //
 // The querying party prints the matched record-index pairs; the holders
 // map indexes back to their records.
+//
+// A fourth role joins a pprl-serve daemon's SMC worker fleet: the worker
+// registers with the daemon's coordinator, receives encoded records per
+// job, and serves comparison chunks until the coordinator hangs up.
+//
+//	pprl-party -role worker -coordinator daemon:9700 -lanes 2
+//	# or listen and let the daemon dial out (-worker on pprl-serve):
+//	pprl-party -role worker -worker-listen :9701
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -35,6 +44,7 @@ import (
 
 	"pprl"
 	"pprl/internal/cliutil"
+	"pprl/internal/distrib"
 	"pprl/internal/session"
 	"pprl/internal/smc"
 )
@@ -92,6 +102,11 @@ func main() {
 		journalPath = flag.String("journal", "", "query: record the run to a durable journal at this path (crash-resumable)")
 		resumePath  = flag.String("resume", "", "query: resume an interrupted run from its journal")
 		journalSync = flag.Int("journal-sync", 0, "query: fsync the journal every N verdicts (0 = default batching)")
+
+		coordinator  = flag.String("coordinator", "", "worker: dial this coordinator (pprl-serve -fleet-listen address) and register")
+		workerListen = flag.String("worker-listen", "", "worker: listen here for a coordinator that dials out (-worker on pprl-serve)")
+		workerName   = flag.String("worker-name", "", "worker: advertised name (empty = coordinator-assigned)")
+		lanes        = flag.Int("lanes", 1, "worker: parallel SMC lanes for secure jobs")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM cancel the querying party's context: it checkpoints
@@ -125,8 +140,10 @@ func main() {
 		err = runHolder(ctx, *schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, *tierKey, session.RoleAlice)
 	case "bob":
 		err = runHolder(ctx, *schemaPath, *queryAddr, "", *peerAddr, *data, *k, *method, *tierKey, session.RoleBob)
+	case "worker":
+		err = runWorker(ctx, *coordinator, *workerListen, *workerName, *lanes)
 	default:
-		err = fmt.Errorf("-role must be query, alice, or bob")
+		err = fmt.Errorf("-role must be query, alice, bob, or worker")
 	}
 	if err != nil {
 		if errors.Is(err, session.ErrInterrupted) {
@@ -273,6 +290,14 @@ func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr,
 	if queryAddr == "" || dataPath == "" {
 		return fmt.Errorf("holder roles need -query and -data")
 	}
+	if queryAddr, err = cliutil.NormalizeAddr(queryAddr); err != nil {
+		return fmt.Errorf("-query: %w", err)
+	}
+	if peerAddr != "" {
+		if peerAddr, err = cliutil.NormalizeAddr(peerAddr); err != nil {
+			return fmt.Errorf("-peer: %w", err)
+		}
+	}
 	anon, err := cliutil.AnonymizerByName(method)
 	if err != nil {
 		return err
@@ -328,6 +353,55 @@ func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr,
 		cfg.TierKey = []byte(tierKey)
 	}
 	return session.RunHolder(query, peer, cfg, role == session.RoleAlice)
+}
+
+// runWorker joins a coordinator's SMC worker fleet and serves comparison
+// chunks until the coordinator hangs up (or ctx cancels). The worker
+// either dials the coordinator or listens for one dial-out connection.
+func runWorker(ctx context.Context, coordinator, workerListen, name string, lanes int) error {
+	logger := log.New(os.Stderr, "pprl-party: ", log.LstdFlags)
+	opts := distrib.WorkerOptions{Name: name, Lanes: lanes, Logger: logger}
+	var conn net.Conn
+	switch {
+	case coordinator != "" && workerListen != "":
+		return fmt.Errorf("-coordinator and -worker-listen are mutually exclusive")
+	case coordinator != "":
+		addr, err := cliutil.NormalizeAddr(coordinator)
+		if err != nil {
+			return fmt.Errorf("-coordinator: %w", err)
+		}
+		conn, err = dialRetry(ctx, addr)
+		if err != nil {
+			return fmt.Errorf("dialing coordinator: %w", err)
+		}
+	case workerListen != "":
+		ln, err := net.Listen("tcp", workerListen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		logger.Printf("worker: waiting for a coordinator on %s", ln.Addr())
+		go func() {
+			<-ctx.Done()
+			ln.Close()
+		}()
+		conn, err = ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+	default:
+		return fmt.Errorf("worker role needs -coordinator or -worker-listen")
+	}
+	// A signal closes the connection; ServeWorker treats that as the
+	// coordinator hanging up and returns nil.
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	return distrib.ServeWorker(conn, opts)
 }
 
 // dialRetry dials with exponential backoff and jitter under a deadline:

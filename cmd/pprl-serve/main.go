@@ -45,6 +45,12 @@ type options struct {
 	workers     int
 	journalSync int
 	pprof       bool
+	// fleetListen accepts SMC worker registrations; fleetWorkers are
+	// addresses the daemon dials out to; fleetMinWorkers gates
+	// distributed jobs on fleet size.
+	fleetListen     string
+	fleetWorkers    []string
+	fleetMinWorkers int
 	// publishExpvar registers the metrics registry under /debug/vars;
 	// off in tests because expvar.Publish is once-per-process.
 	publishExpvar bool
@@ -62,7 +68,12 @@ func main() {
 	flag.IntVar(&opts.workers, "workers", 1, "concurrent linkage jobs")
 	flag.IntVar(&opts.journalSync, "journal-sync", 0, "fsync the job journal every N verdicts (0 = journal default)")
 	flag.BoolVar(&opts.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.StringVar(&opts.fleetListen, "fleet-listen", "", "accept SMC worker registrations on this address (pprl-party -role worker -coordinator)")
+	var workerAddrs cliutil.WorkerAddrs
+	flag.Var(&workerAddrs, "worker", "SMC fleet worker address to dial out to (repeatable, or comma-separated)")
+	flag.IntVar(&opts.fleetMinWorkers, "fleet-min-workers", 1, "workers a distributed job waits for before starting")
 	flag.Parse()
+	opts.fleetWorkers = workerAddrs
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -79,11 +90,15 @@ func run(out io.Writer, opts options) error {
 	logger := log.New(out, "pprl-serve: ", log.LstdFlags)
 
 	srv, err := service.New(service.Config{
-		Dir:         opts.dir,
-		DataDir:     opts.dataDir,
-		Workers:     opts.workers,
-		JournalSync: opts.journalSync,
-		EnablePprof: opts.pprof,
+		Dir:             opts.dir,
+		DataDir:         opts.dataDir,
+		Workers:         opts.workers,
+		JournalSync:     opts.journalSync,
+		EnablePprof:     opts.pprof,
+		FleetListen:     opts.fleetListen,
+		FleetWorkers:    opts.fleetWorkers,
+		FleetMinWorkers: opts.fleetMinWorkers,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err

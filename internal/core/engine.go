@@ -243,6 +243,18 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	if chunkSize > 4096 {
 		chunkSize = 4096
 	}
+	// A comparator that knows its own ideal batch size — a distributed
+	// pool whose capacity is worker fleet width, not cfg.SMCWorkers —
+	// overrides the heuristic. Clamped so a bad hint can neither stall
+	// the pipeline nor re-materialize the budget.
+	if hinter, ok := cmp.(interface{ ChunkHint() int }); ok {
+		if h := hinter.ChunkHint(); h > 0 {
+			if h > 16384 {
+				h = 16384
+			}
+			chunkSize = h
+		}
+	}
 	chunk := make([]job, 0, chunkSize)
 	pairs := make([][2]int, 0, chunkSize)
 	// Progress and budget both start past the replayed verdicts, which

@@ -81,95 +81,23 @@ func ReadCSV(schema *Schema, r io.Reader) (*Dataset, error) {
 }
 
 func readCSV(schema *Schema, r io.Reader, dropMissing bool) (*Dataset, int, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
+	p, err := newCSVParser(schema, r, dropMissing)
 	if err != nil {
-		return nil, 0, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return nil, 0, err
 	}
-	colFor := make([]int, schema.Len()) // attribute index -> CSV column
-	for i := range colFor {
-		colFor[i] = -1
-	}
-	entityCol, classCol := -1, -1
-	for col, name := range header {
-		switch name {
-		case csvEntityColumn:
-			entityCol = col
-		case csvClassColumn:
-			classCol = col
-		default:
-			idx, ok := schema.Index(name)
-			if !ok {
-				return nil, 0, fmt.Errorf("dataset: CSV column %q not in schema", name)
-			}
-			colFor[idx] = col
-		}
-	}
-	for i, col := range colFor {
-		if col == -1 {
-			return nil, 0, fmt.Errorf("dataset: CSV is missing attribute %q", schema.Attr(i).Name)
-		}
-	}
-
 	d := New(schema)
-	rowNum := 1
-	dropped := 0
 	for {
-		row, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
+		rec, ok, err := p.next()
 		if err != nil {
-			return nil, 0, fmt.Errorf("dataset: reading CSV row %d: %w", rowNum, err)
+			return nil, 0, err
 		}
-		rowNum++
-		if dropMissing {
-			skip := false
-			for _, col := range colFor {
-				if row[col] == Missing {
-					skip = true
-					break
-				}
-			}
-			if skip {
-				dropped++
-				continue
-			}
-		}
-		rec := Record{EntityID: d.Len(), Cells: make([]Cell, schema.Len())}
-		if entityCol >= 0 {
-			id, err := strconv.Atoi(row[entityCol])
-			if err != nil {
-				return nil, 0, fmt.Errorf("dataset: row %d: bad entity_id %q", rowNum, row[entityCol])
-			}
-			rec.EntityID = id
-		}
-		if classCol >= 0 && classCol < len(row) {
-			rec.Class = row[classCol]
-		}
-		for i := 0; i < schema.Len(); i++ {
-			raw := row[colFor[i]]
-			attr := schema.Attr(i)
-			if attr.Kind == Continuous {
-				v, err := strconv.ParseFloat(raw, 64)
-				if err != nil {
-					return nil, 0, fmt.Errorf("dataset: row %d, attribute %q: bad number %q", rowNum, attr.Name, raw)
-				}
-				rec.Cells[i] = Cell{Num: v}
-				continue
-			}
-			n := attr.Hierarchy.Lookup(raw)
-			if n == nil || !n.IsLeaf() {
-				return nil, 0, fmt.Errorf("dataset: row %d, attribute %q: %q is not a leaf of the hierarchy", rowNum, attr.Name, raw)
-			}
-			rec.Cells[i] = Cell{Node: n}
+		if !ok {
+			return d, p.dropped, nil
 		}
 		if err := d.Append(rec); err != nil {
-			return nil, 0, fmt.Errorf("dataset: row %d: %w", rowNum, err)
+			return nil, 0, fmt.Errorf("dataset: row %d: %w", p.rowNum, err)
 		}
 	}
-	return d, dropped, nil
 }
 
 // CatCell looks up a categorical leaf value in h, for building fixtures.

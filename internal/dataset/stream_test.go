@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// streamCSV renders n records of the test schema as CSV text.
+func streamCSV(n int, withMissing bool) string {
+	var b strings.Builder
+	b.WriteString("entity_id,education,hours,class\n")
+	edus := []string{"9th", "10th", "Bachelors", "Masters"}
+	for i := 0; i < n; i++ {
+		edu := edus[i%len(edus)]
+		if withMissing && i%5 == 3 {
+			edu = Missing
+		}
+		fmt.Fprintf(&b, "%d,%s,%d,c%d\n", i, edu, 1+i%99, i%2)
+	}
+	return b.String()
+}
+
+// TestStreamMatchesReadCSV: draining a stream chunk by chunk yields
+// exactly the records ReadCSV materializes, under a chunk size that does
+// not divide the record count.
+func TestStreamMatchesReadCSV(t *testing.T) {
+	s := testSchema(t)
+	csv := streamCSV(25, false)
+	want, err := ReadCSV(s, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(s, strings.NewReader(csv), StreamOptions{ChunkRecords: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	chunks := 0
+	for {
+		chunk, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunk) > 7 {
+			t.Fatalf("chunk holds %d records, budget is 7", len(chunk))
+		}
+		chunks++
+		got = append(got, append([]Record(nil), chunk...)...)
+	}
+	if chunks != 4 { // 7+7+7+4
+		t.Errorf("drained in %d chunks, want 4", chunks)
+	}
+	if len(got) != want.Len() {
+		t.Fatalf("streamed %d records, ReadCSV found %d", len(got), want.Len())
+	}
+	for i, rec := range got {
+		w := want.Record(i)
+		if rec.EntityID != w.EntityID || rec.Class != w.Class {
+			t.Fatalf("record %d: got %+v, want %+v", i, rec, w)
+		}
+		for c := range rec.Cells {
+			if rec.Cells[c] != w.Cells[c] {
+				t.Fatalf("record %d cell %d differs", i, c)
+			}
+		}
+	}
+	// A drained stream stays drained.
+	if _, err := st.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v, want io.EOF", err)
+	}
+}
+
+// TestStreamReadAllAndDropMissing: ReadAll equals ReadCSVDropMissing,
+// including the dropped-row count.
+func TestStreamReadAllAndDropMissing(t *testing.T) {
+	s := testSchema(t)
+	csv := streamCSV(20, true)
+	want, wantDropped, err := ReadCSVDropMissing(s, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(s, strings.NewReader(csv), StreamOptions{ChunkRecords: 3, DropMissing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || st.Dropped() != wantDropped {
+		t.Fatalf("ReadAll: %d records (%d dropped), want %d (%d)", got.Len(), st.Dropped(), want.Len(), wantDropped)
+	}
+}
+
+// TestOpenStreamFile: the file-backed constructor streams and closes.
+func TestOpenStreamFile(t *testing.T) {
+	s := testSchema(t)
+	path := filepath.Join(t.TempDir(), "rel.csv")
+	if err := os.WriteFile(path, []byte(streamCSV(10, false)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStream(s, path, StreamOptions{ChunkRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := st.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("streamed %d records, want 10", d.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamErrors: header and row errors surface with row numbers, and
+// a failed stream stays failed.
+func TestStreamErrors(t *testing.T) {
+	s := testSchema(t)
+	if _, err := NewStream(s, strings.NewReader("education,bogus\n"), StreamOptions{}); err == nil {
+		t.Error("unknown header column accepted")
+	}
+	if _, err := NewStream(s, strings.NewReader("education\n"), StreamOptions{}); err == nil {
+		t.Error("missing attribute column accepted")
+	}
+	st, err := NewStream(s, strings.NewReader("education,hours\nNotALeaf,5\n"), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("bad leaf error = %v, want row-numbered error", err)
+	}
+	if _, err := st.Next(); err == nil || err == io.EOF {
+		t.Errorf("stream recovered after error: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"pprl/internal/smc"
+)
+
+// WorkerOptions configures one fleet worker.
+type WorkerOptions struct {
+	// Name is the worker's advertised identity; the coordinator
+	// disambiguates or assigns one if empty or taken.
+	Name string
+	// Lanes is the worker's SMC parallelism for EngineSecure jobs
+	// (sharded comparator lanes). ≤ 0 means 1.
+	Lanes int
+	// HeartbeatEvery is the liveness beacon cadence; ≤ 0 means 1s.
+	HeartbeatEvery time.Duration
+	// Logger receives worker lifecycle lines; nil is silent.
+	Logger *log.Logger
+	// FailAfterChunks, when > 0, drops the connection after serving
+	// that many chunks — the fault-injection hook the testkit uses to
+	// kill a worker at a deterministic chunk boundary.
+	FailAfterChunks int
+}
+
+// ServeWorker runs the worker side of the fleet protocol on conn until
+// the coordinator hangs up: register, then serve setup/chunk/teardown
+// cycles for any number of jobs. It returns nil on a clean hangup (and
+// on an injected fault) so process wrappers can exit 0.
+func ServeWorker(conn net.Conn, opts WorkerOptions) error {
+	if opts.Lanes <= 0 {
+		opts.Lanes = 1
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = time.Second
+	}
+	logf := func(format string, args ...any) {
+		if opts.Logger != nil {
+			opts.Logger.Printf(format, args...)
+		}
+	}
+	l := newLink(conn)
+	if err := l.send(&message{Kind: kindRegister, Proto: protocolVersion, Name: opts.Name, Lanes: opts.Lanes}); err != nil {
+		return fmt.Errorf("distrib: register: %w", err)
+	}
+	welcome, err := l.recv()
+	if err != nil {
+		return fmt.Errorf("distrib: awaiting welcome: %w", err)
+	}
+	if welcome.Kind == kindError {
+		return fmt.Errorf("distrib: coordinator rejected registration: %s", welcome.Err)
+	}
+	if welcome.Kind != kindWelcome {
+		return fmt.Errorf("distrib: expected welcome, got message kind %d", welcome.Kind)
+	}
+	if welcome.Proto != protocolVersion {
+		return fmt.Errorf("distrib: coordinator speaks protocol %d, this worker %d", welcome.Proto, protocolVersion)
+	}
+	name := welcome.Name // the coordinator may have renamed us
+	logf("distrib-worker: registered as worker=%s lanes=%d", name, opts.Lanes)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(opts.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if err := l.send(&message{Kind: kindHeartbeat}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	var (
+		job    string
+		engine Engine
+		kBits  int
+		lanes  int
+		spec   *smc.Spec
+		costNs int64
+		rows   [2][][]int64
+		cmp    smc.Comparator
+		served int
+	)
+	closeEngine := func() {
+		if cmp != nil {
+			cmp.Close()
+			cmp = nil
+		}
+	}
+	defer closeEngine()
+	for {
+		m, err := l.recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("distrib: worker receive: %w", err)
+		}
+		switch m.Kind {
+		case kindSetup:
+			closeEngine()
+			job, engine, kBits, spec, costNs = m.Job, m.Engine, m.KeyBits, m.Spec, m.CostNs
+			lanes = opts.Lanes
+			if m.Lanes > 0 && m.Lanes < lanes {
+				lanes = m.Lanes
+			}
+			rows[0] = make([][]int64, m.Total[0])
+			rows[1] = make([][]int64, m.Total[1])
+		case kindRecords:
+			if m.Holder < 0 || m.Holder > 1 || m.Base < 0 || m.Base+len(m.Rows) > len(rows[m.Holder]) {
+				l.send(&message{Kind: kindError, Job: job, Err: fmt.Sprintf("record chunk [%d,%d) of holder %d out of range", m.Base, m.Base+len(m.Rows), m.Holder)})
+				continue
+			}
+			copy(rows[m.Holder][m.Base:], m.Rows)
+		case kindSetupDone:
+			cmp, err = buildEngine(engine, spec, rows[0], rows[1], kBits, lanes)
+			if err != nil {
+				logf("distrib-worker: job=%s worker=%s engine build failed: %v", job, name, err)
+				l.send(&message{Kind: kindError, Job: job, Err: err.Error()})
+				continue
+			}
+			logf("distrib-worker: job=%s worker=%s engine=%s ready (%d×%d records)", job, name, engine, len(rows[0]), len(rows[1]))
+			if err := l.send(&message{Kind: kindReady, Job: job}); err != nil {
+				return fmt.Errorf("distrib: sending ready: %w", err)
+			}
+		case kindChunk:
+			if cmp == nil {
+				l.send(&message{Kind: kindError, Job: job, Chunk: m.Chunk, Err: "chunk dispatched before setup completed"})
+				continue
+			}
+			verdicts, err := compareAll(cmp, m.Pairs)
+			if err != nil {
+				l.send(&message{Kind: kindError, Job: job, Chunk: m.Chunk, Err: err.Error()})
+				continue
+			}
+			if engine == EngineModeled && costNs > 0 {
+				time.Sleep(time.Duration(costNs * int64(len(m.Pairs))))
+			}
+			reply := &message{Kind: kindVerdicts, Job: job, Chunk: m.Chunk, Verdicts: verdicts, Bytes: cmp.BytesTransferred()}
+			if rb, ok := cmp.(interface{ ResultBytes() int64 }); ok {
+				reply.ResultB = rb.ResultBytes()
+			}
+			if dc, ok := cmp.(interface{ Decryptions() int64 }); ok {
+				reply.Decs = dc.Decryptions()
+			}
+			if err := l.send(reply); err != nil {
+				return fmt.Errorf("distrib: sending verdicts: %w", err)
+			}
+			served++
+			if opts.FailAfterChunks > 0 && served >= opts.FailAfterChunks {
+				logf("distrib-worker: job=%s worker=%s injected fault after %d chunks", job, name, served)
+				conn.Close()
+				return nil
+			}
+		case kindTeardown:
+			logf("distrib-worker: job=%s worker=%s teardown", job, name)
+			closeEngine()
+		case kindHeartbeat:
+			// Coordinator pings are legal but unused today.
+		default:
+			l.send(&message{Kind: kindError, Job: job, Err: fmt.Sprintf("unexpected message kind %d", m.Kind)})
+		}
+	}
+}
+
+// buildEngine constructs the job's comparison engine from shipped state.
+func buildEngine(engine Engine, spec *smc.Spec, alice, bob [][]int64, keyBits, lanes int) (smc.Comparator, error) {
+	if spec == nil {
+		return nil, errors.New("distrib: setup carried no spec")
+	}
+	switch engine {
+	case EngineOracle, EngineModeled:
+		return smc.NewPlainComparator(spec, alice, bob), nil
+	case EngineSecure:
+		if lanes > 1 {
+			return smc.NewLocalSecureSharded(spec, alice, bob, keyBits, lanes)
+		}
+		return smc.NewLocalSecure(spec, alice, bob, keyBits)
+	default:
+		return nil, fmt.Errorf("distrib: unknown engine %d", int(engine))
+	}
+}
+
+// compareAll resolves a chunk through the engine's batch path when it
+// has one, per-pair calls otherwise.
+func compareAll(cmp smc.Comparator, pairs [][2]int) ([]bool, error) {
+	if b, ok := cmp.(interface {
+		CompareBatch([][2]int) ([]bool, error)
+	}); ok {
+		return b.CompareBatch(pairs)
+	}
+	out := make([]bool, len(pairs))
+	for x, p := range pairs {
+		v, err := cmp.Compare(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		out[x] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,286 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"pprl/internal/blocking"
+	"pprl/internal/dataset"
+	"pprl/internal/distrib"
+	"pprl/internal/smc"
+)
+
+// DistPerfFleet is one fleet-size cell of the distributed benchmark.
+type DistPerfFleet struct {
+	Workers int     `json:"workers"`
+	Chunks  int     `json:"chunks"`
+	Seconds float64 `json:"seconds"`
+	Rate    float64 `json:"comparisons_per_sec"`
+	// Speedup is this cell's rate over the 1-worker rate; Efficiency is
+	// Speedup/Workers (1.0 = perfect linear scaling).
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// DistPerfReport is the machine-readable distributed-fleet benchmark
+// that `pprl-bench -exp distributed -json` writes to
+// BENCH_distributed.json: SMC throughput of 1/2/4-worker fleets over an
+// identical Adult workload, with every fleet's verdict stream checked
+// byte-identical to the single-process oracle.
+//
+// Methodology: each worker runs EngineModeled — the plaintext circuit
+// plus a per-pair sleep calibrated from a real serial Paillier run on
+// this host (CalibrationPairs comparisons at KeyBits). That models a
+// fleet whose workers each own real CPUs; running W real-crypto workers
+// as goroutines on one host would just timeshare the same cores and
+// (dishonestly) show no scaling on small machines. The calibrated cost
+// and the host's GOMAXPROCS are recorded so readers can judge the model.
+type DistPerfReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Records    int `json:"records"`
+	Attributes int `json:"attributes"`
+	Pairs      int `json:"pairs"`
+	ChunkPairs int `json:"chunk_pairs"`
+
+	// KeyBits and CalibrationPairs describe the serial secure run the
+	// per-pair cost was measured from; CostMsPerPair is that measurement.
+	KeyBits          int     `json:"key_bits"`
+	CalibrationPairs int     `json:"calibration_pairs"`
+	CostMsPerPair    float64 `json:"cost_ms_per_pair"`
+
+	Fleets []DistPerfFleet `json:"fleets"`
+
+	// Speedup2 and Speedup4 are the 2- and 4-worker rates over the
+	// 1-worker rate.
+	Speedup2 float64 `json:"speedup_2_workers"`
+	Speedup4 float64 `json:"speedup_4_workers"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *DistPerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// distPerfEncode round-trips both relations through CSV files and the
+// chunked stream reader — the out-of-core path a real deployment feeds
+// the coordinator from — and returns the encoded rows plus the spec.
+func distPerfEncode(w Workload) (alice, bob [][]int64, spec *smc.Spec, err error) {
+	schema := w.Alice.Schema()
+	qids, err := schema.Resolve(w.Opts.QIDs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rule, err := blocking.RuleFor(schema, qids, w.Opts.Theta)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if spec, err = smc.SpecFromRule(rule, 1); err != nil {
+		return nil, nil, nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "distperf")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	encode := func(name string, d *dataset.Dataset) ([][]int64, error) {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.WriteCSV(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		st, err := dataset.OpenStream(schema, path, dataset.StreamOptions{})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		return smc.EncodeStream(st, qids, spec.Scale)
+	}
+	if alice, err = encode("a.csv", w.Alice); err != nil {
+		return nil, nil, nil, fmt.Errorf("distperf: encoding alice: %w", err)
+	}
+	if bob, err = encode("b.csv", w.Bob); err != nil {
+		return nil, nil, nil, fmt.Errorf("distperf: encoding bob: %w", err)
+	}
+	return alice, bob, spec, nil
+}
+
+// distPerfCalibrate measures the real serial secure cost per comparison:
+// a NewLocalSecure run over calibPairs pairs at keyBits.
+func distPerfCalibrate(spec *smc.Spec, alice, bob [][]int64, keyBits, calibPairs int) (time.Duration, error) {
+	pairs := make([][2]int, calibPairs)
+	for k := range pairs {
+		pairs[k] = [2]int{k % len(alice), (k * 7) % len(bob)}
+	}
+	cmp, err := smc.NewLocalSecure(spec, alice, bob, keyBits)
+	if err != nil {
+		return 0, fmt.Errorf("distperf: calibration comparator: %w", err)
+	}
+	defer cmp.Close()
+	start := time.Now()
+	if _, err := cmp.CompareBatch(pairs); err != nil {
+		return 0, fmt.Errorf("distperf: calibration batch: %w", err)
+	}
+	return time.Since(start) / time.Duration(calibPairs), nil
+}
+
+// DistPerf benchmarks the distributed SMC fleet: pairsN comparisons over
+// an Adult workload striped across 1-, 2- and 4-worker fleets of
+// in-process workers, each running the calibrated modeled engine. Every
+// fleet's verdicts are checked against the single-process oracle; any
+// divergence is an error, so the scaling numbers only exist for runs the
+// correctness check passed.
+func DistPerf(opts Options, keyBits, pairsN int) (*DistPerfReport, *Table, error) {
+	w := NewWorkload(opts)
+	alice, bob, spec, err := distPerfEncode(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(alice) == 0 || len(bob) == 0 {
+		return nil, nil, fmt.Errorf("distperf: empty relations")
+	}
+	if pairsN <= 0 {
+		pairsN = 256
+	}
+	pairs := make([][2]int, pairsN)
+	for k := range pairs {
+		pairs[k] = [2]int{(k * 3) % len(alice), (k * 11) % len(bob)}
+	}
+
+	const calibPairs = 8
+	cost, err := distPerfCalibrate(spec, alice, bob, keyBits, calibPairs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	oracle := smc.NewPlainComparator(spec, alice, bob)
+	baseline := make([]bool, len(pairs))
+	for k, pr := range pairs {
+		if baseline[k], err = oracle.Compare(pr[0], pr[1]); err != nil {
+			return nil, nil, err
+		}
+	}
+	oracle.Close()
+
+	rep := &DistPerfReport{
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Records:          w.Alice.Len() + w.Bob.Len(),
+		Attributes:       len(spec.Attrs),
+		Pairs:            pairsN,
+		KeyBits:          keyBits,
+		CalibrationPairs: calibPairs,
+		CostMsPerPair:    float64(cost.Microseconds()) / 1000,
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		// Chunks small enough that every worker stays busy, large enough
+		// that dispatch overhead stays negligible next to the crypto.
+		chunk := pairsN / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if rep.ChunkPairs == 0 {
+			rep.ChunkPairs = chunk
+		}
+		cell, err := distPerfFleet(spec, alice, bob, pairs, baseline, workers, chunk, cost)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Fleets = append(rep.Fleets, *cell)
+	}
+	base := rep.Fleets[0].Rate
+	for i := range rep.Fleets {
+		if base > 0 {
+			rep.Fleets[i].Speedup = rep.Fleets[i].Rate / base
+			rep.Fleets[i].Efficiency = rep.Fleets[i].Speedup / float64(rep.Fleets[i].Workers)
+		}
+		switch rep.Fleets[i].Workers {
+		case 2:
+			rep.Speedup2 = rep.Fleets[i].Speedup
+		case 4:
+			rep.Speedup4 = rep.Fleets[i].Speedup
+		}
+	}
+
+	t := &Table{
+		ID: "distributed",
+		Title: fmt.Sprintf("distributed SMC fleet scaling (%d pairs, modeled %.1fms/pair from %d-bit serial run, GOMAXPROCS=%d)",
+			pairsN, rep.CostMsPerPair, keyBits, rep.GOMAXPROCS),
+		Columns: []string{"workers", "chunks", "seconds", "comparisons/sec", "speedup", "efficiency"},
+	}
+	for _, c := range rep.Fleets {
+		t.AddRow(fmt.Sprintf("%d", c.Workers), fmt.Sprintf("%d", c.Chunks), fmt.Sprintf("%.3f", c.Seconds),
+			fmt.Sprintf("%.1f", c.Rate), fmt.Sprintf("%.2f", c.Speedup), fmt.Sprintf("%.2f", c.Efficiency))
+	}
+	return rep, t, nil
+}
+
+// distPerfFleet runs one fleet-size cell: spin workers over in-process
+// pipes, stripe the batch, check verdicts, and time it.
+func distPerfFleet(spec *smc.Spec, alice, bob [][]int64, pairs [][2]int, baseline []bool, workers, chunk int, cost time.Duration) (*DistPerfFleet, error) {
+	pool := distrib.NewPool(distrib.PoolOptions{HeartbeatTimeout: 30 * time.Second})
+	defer pool.Close()
+	for i := 0; i < workers; i++ {
+		coord, side := net.Pipe()
+		name := fmt.Sprintf("w%d", i+1)
+		go distrib.ServeWorker(side, distrib.WorkerOptions{Name: name})
+		go func() {
+			if err := pool.AddConn(coord); err != nil {
+				coord.Close()
+			}
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := pool.WaitWorkers(ctx, workers); err != nil {
+		return nil, fmt.Errorf("distperf: %d-worker fleet: %w", workers, err)
+	}
+
+	cmp, err := pool.NewComparator(spec, alice, bob, distrib.JobConfig{
+		Job:         fmt.Sprintf("distperf-w%d", workers),
+		Engine:      distrib.EngineModeled,
+		ModeledCost: cost,
+		ChunkPairs:  chunk,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distperf: %d-worker comparator: %w", workers, err)
+	}
+	defer cmp.Close()
+
+	start := time.Now()
+	verdicts, err := cmp.CompareBatch(pairs)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("distperf: %d-worker batch: %w", workers, err)
+	}
+	for k := range pairs {
+		if verdicts[k] != baseline[k] {
+			return nil, fmt.Errorf("distperf: %d-worker verdict mismatch on pair %v", workers, pairs[k])
+		}
+	}
+	cell := &DistPerfFleet{
+		Workers: workers,
+		Chunks:  (len(pairs) + chunk - 1) / chunk,
+		Seconds: elapsed,
+	}
+	if elapsed > 0 {
+		cell.Rate = float64(len(pairs)) / elapsed
+	}
+	return cell, nil
+}

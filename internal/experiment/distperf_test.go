@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestDistPerfReportGoldenSchema pins the serialized form of
+// BENCH_distributed.json the same way the smcperf golden test pins
+// BENCH_smc.json: external trend tooling keys on these field names.
+func TestDistPerfReportGoldenSchema(t *testing.T) {
+	rep := &DistPerfReport{
+		GOMAXPROCS:       1,
+		Records:          2400,
+		Attributes:       5,
+		Pairs:            256,
+		ChunkPairs:       64,
+		KeyBits:          512,
+		CalibrationPairs: 8,
+		CostMsPerPair:    10.5,
+		Fleets: []DistPerfFleet{
+			{Workers: 1, Chunks: 4, Seconds: 2.7, Rate: 94.8, Speedup: 1, Efficiency: 1},
+			{Workers: 2, Chunks: 8, Seconds: 1.35, Rate: 189.6, Speedup: 2, Efficiency: 1},
+		},
+		Speedup2: 2,
+		Speedup4: 3.9,
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{
+  "gomaxprocs": 1,
+  "records": 2400,
+  "attributes": 5,
+  "pairs": 256,
+  "chunk_pairs": 64,
+  "key_bits": 512,
+  "calibration_pairs": 8,
+  "cost_ms_per_pair": 10.5,
+  "fleets": [
+    {
+      "workers": 1,
+      "chunks": 4,
+      "seconds": 2.7,
+      "comparisons_per_sec": 94.8,
+      "speedup": 1,
+      "efficiency": 1
+    },
+    {
+      "workers": 2,
+      "chunks": 8,
+      "seconds": 1.35,
+      "comparisons_per_sec": 189.6,
+      "speedup": 2,
+      "efficiency": 1
+    }
+  ],
+  "speedup_2_workers": 2,
+  "speedup_4_workers": 3.9
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("BENCH_distributed.json schema drifted:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"speedup_2_workers", "fleets", "cost_ms_per_pair", "calibration_pairs"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("missing field %q", k)
+		}
+	}
+}
+
+// TestDistPerfSmoke runs the real benchmark at a tiny scale: the fleet
+// cells must all agree with the oracle (DistPerf errors on divergence)
+// and the report must carry a positive calibrated cost.
+func TestDistPerfSmoke(t *testing.T) {
+	rep, table, err := DistPerf(Options{Records: 120}, 64, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil || len(table.Rows) != 3 {
+		t.Fatalf("table = %+v, want 3 fleet rows", table)
+	}
+	if rep.CostMsPerPair <= 0 {
+		t.Errorf("calibrated cost = %v ms, want > 0", rep.CostMsPerPair)
+	}
+	if len(rep.Fleets) != 3 || rep.Fleets[0].Workers != 1 || rep.Fleets[2].Workers != 4 {
+		t.Errorf("fleets = %+v, want 1/2/4 workers", rep.Fleets)
+	}
+	for _, f := range rep.Fleets {
+		if f.Rate <= 0 {
+			t.Errorf("%d-worker rate = %v, want > 0", f.Workers, f.Rate)
+		}
+	}
+}

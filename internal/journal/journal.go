@@ -162,6 +162,7 @@ type Writer struct {
 	path      string
 	syncEvery int
 	unsynced  int
+	recorded  int
 	began     bool
 	// recovered is non-nil when the writer was opened with Resume: Begin
 	// then validates instead of writing a second manifest.
@@ -272,6 +273,7 @@ func (w *Writer) record(kind byte, i, j int, matched bool) error {
 	if err := w.appendRecord(payload[:]); err != nil {
 		return err
 	}
+	w.recorded++
 	w.unsynced++
 	if w.unsynced >= w.syncEvery {
 		return w.Sync()
@@ -299,6 +301,12 @@ func (w *Writer) Close() error {
 
 // Path returns the journal's file path, for operator messaging.
 func (w *Writer) Path() string { return w.path }
+
+// Recorded reports how many verdicts (purchased and tier-labeled) this
+// writer appended in the current session — replayed verdicts from a
+// resumed journal are not counted, so after a crash-resume run the value
+// is exactly the work done since the crash.
+func (w *Writer) Recorded() int { return w.recorded }
 
 // appendRecord frames and writes one payload:
 //

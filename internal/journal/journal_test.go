@@ -313,3 +313,53 @@ func TestWriterMisuse(t *testing.T) {
 		t.Error("negative index should fail")
 	}
 }
+
+// TestRecordedCountsSessionWrites: Recorded counts verdicts appended by
+// this writer only — replayed verdicts from a resumed journal do not
+// inflate it.
+func TestRecordedCountsSessionWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	m := testManifest()
+	w, err := Create(path, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Begin(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Recorded(); got != 0 {
+		t.Fatalf("fresh writer Recorded() = %d, want 0", got)
+	}
+	if err := w.Record(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordTier(3, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Recorded(); got != 2 {
+		t.Fatalf("Recorded() = %d after two appends, want 2", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Resume(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Begin(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Recorded(); got != 0 {
+		t.Fatalf("resumed writer Recorded() = %d before any append, want 0", got)
+	}
+	if err := r.Record(5, 6, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Recorded(); got != 1 {
+		t.Fatalf("resumed writer Recorded() = %d, want 1", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,7 @@ type Registry struct {
 
 	mu   sync.Mutex
 	vars map[string]*Var
+	vecs map[string]*VarVec
 	// order preserves registration order for stable /metrics output.
 	order []string
 }
@@ -50,7 +51,11 @@ func (v *Var) Value() int64 { return v.v.Load() }
 // NewRegistry creates a registry whose metric names are prefixed with
 // namespace and an underscore (empty namespace = bare names).
 func NewRegistry(namespace string) *Registry {
-	return &Registry{namespace: namespace, vars: make(map[string]*Var)}
+	return &Registry{
+		namespace: namespace,
+		vars:      make(map[string]*Var),
+		vecs:      make(map[string]*VarVec),
+	}
 }
 
 // Counter registers (or returns the existing) monotonically increasing
@@ -77,6 +82,73 @@ func (r *Registry) register(name, help, typ string) *Var {
 	return v
 }
 
+// VarVec is a labeled metric family: one metric name, one label key, and
+// an atomic Var per observed label value — enough for the per-worker
+// fleet counters (`pprl_worker_chunks_total{worker="w1"}`) without
+// growing into a full label-set model. With is lock-guarded but cheap;
+// hot paths should hold onto the returned *Var.
+type VarVec struct {
+	name  string // fully prefixed
+	help  string
+	typ   string // "counter" or "gauge"
+	label string
+
+	mu       sync.Mutex
+	children map[string]*Var
+	order    []string
+}
+
+// CounterVec registers (or returns the existing) labeled counter family.
+func (r *Registry) CounterVec(name, label, help string) *VarVec {
+	return r.registerVec(name, label, help, "counter")
+}
+
+// GaugeVec registers (or returns the existing) labeled gauge family.
+func (r *Registry) GaugeVec(name, label, help string) *VarVec {
+	return r.registerVec(name, label, help, "gauge")
+}
+
+func (r *Registry) registerVec(name, label, help, typ string) *VarVec {
+	full := name
+	if r.namespace != "" {
+		full = r.namespace + "_" + name
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vecs[full]; ok {
+		return v
+	}
+	v := &VarVec{name: full, help: help, typ: typ, label: label, children: make(map[string]*Var)}
+	r.vecs[full] = v
+	r.order = append(r.order, full)
+	return v
+}
+
+// With returns the child Var for one label value, creating it on first
+// use. Children render in first-use order.
+func (v *VarVec) With(value string) *Var {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c
+	}
+	c := &Var{name: fmt.Sprintf("%s{%s=%q}", v.name, v.label, value), help: v.help, typ: v.typ}
+	v.children[value] = c
+	v.order = append(v.order, value)
+	return c
+}
+
+// snapshot returns the children in first-use order.
+func (v *VarVec) snapshot() []*Var {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*Var, len(v.order))
+	for i, val := range v.order {
+		out[i] = v.children[val]
+	}
+	return out
+}
+
 // WritePrometheus renders every metric in the text exposition format:
 //
 //	# HELP name help
@@ -86,18 +158,41 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	vars := make([]*Var, len(names))
+	vecs := make([]*VarVec, len(names))
 	for i, n := range names {
 		vars[i] = r.vars[n]
+		vecs[i] = r.vecs[n]
 	}
 	r.mu.Unlock()
-	for _, v := range vars {
-		if v.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", v.name, v.help); err != nil {
+	header := func(name, help, typ string) error {
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", v.name, v.typ, v.name, v.Value()); err != nil {
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+	for i := range names {
+		if v := vars[i]; v != nil {
+			if err := header(v.name, v.help, v.typ); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", v.name, v.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		vec := vecs[i]
+		if err := header(vec.name, vec.help, vec.typ); err != nil {
 			return err
+		}
+		// A family with no observed label values renders as just its
+		// HELP/TYPE header, matching Prometheus client conventions.
+		for _, c := range vec.snapshot() {
+			if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value()); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -108,8 +203,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // expvar.Publish and it appears under /debug/vars.
 func (r *Registry) String() string {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	names := append([]string(nil), r.order...)
+	entries := make(map[string]int64, len(r.vars))
+	for n, v := range r.vars {
+		entries[n] = v.Value()
+	}
+	for _, vec := range r.vecs {
+		for _, c := range vec.snapshot() {
+			entries[c.name] = c.Value()
+		}
+	}
+	r.mu.Unlock()
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
 	sort.Strings(names)
 	var b strings.Builder
 	b.WriteByte('{')
@@ -117,7 +224,7 @@ func (r *Registry) String() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%q: %d", n, r.vars[n].Value())
+		fmt.Fprintf(&b, "%q: %d", n, entries[n])
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -89,3 +89,77 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		t.Fatalf("hits_total = %d, want 8000", got)
 	}
 }
+
+// TestVarVecPrometheusFormat: labeled families render one sample line per
+// observed label value under a single HELP/TYPE header, with Prometheus
+// label-value quoting.
+func TestVarVecPrometheusFormat(t *testing.T) {
+	r := NewRegistry("pprl")
+	chunks := r.CounterVec("worker_chunks_total", "worker", "SMC chunks completed per fleet worker.")
+	beats := r.GaugeVec("worker_heartbeat_seconds", "worker", "Unix time of each worker's last heartbeat.")
+	chunks.With("w1").Add(3)
+	chunks.With("w2").Inc()
+	beats.With(`we"ird\name`).Set(99)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP pprl_worker_chunks_total SMC chunks completed per fleet worker.",
+		"# TYPE pprl_worker_chunks_total counter",
+		`pprl_worker_chunks_total{worker="w1"} 3`,
+		`pprl_worker_chunks_total{worker="w2"} 1`,
+		"# TYPE pprl_worker_heartbeat_seconds gauge",
+		`pprl_worker_heartbeat_seconds{worker="we\"ird\\name"} 99`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVarVecWithReturnsSame: the same label value yields the same child,
+// and children appear in the expvar JSON view.
+func TestVarVecWithReturnsSame(t *testing.T) {
+	r := NewRegistry("x")
+	v := r.CounterVec("chunks_total", "worker", "")
+	if v != r.CounterVec("chunks_total", "worker", "other help") {
+		t.Fatal("re-registration created a second vec")
+	}
+	a := v.With("w1")
+	a.Add(2)
+	if b := v.With("w1"); b != a || b.Value() != 2 {
+		t.Fatal("children not shared per label value")
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(r.String()), &m); err != nil {
+		t.Fatalf("String() is not JSON: %v\n%s", err, r.String())
+	}
+	if m[`x_chunks_total{worker="w1"}`] != 2 {
+		t.Errorf("expvar view = %v", m)
+	}
+}
+
+// TestVarVecConcurrentUse: concurrent With and updates across goroutines
+// are race-free and lose no increments.
+func TestVarVecConcurrentUse(t *testing.T) {
+	r := NewRegistry("pprl")
+	vec := r.CounterVec("worker_chunks_total", "worker", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i%2))
+			for j := 0; j < 1000; j++ {
+				vec.With(name).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := vec.With("a").Value() + vec.With("b").Value(); got != 8000 {
+		t.Fatalf("total = %d, want 8000", got)
+	}
+}

@@ -58,6 +58,12 @@ type JobSpec struct {
 	KeyBits int  `json:"key_bits,omitempty"`
 	// SMCWorkers is the SMC parallelism (0 = GOMAXPROCS).
 	SMCWorkers int `json:"smc_workers,omitempty"`
+	// Distributed stripes the SMC step across the daemon's registered
+	// worker fleet (pprl-party -role worker) instead of running it
+	// in-process. Combines with Secure: each worker then runs the real
+	// Paillier protocol under its own fresh key. Rejected at submit time
+	// when the daemon has no fleet configured.
+	Distributed bool `json:"distributed,omitempty"`
 	// Packing selects the secure comparator's result encoding: "packed"
 	// (default; slot-packed responses, ~d× fewer decryptions) or "off".
 	// Verdict-identical either way; ignored by the plaintext oracle.

@@ -5,15 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"sync"
+	"time"
 
 	"pprl/internal/adult"
 	"pprl/internal/cliutil"
 	"pprl/internal/core"
 	"pprl/internal/dataset"
+	"pprl/internal/distrib"
 	"pprl/internal/journal"
 	"pprl/internal/match"
 	"pprl/internal/metrics"
@@ -45,8 +48,25 @@ type Config struct {
 	JournalSync int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// FleetListen, when set, binds a coordinator listener for SMC worker
+	// registrations (pprl-party -role worker -coordinator <addr>).
+	FleetListen string
+	// FleetWorkers are worker addresses the daemon dials out to at
+	// start, for fleets whose workers listen instead of dialing.
+	FleetWorkers []string
+	// FleetMinWorkers is how many registered workers a distributed job
+	// waits for before shipping records (default 1).
+	FleetMinWorkers int
+	// Logger receives job and fleet lifecycle lines with correlation ids
+	// (job=… chunk=… worker=…); nil is silent.
+	Logger *log.Logger
 	// Hooks are test seams; leave zero in production.
 	Hooks Hooks
+}
+
+// fleetConfigured reports whether any fleet wiring was requested.
+func (c *Config) fleetConfigured() bool {
+	return c.FleetListen != "" || len(c.FleetWorkers) > 0
 }
 
 // Server is the linkage job service: it owns the store, the scheduler,
@@ -84,6 +104,17 @@ type Server struct {
 	mTierMatched    *metrics.Var
 	mTierNonMatched *metrics.Var
 	mTierUncertain  *metrics.Var
+
+	mWorkerChunks    *metrics.VarVec
+	mWorkerFailures  *metrics.VarVec
+	mWorkerHeartbeat *metrics.VarVec
+
+	// pool coordinates the SMC worker fleet; nil when no fleet is
+	// configured. fleetLn is the registration listener (when bound) and
+	// fleetCancel stops the dial-out goroutines.
+	pool        *distrib.Pool
+	fleetLn     net.Listener
+	fleetCancel context.CancelFunc
 }
 
 // New opens the service root, recovers jobs left behind by a previous
@@ -125,9 +156,21 @@ func New(cfg Config) (*Server, error) {
 	s.mTierMatched = s.reg.Counter("tier_matched_pairs_total", "Unknown pairs the triage tier labeled Match for free across completed jobs.")
 	s.mTierNonMatched = s.reg.Counter("tier_nonmatched_pairs_total", "Unknown pairs the triage tier labeled NonMatch for free across completed jobs.")
 	s.mTierUncertain = s.reg.Counter("tier_uncertain_pairs_total", "Unknown pairs the tier left for the SMC allowance across completed jobs.")
+	s.mWorkerChunks = s.reg.CounterVec("worker_chunks_total", "worker", "Comparison chunks completed per fleet worker.")
+	s.mWorkerFailures = s.reg.CounterVec("worker_failures_total", "worker", "Failures observed per fleet worker (chunks reassigned).")
+	s.mWorkerHeartbeat = s.reg.GaugeVec("worker_heartbeat_seconds", "worker", "Unix time of each fleet worker's last heartbeat.")
+
+	if cfg.fleetConfigured() {
+		if err := s.startFleet(); err != nil {
+			return nil, err
+		}
+	}
 
 	recovered, err := store.Recover()
 	if err != nil {
+		if s.pool != nil {
+			s.pool.Close()
+		}
 		return nil, err
 	}
 	s.sched = NewScheduler(cfg.Workers, s.runJob)
@@ -149,10 +192,79 @@ func New(cfg Config) (*Server, error) {
 // Metrics returns the server's registry, e.g. for expvar.Publish.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// startFleet brings the SMC worker coordinator up: a registration
+// listener when FleetListen is set, plus dial-out goroutines for every
+// FleetWorkers address.
+func (s *Server) startFleet() error {
+	s.pool = distrib.NewPool(distrib.PoolOptions{
+		Logger:       s.cfg.Logger,
+		ChunksVec:    s.mWorkerChunks,
+		FailuresVec:  s.mWorkerFailures,
+		HeartbeatVec: s.mWorkerHeartbeat,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.fleetCancel = cancel
+	if s.cfg.FleetListen != "" {
+		ln, err := net.Listen("tcp", s.cfg.FleetListen)
+		if err != nil {
+			s.pool.Close()
+			return fmt.Errorf("service: fleet listener: %w", err)
+		}
+		s.fleetLn = ln
+		s.logf("fleet: accepting worker registrations on %s", ln.Addr())
+		go s.pool.Serve(ln)
+	}
+	for _, addr := range s.cfg.FleetWorkers {
+		go func(addr string) {
+			conn, err := cliutil.DialRetry(ctx, "tcp", addr, cliutil.Backoff{})
+			if err != nil {
+				s.logf("fleet: worker %s unreachable: %v", addr, err)
+				return
+			}
+			if err := s.pool.AddConn(conn); err != nil {
+				s.logf("fleet: worker %s registration failed: %v", addr, err)
+			}
+		}(addr)
+	}
+	return nil
+}
+
+// FleetAddr returns the bound worker-registration address, empty when
+// no fleet listener is up.
+func (s *Server) FleetAddr() string {
+	if s.fleetLn == nil {
+		return ""
+	}
+	return s.fleetLn.Addr().String()
+}
+
+// FleetWorkers returns the names of the currently registered workers.
+func (s *Server) FleetWorkers() []string {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.Workers()
+}
+
 // Drain stops the scheduler for shutdown: running jobs checkpoint their
 // journals and settle as interrupted; queued jobs stay on disk. Both
-// resume on the next daemon start.
-func (s *Server) Drain() { s.sched.Drain() }
+// resume on the next daemon start. The worker fleet, if any, is
+// released — workers exit cleanly on the hangup.
+func (s *Server) Drain() {
+	s.sched.Drain()
+	if s.fleetCancel != nil {
+		s.fleetCancel()
+	}
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -204,6 +316,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := spec.Validate(); err != nil {
 		writeAPIError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if spec.Distributed && s.pool == nil {
+		writeAPIError(w, http.StatusBadRequest, "distributed jobs need a worker fleet: start the daemon with -fleet-listen or -worker")
 		return
 	}
 	// Reject unresolvable dataset references at submit time rather than
@@ -385,6 +501,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // interruptions (drain, or the test harness's simulated kill) do not,
 // which is precisely what makes them resumable.
 func (s *Server) runJob(ctx context.Context, job *Job) {
+	s.logf("job=%s state=running distributed=%v", job.ID, job.Spec.Distributed)
 	err := s.execute(ctx, job)
 	switch {
 	case err == nil:
@@ -406,6 +523,11 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 		s.store.WriteTerminal(job.ID, StateFailed, err.Error())
 		job.finish(StateFailed, err.Error())
 		s.mJobsFailed.Inc()
+	}
+	if err == nil {
+		s.logf("job=%s state=done", job.ID)
+	} else {
+		s.logf("job=%s state=%s error=%q", job.ID, job.State(), err)
 	}
 }
 
@@ -448,6 +570,32 @@ func (s *Server) execute(ctx context.Context, job *Job) error {
 	}
 	cfg.Context = ctx
 	cfg.Progress = job.Progress.Update
+
+	if spec.Distributed {
+		if s.pool == nil {
+			return errors.New("service: distributed job but no worker fleet configured")
+		}
+		min := s.cfg.FleetMinWorkers
+		if min < 1 {
+			min = 1
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, time.Minute)
+		err := s.pool.WaitWorkers(waitCtx, min)
+		cancel()
+		if err != nil {
+			return err
+		}
+		jc := distrib.JobConfig{Job: job.ID}
+		if spec.Secure {
+			jc.Engine = distrib.EngineSecure
+			jc.KeyBits = spec.KeyBits
+			if jc.KeyBits == 0 {
+				jc.KeyBits = 1024
+			}
+		}
+		cfg.Comparator = s.pool.Factory(jc)
+		s.logf("job=%s fleet engine=%s workers=%v", job.ID, jc.Engine, s.pool.Workers())
+	}
 
 	jw, _, err := journal.Open(s.store.JournalPath(job.ID), journal.Options{SyncEvery: s.cfg.JournalSync})
 	if err != nil {
@@ -507,15 +655,18 @@ func (s *Server) execute(ctx context.Context, job *Job) error {
 	return nil
 }
 
+// readDataset loads a holder's relation through the chunked streaming
+// reader: anonymization needs the materialized Dataset, but parsing
+// happens in bounded chunks rather than row-state-plus-dataset at once.
 func (s *Server) readDataset(schema *dataset.Schema, ref string) (*dataset.Dataset, error) {
 	path, err := s.store.ResolveData(ref)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(path)
+	st, err := dataset.OpenStream(schema, path, dataset.StreamOptions{})
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return dataset.ReadCSV(schema, f)
+	defer st.Close()
+	return st.ReadAll()
 }

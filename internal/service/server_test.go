@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +19,7 @@ import (
 
 	"pprl/internal/adult"
 	"pprl/internal/dataset"
+	"pprl/internal/distrib"
 	"pprl/internal/journal"
 )
 
@@ -571,5 +574,75 @@ func TestServiceTierJob(t *testing.T) {
 	unknown.Tier = "paillier"
 	if _, code := submitCode(t, ts, unknown); code != http.StatusBadRequest {
 		t.Errorf("unknown tier mode accepted with HTTP %d", code)
+	}
+}
+
+// TestServiceDistributedFleet runs the same job in-process and striped
+// across a two-worker fleet, and requires identical output: the fleet is
+// a transport, not a semantics change. It also checks the per-worker
+// chunk counters surface on /metrics and that a fleetless daemon rejects
+// distributed submissions at the door.
+func TestServiceDistributedFleet(t *testing.T) {
+	dataDir := writeDataDir(t, 160, 11)
+
+	// Baseline: the identical spec on a plain daemon.
+	_, tsLocal := newTestServer(t, Config{Dir: t.TempDir(), DataDir: dataDir})
+	base := submit(t, tsLocal, testSpec())
+	waitState(t, tsLocal, base.ID, StateDone)
+	baseRes := getResult(t, tsLocal, base.ID)
+
+	s, ts := newTestServer(t, Config{
+		Dir:             t.TempDir(),
+		DataDir:         dataDir,
+		FleetListen:     "127.0.0.1:0",
+		FleetMinWorkers: 2,
+	})
+	for _, name := range []string{"fw1", "fw2"} {
+		conn, err := net.Dial("tcp", s.FleetAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		go distrib.ServeWorker(conn, distrib.WorkerOptions{
+			Name:           name,
+			HeartbeatEvery: 50 * time.Millisecond,
+		})
+	}
+
+	spec := testSpec()
+	spec.Distributed = true
+	job := submit(t, ts, spec)
+	waitState(t, ts, job.ID, StateDone)
+	res := getResult(t, ts, job.ID)
+
+	if !reflect.DeepEqual(res.Matches, baseRes.Matches) {
+		t.Errorf("distributed matches diverge from local run:\n fleet %v\n local %v",
+			res.Matches, baseRes.Matches)
+	}
+	if res.Result.Invocations != baseRes.Result.Invocations {
+		t.Errorf("distributed invocations = %d, local = %d",
+			res.Result.Invocations, baseRes.Result.Invocations)
+	}
+	if res.Result.MatchedPairs != baseRes.Result.MatchedPairs {
+		t.Errorf("distributed matched pairs = %d, local = %d",
+			res.Result.MatchedPairs, baseRes.Result.MatchedPairs)
+	}
+
+	mt, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mt.Body)
+	mt.Body.Close()
+	if !strings.Contains(string(mraw), `pprl_worker_chunks_total{worker="`) {
+		t.Errorf("metrics missing per-worker chunk counters:\n%s", mraw)
+	}
+	if !strings.Contains(string(mraw), `pprl_worker_heartbeat_seconds{worker="fw1"}`) {
+		t.Errorf("metrics missing worker heartbeat gauge:\n%s", mraw)
+	}
+
+	// A daemon without a fleet must refuse distributed work up front.
+	if _, code := submitCode(t, tsLocal, spec); code != http.StatusBadRequest {
+		t.Errorf("fleetless daemon accepted distributed job with HTTP %d", code)
 	}
 }

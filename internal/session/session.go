@@ -378,7 +378,61 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 		return nil, err
 	}
 	ordered := heuristic.Order(block, rule, cfg.Heuristic, false)
-	var pairs [][2]int
+	// Budgeted pairs stream through a bounded chunk buffer straight into
+	// pipelined CompareBatch calls — the full budget (potentially millions
+	// of pairs at high allowance) is never materialized. The chunk grows
+	// with the worker count so a sharded engine keeps every lane full.
+	chunk := 256
+	if cfg.SMCWorkers > 1 {
+		chunk *= cfg.SMCWorkers
+		if chunk > 4096 {
+			chunk = 4096
+		}
+	}
+	pairs := make([][2]int, 0, chunk)
+	resolved := 0
+	// interrupted checkpoints the session between batches: every verdict
+	// resolved so far is already journaled, so a sync makes the prefix
+	// durable; closing the session tells the holders to shut down cleanly.
+	interrupted := func() error {
+		if cfg.Context == nil || cfg.Context.Err() == nil {
+			return nil
+		}
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Sync(); err != nil {
+				return err
+			}
+		}
+		sess.Close()
+		return fmt.Errorf("session: %w after %d budgeted comparisons: %v",
+			ErrInterrupted, resolved, cfg.Context.Err())
+	}
+	flush := func() error {
+		if len(pairs) == 0 {
+			return nil
+		}
+		if err := interrupted(); err != nil {
+			return err
+		}
+		verdicts, err := sess.CompareBatch(pairs)
+		if err != nil {
+			return fmt.Errorf("session: SMC batch: %w", err)
+		}
+		for x, v := range verdicts {
+			p := pairs[x]
+			if v {
+				res.Matches = append(res.Matches, match.Pair{I: p[0], J: p[1]})
+			}
+			if cfg.Journal != nil {
+				if err := cfg.Journal.Record(p[0], p[1], v); err != nil {
+					return fmt.Errorf("session: journal append (%d,%d): %w", p[0], p[1], err)
+				}
+			}
+		}
+		resolved += len(pairs)
+		pairs = pairs[:0]
+		return nil
+	}
 	budget := allowance - res.Resume.ReplayedAllowance
 groups:
 	for _, gp := range ordered {
@@ -420,56 +474,16 @@ groups:
 				}
 				budget--
 				pairs = append(pairs, [2]int{i, j})
-			}
-		}
-	}
-	// interrupted checkpoints the session between batches: every verdict
-	// resolved so far is already journaled, so a sync makes the prefix
-	// durable; closing the session tells the holders to shut down cleanly.
-	interrupted := func(done int) error {
-		if cfg.Context == nil || cfg.Context.Err() == nil {
-			return nil
-		}
-		if cfg.Journal != nil {
-			if err := cfg.Journal.Sync(); err != nil {
-				return err
-			}
-		}
-		sess.Close()
-		return fmt.Errorf("session: %w after %d of %d budgeted comparisons: %v",
-			ErrInterrupted, done, len(pairs), cfg.Context.Err())
-	}
-	// Pipelined resolution in chunks: the three parties' work overlaps.
-	chunk := 256
-	if cfg.SMCWorkers > 1 {
-		chunk *= cfg.SMCWorkers
-		if chunk > 4096 {
-			chunk = 4096
-		}
-	}
-	for lo := 0; lo < len(pairs); lo += chunk {
-		if err := interrupted(lo); err != nil {
-			return nil, err
-		}
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		verdicts, err := sess.CompareBatch(pairs[lo:hi])
-		if err != nil {
-			return nil, fmt.Errorf("session: SMC batch: %w", err)
-		}
-		for x, v := range verdicts {
-			p := pairs[lo+x]
-			if v {
-				res.Matches = append(res.Matches, match.Pair{I: p[0], J: p[1]})
-			}
-			if cfg.Journal != nil {
-				if err := cfg.Journal.Record(p[0], p[1], v); err != nil {
-					return nil, fmt.Errorf("session: journal append (%d,%d): %w", p[0], p[1], err)
+				if len(pairs) == chunk {
+					if err := flush(); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
 	}
 	if cfg.Journal != nil {
 		// Completion checkpoint: a durable journal here means the whole

@@ -2,6 +2,7 @@ package smc
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/bits"
 
@@ -221,19 +222,45 @@ func SpecFromRule(rule *blocking.Rule, scale int64) (*Spec, error) {
 func EncodeRecords(d *dataset.Dataset, qids []int, scale int64) [][]int64 {
 	out := make([][]int64, d.Len())
 	for i := 0; i < d.Len(); i++ {
-		rec := d.Record(i)
-		row := make([]int64, len(qids))
-		for j, q := range qids {
-			if d.Schema().Attr(q).Kind == dataset.Categorical {
-				lo, _ := rec.Cells[q].Node.LeafRange()
-				row[j] = int64(lo)
-			} else {
-				row[j] = int64(math.Round(rec.Cells[q].Num * float64(scale)))
-			}
-		}
-		out[i] = row
+		out[i] = encodeRecord(d.Schema(), d.Record(i), qids, scale)
 	}
 	return out
+}
+
+// encodeRecord encodes one record's QID projection.
+func encodeRecord(schema *dataset.Schema, rec dataset.Record, qids []int, scale int64) []int64 {
+	row := make([]int64, len(qids))
+	for j, q := range qids {
+		if schema.Attr(q).Kind == dataset.Categorical {
+			lo, _ := rec.Cells[q].Node.LeafRange()
+			row[j] = int64(lo)
+		} else {
+			row[j] = int64(math.Round(rec.Cells[q].Num * float64(scale)))
+		}
+	}
+	return row
+}
+
+// EncodeStream is the out-of-core counterpart of EncodeRecords: it drains
+// a chunked dataset.Stream and encodes each chunk as it arrives, so the
+// only full-relation state ever resident is the encoded rows themselves —
+// 8 bytes per quasi-identifier per record, not parsed Records or a
+// Dataset. A million-record holder feeds the SMC engines (or ships rows
+// to a distributed worker fleet) through this path.
+func EncodeStream(s *dataset.Stream, qids []int, scale int64) ([][]int64, error) {
+	var out [][]int64
+	for {
+		chunk, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range chunk {
+			out = append(out, encodeRecord(s.Schema(), rec, qids, scale))
+		}
+	}
 }
 
 // Matches evaluates the spec's integer arithmetic in the clear: the

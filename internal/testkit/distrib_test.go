@@ -1,0 +1,165 @@
+package testkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pprl/internal/core"
+	"pprl/internal/distrib"
+	"pprl/internal/journal"
+)
+
+// startFleet builds a pool with the given in-process workers attached
+// over pipes and waits until all of them have registered.
+func startFleet(t *testing.T, workers []distrib.WorkerOptions) *distrib.Pool {
+	t.Helper()
+	pool := distrib.NewPool(distrib.PoolOptions{HeartbeatTimeout: 30 * time.Second})
+	t.Cleanup(func() { pool.Close() })
+	for _, opts := range workers {
+		coord, side := net.Pipe()
+		go distrib.ServeWorker(side, opts)
+		go func(c net.Conn) {
+			if err := pool.AddConn(c); err != nil {
+				c.Close()
+			}
+		}(coord)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := pool.WaitWorkers(ctx, len(workers)); err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+// assertSameLabeling fails unless both runs label every record pair
+// identically.
+func assertSameLabeling(t *testing.T, w *World, name string, baseline, res *core.Result) {
+	t.Helper()
+	for i := 0; i < w.Alice.Len(); i++ {
+		for j := 0; j < w.Bob.Len(); j++ {
+			if baseline.PairMatched(i, j) != res.PairMatched(i, j) {
+				t.Fatalf("%s: pair (%d,%d) labeled %v, baseline %v\n%s",
+					name, i, j, res.PairMatched(i, j), baseline.PairMatched(i, j),
+					repro(w, errors.New("distributed labeling diverged")))
+			}
+		}
+	}
+}
+
+// TestDistributedFleetMatchesLocal runs generated worlds through the
+// full pipeline twice — once with the in-process comparator, once with
+// the SMC step striped across a three-worker fleet — and requires the
+// runs to be indistinguishable: identical labels for every record pair,
+// identical allowance spend, and the oracle's invariants intact.
+func TestDistributedFleetMatchesLocal(t *testing.T) {
+	seed := baseSeed(t)
+	tested := 0
+	for n := 0; n < 6 && tested < 3; n++ {
+		w := Generate(seed + int64(n))
+		baseline, orcl, err := w.Run()
+		if err != nil {
+			t.Fatal(repro(w, err))
+		}
+		if baseline.Invocations < 2 {
+			continue // nothing for a fleet to stripe
+		}
+		tested++
+
+		pool := startFleet(t, []distrib.WorkerOptions{
+			{Name: "w1"}, {Name: "w2"}, {Name: "w3"},
+		})
+		cfg := w.Cfg
+		cfg.Comparator = pool.Factory(distrib.JobConfig{
+			Job:        fmt.Sprintf("world-%d", w.Seed),
+			ChunkPairs: 3, // small chunks so every worker sees traffic
+		})
+		res, err := core.Link(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, cfg)
+		if err != nil {
+			t.Fatal(repro(w, err))
+		}
+
+		name := fmt.Sprintf("world=%d fleet=3", w.Seed)
+		assertSameLabeling(t, w, name, baseline, res)
+		if res.Invocations != baseline.Invocations {
+			t.Fatalf("%s: fleet spent %d comparisons, baseline %d",
+				name, res.Invocations, baseline.Invocations)
+		}
+		if _, err := orcl.CheckResult(res); err != nil {
+			t.Fatal(repro(w, fmt.Errorf("%s: %w", name, err)))
+		}
+	}
+	if tested == 0 {
+		t.Skip("no generated world had enough Unknown pairs")
+	}
+}
+
+// TestDistributedWorkerDeathMidChunk kills one fleet worker at a seeded
+// chunk boundary mid-job: the doomed worker serves exactly one chunk and
+// drops its connection. The coordinator must reassign the worker's
+// remaining chunks to the survivor and finish with a stitched result
+// that is verdict-identical to the local baseline — and because every
+// chunk is delivered exactly once, the allowance spend and the journal's
+// verdict count must both equal the baseline's (nothing re-purchased).
+func TestDistributedWorkerDeathMidChunk(t *testing.T) {
+	seed := baseSeed(t)
+	for n := 0; n < 8; n++ {
+		w := Generate(seed + int64(n))
+		baseline, orcl, err := w.Run()
+		if err != nil {
+			t.Fatal(repro(w, err))
+		}
+		// Need at least three chunks so the death leaves work to reassign.
+		if baseline.Invocations < 9 {
+			continue
+		}
+
+		pool := startFleet(t, []distrib.WorkerOptions{
+			{Name: "doomed", FailAfterChunks: 1},
+			{Name: "survivor"},
+		})
+		path := filepath.Join(t.TempDir(), "dist.wal")
+		wr, err := journal.Create(path, journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := w.Cfg
+		cfg.Journal = wr
+		cfg.Comparator = pool.Factory(distrib.JobConfig{
+			Job:        fmt.Sprintf("world-%d-kill", w.Seed),
+			ChunkPairs: 3,
+		})
+		res, err := core.Link(core.Holder{Data: w.Alice}, core.Holder{Data: w.Bob}, cfg)
+		if err != nil {
+			t.Fatal(repro(w, err))
+		}
+
+		name := fmt.Sprintf("world=%d kill=doomed@chunk1", w.Seed)
+		assertSameLabeling(t, w, name, baseline, res)
+		if res.Invocations != baseline.Invocations {
+			t.Fatalf("%s: fleet spent %d comparisons, baseline %d — allowance re-spent on reassignment",
+				name, res.Invocations, baseline.Invocations)
+		}
+		if got := int64(wr.Recorded()); got != baseline.Invocations {
+			t.Fatalf("%s: journal recorded %d verdicts, want %d — a reassigned chunk was double-journaled",
+				name, got, baseline.Invocations)
+		}
+		if err := wr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := orcl.CheckResult(res); err != nil {
+			t.Fatal(repro(w, fmt.Errorf("%s: %w", name, err)))
+		}
+		// The doomed worker must actually be gone from the fleet.
+		if ws := pool.Workers(); len(ws) != 1 || ws[0] != "survivor" {
+			t.Fatalf("%s: fleet = %v, want [survivor]", name, ws)
+		}
+		return
+	}
+	t.Skip("no generated world had enough Unknown pairs for a mid-job kill")
+}
