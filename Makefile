@@ -4,9 +4,9 @@ GO ?= go
 # How long `make fuzz` spends per fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke tier-smoke bench-smoke distributed-smoke
+.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke tier-smoke dp-smoke bench-smoke distributed-smoke
 
-check: build binaries vet test race crash restart fuzz blocking-smoke tier-smoke bench-smoke distributed-smoke
+check: build binaries vet test race crash restart fuzz blocking-smoke tier-smoke dp-smoke bench-smoke distributed-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzIndexPrune$$' -fuzztime $(FUZZTIME) ./internal/index
 	$(GO) test -run '^$$' -fuzz '^FuzzPackedSigned$$' -fuzztime $(FUZZTIME) ./internal/paillier
 	$(GO) test -run '^$$' -fuzz '^FuzzDiceTier$$' -fuzztime $(FUZZTIME) ./internal/bloom
+	$(GO) test -run '^$$' -fuzz '^FuzzLaplaceBins$$' -fuzztime $(FUZZTIME) ./internal/dpblock
 
 # Crash-injection matrix: every generated world is killed at seeded pair
 # boundaries (plus a torn-tail variant) and resumed from its journal; the
@@ -67,6 +68,14 @@ tier-smoke:
 distributed-smoke:
 	$(GO) run ./cmd/pprl-bench -exp distributed -records 400
 
+# ε-sweep of noised blocking against the k-anonymous baseline at a
+# smoke scale, then the golden-schema test over the emitted BENCH_dp
+# report: fails on any engine error, overspend, padding that grows with
+# ε, or schema drift.
+dp-smoke:
+	$(GO) run ./cmd/pprl-bench -exp dp -records 600
+	$(GO) test -run '^TestRunDPJSON$$' -count=1 ./cmd/pprl-bench
+
 # One-iteration compile-and-run of every crypto micro-benchmark: keeps
 # the paillier kernels and the SMC engine benches from bit-rotting
 # without paying for a real measurement run.
@@ -80,9 +89,10 @@ bench:
 	$(GO) run ./cmd/pprl-bench -exp blocking -json
 
 # Machine-readable engine reports (BENCH_smc.json, BENCH_blocking.json,
-# BENCH_tier.json, BENCH_distributed.json).
+# BENCH_tier.json, BENCH_dp.json, BENCH_distributed.json).
 perf:
 	$(GO) run ./cmd/pprl-bench -exp smcperf -json
 	$(GO) run ./cmd/pprl-bench -exp blocking -json
 	$(GO) run ./cmd/pprl-bench -exp tier -json
+	$(GO) run ./cmd/pprl-bench -exp dp -json
 	$(GO) run ./cmd/pprl-bench -exp distributed -json

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, tier, distributed, example, or all")
+		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, tier, dp, distributed, example, or all")
 		records     = flag.Int("records", 0, "workload size (records before the overlap split); 0 = default 1800")
 		full        = flag.Bool("full", false, "paper-scale workload: 30,162 records (slow)")
 		seed        = flag.Int64("seed", 0, "workload seed; 0 = default")
@@ -32,17 +32,18 @@ func main() {
 		perfOut     = flag.String("perf-out", "BENCH_smc.json", "smcperf: path of the machine-readable benchmark report (with -json)")
 		blockingOut = flag.String("blocking-out", "BENCH_blocking.json", "blocking: path of the machine-readable benchmark report (with -json)")
 		tierOut     = flag.String("tier-out", "BENCH_tier.json", "tier: path of the machine-readable benchmark report (with -json)")
+		dpOut       = flag.String("dp-out", "BENCH_dp.json", "dp: path of the machine-readable benchmark report (with -json)")
 		distPairs   = flag.Int("dist-pairs", 256, "distributed: SMC comparisons striped across each fleet size")
 		distOut     = flag.String("distributed-out", "BENCH_distributed.json", "distributed: path of the machine-readable benchmark report (with -json)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut, *tierOut, *distPairs, *distOut); err != nil {
+	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut, *tierOut, *dpOut, *distPairs, *distOut); err != nil {
 		fmt.Fprintln(os.Stderr, "pprl-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut, tierOut string, distPairs int, distOut string) error {
+func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut, tierOut, dpOut string, distPairs int, distOut string) error {
 	render := func(t *experiment.Table) error {
 		if asJSON {
 			return t.RenderJSON(out)
@@ -200,6 +201,29 @@ func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON 
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "tier: report written to %s\n", tierOut)
+		}
+	}
+	if want("dp") {
+		rep, t, err := experiment.DPPerf(opts)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if asJSON && dpOut != "" {
+			f, err := os.Create(dpOut)
+			if err != nil {
+				return fmt.Errorf("dp: %w", err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("dp: writing report: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "dp: report written to %s\n", dpOut)
 		}
 	}
 	if want("distributed") {

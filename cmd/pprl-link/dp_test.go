@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunLinkDP: -anon dp runs the pipeline under differentially
+// private blocking and reports the ε accounting; with -eval on, every
+// reported match is exact (precision 1) because DP blocking never
+// asserts matches itself.
+func TestRunLinkDP(t *testing.T) {
+	a, b := writePair(t)
+	var buf bytes.Buffer
+	opts := baseOpts(a, b)
+	opts.anonName = "dp"
+	opts.epsilon = 8
+	opts.dpSeed = 7
+	opts.allowance = 0.5
+	opts.eval = true
+	if err := run(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dp-eps=16") || !strings.Contains(out, "dp: ε=8 per holder") {
+		t.Errorf("dp accounting missing from output: %q", out)
+	}
+	if !strings.Contains(out, "precision=1.0000") {
+		t.Errorf("DP run reported inexact matches: %q", out)
+	}
+}
+
+// TestRunLinkFlagValidation: out-of-range knobs are rejected up front
+// with the shared cliutil error text, before any file is read.
+func TestRunLinkFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"negative theta", func(o *options) { o.theta = -1 }, "-theta"},
+		{"allowance above 1", func(o *options) { o.allowance = 1.5 }, "-allowance"},
+		{"inverted tier band", func(o *options) { o.tierLow, o.tierHigh = 0.9, 0.5 }, "-tier-low"},
+		{"tier high above 1", func(o *options) { o.tierLow, o.tierHigh = 0.5, 1.5 }, "-tier-high"},
+		{"dp without epsilon", func(o *options) { o.anonName = "dp" }, "-epsilon"},
+		{"epsilon without dp", func(o *options) { o.epsilon = 2 }, "-anon dp"},
+		{"negative epsilon", func(o *options) { o.anonName = "dp"; o.epsilon = -2 }, "-epsilon"},
+		{"delta out of range", func(o *options) { o.anonName = "dp"; o.epsilon = 2; o.dpDelta = 0.7 }, "-dp-delta"},
+		{"negative dp level", func(o *options) { o.anonName = "dp"; o.epsilon = 2; o.dpLevel = -1 }, "-dp-level"},
+	}
+	for _, tc := range cases {
+		// Nonexistent paths prove validation fires before file loads.
+		opts := baseOpts("/nonexistent-a.csv", "/nonexistent-b.csv")
+		tc.mut(&opts)
+		err := run(nil, opts)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -6,6 +6,12 @@
 //	pprl-link -a alice.csv -b bob.csv
 //	pprl-link -a alice.csv -b bob.csv -k 64 -theta 0.05 -allowance 0.02 \
 //	    -heuristic maxLast -strategy precision -secure -keybits 1024 -eval
+//	pprl-link -a alice.csv -b bob.csv -anon dp -epsilon 2 -dp-seed 7
+//
+// -anon dp replaces k-anonymous generalization with differentially
+// private blocking: each holder publishes Laplace-noised bin counts
+// (per-holder budget ε, so a run composes to 2ε) and the dummy padding
+// is charged against the SMC allowance (DESIGN.md §14).
 //
 // With -secure the Unknown pairs are resolved by the real three-party
 // Paillier protocol; without it the plaintext cost-model oracle is used
@@ -51,9 +57,18 @@ type options struct {
 	schemaPath   string
 	aPath, bPath string
 	k            int
-	theta        float64
-	allowance    float64
-	heurName     string
+	// anonName selects the holders' anonymization method; "dp" switches
+	// to differentially private blocking and requires epsilon > 0.
+	anonName string
+	// epsilon is the per-holder DP budget; dpDelta, dpSeed and dpLevel
+	// are the remaining dpblock parameters (0 = defaults).
+	epsilon   float64
+	dpDelta   float64
+	dpSeed    int64
+	dpLevel   int
+	theta     float64
+	allowance float64
+	heurName  string
 	strategy     string
 	blocking     string
 	qids         string
@@ -86,6 +101,11 @@ func main() {
 	flag.StringVar(&opts.aPath, "a", "", "first data holder's CSV (required)")
 	flag.StringVar(&opts.bPath, "b", "", "second data holder's CSV (required)")
 	flag.IntVar(&opts.k, "k", 32, "anonymity requirement for both holders")
+	flag.StringVar(&opts.anonName, "anon", "", "anonymization method: entropy (default), tds, datafly, mondrian, or dp (noised blocking; requires -epsilon)")
+	flag.Float64Var(&opts.epsilon, "epsilon", 0, "per-holder differential-privacy budget for -anon dp")
+	flag.Float64Var(&opts.dpDelta, "dp-delta", 0, "DP truncation mass for -anon dp (0 = default)")
+	flag.Int64Var(&opts.dpSeed, "dp-seed", 0, "deterministic DP noise seed (alice uses the seed, bob seed+1)")
+	flag.IntVar(&opts.dpLevel, "dp-level", 0, "VGH binning depth for -anon dp (0 = default)")
 	flag.Float64Var(&opts.theta, "theta", 0.05, "matching threshold θ for every attribute")
 	flag.Float64Var(&opts.allowance, "allowance", 0.015, "SMC allowance as a fraction of all record pairs")
 	flag.StringVar(&opts.heurName, "heuristic", "minAvgFirst", "SMC selection heuristic: minFirst, maxLast, minAvgFirst")
@@ -144,6 +164,37 @@ func run(out io.Writer, opts options) error {
 	if opts.journalPath != "" && opts.resumePath != "" {
 		return fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the existing journal)")
 	}
+	// Range-check the float knobs before touching any data, with the
+	// shared error text (cliutil ranges).
+	if err := cliutil.ThetaRange.Validate(opts.theta); err != nil {
+		return err
+	}
+	if err := cliutil.AllowanceFractionRange.Validate(opts.allowance); err != nil {
+		return err
+	}
+	if err := cliutil.TierBand(opts.tierLow, opts.tierHigh); err != nil {
+		return err
+	}
+	dp := cliutil.IsDPName(opts.anonName)
+	if dp && opts.epsilon == 0 {
+		return fmt.Errorf("-anon dp requires -epsilon")
+	}
+	if !dp && opts.epsilon != 0 {
+		return fmt.Errorf("-epsilon requires -anon dp, got -anon %q", opts.anonName)
+	}
+	if opts.epsilon != 0 || opts.dpDelta != 0 || opts.dpSeed != 0 || opts.dpLevel != 0 {
+		if err := cliutil.EpsilonRange.Validate(opts.epsilon); err != nil {
+			return err
+		}
+		if opts.dpDelta != 0 {
+			if err := cliutil.DeltaRange.Validate(opts.dpDelta); err != nil {
+				return err
+			}
+		}
+		if opts.dpLevel < 0 {
+			return fmt.Errorf("-dp-level must be ≥ 0, got %d", opts.dpLevel)
+		}
+	}
 	schema, err := loadSchema(opts.schemaPath)
 	if err != nil {
 		return err
@@ -161,6 +212,20 @@ func run(out io.Writer, opts options) error {
 	cfg.AliceK, cfg.BobK = opts.k, opts.k
 	cfg.Theta = opts.theta
 	cfg.AllowanceFraction = opts.allowance
+	if dp {
+		// Leave the anonymizers nil: the config installs the deterministic
+		// binner from these parameters.
+		cfg.Epsilon = opts.epsilon
+		cfg.DPDelta = opts.dpDelta
+		cfg.DPSeed = opts.dpSeed
+		cfg.DPLevel = opts.dpLevel
+	} else if opts.anonName != "" {
+		anon, err := cliutil.AnonymizerByName(opts.anonName)
+		if err != nil {
+			return err
+		}
+		cfg.AliceAnonymizer, cfg.BobAnonymizer = anon, anon
+	}
 	if cfg.Heuristic, err = cliutil.HeuristicByName(opts.heurName); err != nil {
 		return err
 	}
@@ -233,6 +298,11 @@ func run(out io.Writer, opts options) error {
 		return writeJSON(out, opts, alice, bob, res)
 	}
 	fmt.Fprintln(out, res.Summary())
+	if res.DP != nil {
+		fmt.Fprintf(out, "dp: ε=%v per holder (composed ε=%v, δ=%v) bins=%d+%d dummies=%d dummy-spent=%d\n",
+			res.DP.AliceEpsilon, res.DP.TotalEpsilon, res.DP.TotalDelta,
+			res.DP.AliceBins, res.DP.BobBins, res.DP.AliceDummies+res.DP.BobDummies, res.DP.DummySpent)
+	}
 	if res.TierMode() != pprl.TierOff {
 		fmt.Fprintf(out, "timings: anonymize=%v+%v blocking=%v tier=%v smc=%v\n",
 			res.Timings.AnonymizeAlice, res.Timings.AnonymizeBob, res.Timings.Blocking, res.Timings.Tier, res.Timings.SMC)

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"pprl"
+)
+
+// TestThreePartyDPOverTCP runs the distributed deployment with both
+// holders publishing differentially private releases: -method dp with
+// distinct per-holder seeds, real TCP, real (256-bit) Paillier crypto.
+func TestThreePartyDPOverTCP(t *testing.T) {
+	aCSV, bCSV := writePairCSVs(t)
+	queryAddr := freePort(t)
+	peerAddr := freePort(t)
+
+	errs := make(chan error, 2)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runQuery(&out, queryOptions{
+			listen:     queryAddr,
+			qids:       strings.Join(pprl.DefaultAdultQIDs(), ","),
+			theta:      0.05,
+			allowance:  0.02,
+			heurName:   "minAvgFirst",
+			keyBits:    256,
+			smcWorkers: 2,
+			shuffle:    true,
+		})
+	}()
+	go func() {
+		errs <- runHolder(context.Background(), "", queryAddr, peerAddr, "", aCSV, 8, "dp", "", dpOptions{epsilon: 8, seed: 1}, "alice")
+	}()
+	go func() {
+		errs <- runHolder(context.Background(), "", queryAddr, "", peerAddr, bCSV, 8, "dp", "", dpOptions{epsilon: 8, seed: 2}, "bob")
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("holder: %v", err)
+		}
+	}
+	text := out.String()
+	if !strings.Contains(text, "alice dp") || !strings.Contains(text, "bob dp") {
+		t.Errorf("view metadata missing dp method: %q", text)
+	}
+	if !strings.Contains(text, "dp: composed ε=16") {
+		t.Errorf("query output missing dp accounting: %q", text)
+	}
+	if !strings.Contains(text, "matches:") {
+		t.Errorf("query output incomplete: %q", text)
+	}
+}
+
+// TestPartyDPFlagValidation: inconsistent holder DP flags and
+// out-of-range query knobs fail before anything connects.
+func TestPartyDPFlagValidation(t *testing.T) {
+	if err := (dpOptions{}).validate("dp"); err == nil || !strings.Contains(err.Error(), "-epsilon") {
+		t.Errorf("-method dp without -epsilon: err = %v", err)
+	}
+	if err := (dpOptions{epsilon: 2}).validate("entropy"); err == nil || !strings.Contains(err.Error(), "-method dp") {
+		t.Errorf("-epsilon with k-method: err = %v", err)
+	}
+	if err := (dpOptions{epsilon: -1}).validate("dp"); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if err := (dpOptions{epsilon: 2, delta: 0.9}).validate("dp"); err == nil {
+		t.Error("out-of-range delta accepted")
+	}
+	if err := (dpOptions{epsilon: 2, level: -1}).validate("dp"); err == nil {
+		t.Error("negative level accepted")
+	}
+	if err := (dpOptions{epsilon: 2, delta: 1e-6, seed: 3, level: 2}).validate("dp"); err != nil {
+		t.Errorf("valid dp options rejected: %v", err)
+	}
+	if err := runQuery(nil, queryOptions{listen: "127.0.0.1:0", theta: -0.5}); err == nil || !strings.Contains(err.Error(), "-theta") {
+		t.Errorf("negative theta: err = %v", err)
+	}
+	if err := runQuery(nil, queryOptions{listen: "127.0.0.1:0", theta: 0.05, tierLow: 0.9, tierHigh: 0.5}); err == nil || !strings.Contains(err.Error(), "-tier-low") {
+		t.Errorf("inverted tier band: err = %v", err)
+	}
+}

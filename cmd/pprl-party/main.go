@@ -18,6 +18,11 @@
 // The querying party prints the matched record-index pairs; the holders
 // map indexes back to their records.
 //
+// Holders can opt into differentially private blocking instead of
+// k-anonymous generalization: -method dp -epsilon 2 -dp-seed <own seed>
+// publishes Laplace-noised bin counts; the session then requires both
+// holders to opt in (the querying party refuses mixed sessions).
+//
 // A fourth role joins a pprl-serve daemon's SMC worker fleet: the worker
 // registers with the daemon's coordinator, receives encoded records per
 // job, and serves comparison chunks until the coordinator hangs up.
@@ -85,7 +90,11 @@ func main() {
 		peerAddr    = flag.String("peer", "", "bob: alice's peer-link address")
 		data        = flag.String("data", "", "holders: CSV file with this holder's relation")
 		k           = flag.Int("k", 32, "holders: anonymity requirement")
-		method      = flag.String("method", "entropy", "holders: anonymization method (entropy, tds, datafly, mondrian)")
+		method      = flag.String("method", "entropy", "holders: anonymization method (entropy, tds, datafly, mondrian, or dp with -epsilon)")
+		epsilon     = flag.Float64("epsilon", 0, "holders: differential-privacy budget for -method dp")
+		dpDelta     = flag.Float64("dp-delta", 0, "holders: DP truncation mass for -method dp (0 = default)")
+		dpSeed      = flag.Int64("dp-seed", 0, "holders: deterministic DP noise seed (each holder picks its own)")
+		dpLevel     = flag.Int("dp-level", 0, "holders: VGH binning depth for -method dp (0 = default)")
 		qids        = flag.String("qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "query: quasi-identifier attributes")
 		theta       = flag.Float64("theta", 0.05, "query: matching threshold")
 		allowance   = flag.Float64("allowance", 0.015, "query: SMC allowance fraction")
@@ -137,9 +146,9 @@ func main() {
 			ctx:         ctx,
 		})
 	case "alice":
-		err = runHolder(ctx, *schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, *tierKey, session.RoleAlice)
+		err = runHolder(ctx, *schemaPath, *queryAddr, *peerListen, "", *data, *k, *method, *tierKey, dpOptions{*epsilon, *dpDelta, *dpSeed, *dpLevel}, session.RoleAlice)
 	case "bob":
-		err = runHolder(ctx, *schemaPath, *queryAddr, "", *peerAddr, *data, *k, *method, *tierKey, session.RoleBob)
+		err = runHolder(ctx, *schemaPath, *queryAddr, "", *peerAddr, *data, *k, *method, *tierKey, dpOptions{*epsilon, *dpDelta, *dpSeed, *dpLevel}, session.RoleBob)
 	case "worker":
 		err = runWorker(ctx, *coordinator, *workerListen, *workerName, *lanes)
 	default:
@@ -175,6 +184,17 @@ func runQuery(out io.Writer, opts queryOptions) error {
 	}
 	if opts.journalPath != "" && opts.resumePath != "" {
 		return fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the existing journal)")
+	}
+	// Range-check the float knobs before any holder connects, with the
+	// shared error text (cliutil ranges).
+	if err := cliutil.ThetaRange.Validate(opts.theta); err != nil {
+		return err
+	}
+	if err := cliutil.AllowanceFractionRange.Validate(opts.allowance); err != nil {
+		return err
+	}
+	if err := cliutil.TierBand(opts.tierLow, opts.tierHigh); err != nil {
+		return err
 	}
 	h, err := cliutil.HeuristicByName(opts.heurName)
 	if err != nil {
@@ -261,6 +281,10 @@ func runQuery(out io.Writer, opts queryOptions) error {
 	fmt.Fprintf(out, "views: alice %s k=%d (%d sequences), bob %s k=%d (%d sequences)\n",
 		res.AliceView.Method, res.AliceView.K, res.AliceView.NumSequences(),
 		res.BobView.Method, res.BobView.K, res.BobView.NumSequences())
+	if res.DP != nil {
+		fmt.Fprintf(out, "dp: composed ε=%v δ=%v; %d dummy pairs padded in, %d allowance spent on dummies\n",
+			res.DP.TotalEpsilon(), res.DP.TotalDelta(), res.DP.DummyPairs, res.DPDummySpent)
+	}
 	fmt.Fprintf(out, "blocking: %.2f%% of %d pairs decided; %d unknown\n",
 		100*res.BlockingEfficiency, res.TotalPairs, res.UnknownPairs)
 	if tier != nil {
@@ -280,9 +304,44 @@ func runQuery(out io.Writer, opts queryOptions) error {
 	return nil
 }
 
+// dpOptions are the holder's differential-privacy parameters (-method
+// dp); the zero value means k-anonymous generalization as before.
+type dpOptions struct {
+	epsilon float64
+	delta   float64
+	seed    int64
+	level   int
+}
+
+// validate rejects inconsistent DP flags before anything connects.
+func (d dpOptions) validate(method string) error {
+	dp := cliutil.IsDPName(method)
+	if dp && d.epsilon == 0 {
+		return fmt.Errorf("-method dp requires -epsilon")
+	}
+	if !dp && d.epsilon != 0 {
+		return fmt.Errorf("-epsilon requires -method dp, got -method %q", method)
+	}
+	if d.epsilon == 0 && d.delta == 0 && d.seed == 0 && d.level == 0 {
+		return nil
+	}
+	if err := cliutil.EpsilonRange.Validate(d.epsilon); err != nil {
+		return err
+	}
+	if d.delta != 0 {
+		if err := cliutil.DeltaRange.Validate(d.delta); err != nil {
+			return err
+		}
+	}
+	if d.level < 0 {
+		return fmt.Errorf("-dp-level must be ≥ 0, got %d", d.level)
+	}
+	return nil
+}
+
 // runHolder connects to the querying party, establishes the peer link,
 // and serves the session.
-func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k int, method, tierKey, role string) error {
+func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr, dataPath string, k int, method, tierKey string, dp dpOptions, role string) error {
 	schema, err := cliutil.LoadSchemaOrAdult(schemaPath)
 	if err != nil {
 		return err
@@ -298,9 +357,14 @@ func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr,
 			return fmt.Errorf("-peer: %w", err)
 		}
 	}
-	anon, err := cliutil.AnonymizerByName(method)
-	if err != nil {
+	if err := dp.validate(method); err != nil {
 		return err
+	}
+	var anon pprl.Anonymizer
+	if !cliutil.IsDPName(method) {
+		if anon, err = cliutil.AnonymizerByName(method); err != nil {
+			return err
+		}
 	}
 	f, err := os.Open(dataPath)
 	if err != nil {
@@ -349,6 +413,14 @@ func runHolder(ctx context.Context, schemaPath, queryAddr, peerListen, peerAddr,
 	}
 
 	cfg := session.HolderConfig{Data: data, K: k, Anonymizer: anon}
+	if cliutil.IsDPName(method) {
+		// Leave the anonymizer nil: the session installs the deterministic
+		// binner and publishes the noised release (DESIGN.md §14).
+		cfg.Epsilon = dp.epsilon
+		cfg.DPDelta = dp.delta
+		cfg.DPSeed = dp.seed
+		cfg.DPLevel = dp.level
+	}
 	if tierKey != "" {
 		cfg.TierKey = []byte(tierKey)
 	}

@@ -71,10 +71,10 @@ func TestThreePartyOverTCP(t *testing.T) {
 		})
 	}()
 	go func() {
-		errs <- runHolder(context.Background(), "", queryAddr, peerAddr, "", aCSV, 8, "entropy", "", "alice")
+		errs <- runHolder(context.Background(), "", queryAddr, peerAddr, "", aCSV, 8, "entropy", "", dpOptions{}, "alice")
 	}()
 	go func() {
-		errs <- runHolder(context.Background(), "", queryAddr, "", peerAddr, bCSV, 8, "entropy", "", "bob")
+		errs <- runHolder(context.Background(), "", queryAddr, "", peerAddr, bCSV, 8, "entropy", "", dpOptions{}, "bob")
 	}()
 	if err := <-done; err != nil {
 		t.Fatalf("query: %v", err)
@@ -106,13 +106,13 @@ func TestRoleValidation(t *testing.T) {
 	if err := runQuery(nil, queryOptions{listen: "127.0.0.1:0", heurName: "minFirst", resumePath: "/nonexistent.wal"}); err == nil {
 		t.Error("missing resume journal should fail")
 	}
-	if err := runHolder(context.Background(), "", "", "", "", "x.csv", 8, "entropy", "", "alice"); err == nil {
+	if err := runHolder(context.Background(), "", "", "", "", "x.csv", 8, "entropy", "", dpOptions{}, "alice"); err == nil {
 		t.Error("holder without -query should fail")
 	}
-	if err := runHolder(context.Background(), "", "127.0.0.1:1", "", "", "/nonexistent.csv", 8, "entropy", "", "bob"); err == nil {
+	if err := runHolder(context.Background(), "", "127.0.0.1:1", "", "", "/nonexistent.csv", 8, "entropy", "", dpOptions{}, "bob"); err == nil {
 		t.Error("missing data file should fail")
 	}
-	if err := runHolder(context.Background(), "", "127.0.0.1:1", "", "", "x.csv", 8, "bogus", "", "bob"); err == nil {
+	if err := runHolder(context.Background(), "", "127.0.0.1:1", "", "", "x.csv", 8, "bogus", "", dpOptions{}, "bob"); err == nil {
 		t.Error("bad method should fail")
 	}
 }
@@ -142,10 +142,10 @@ func TestThreePartyTierOverTCP(t *testing.T) {
 		})
 	}()
 	go func() {
-		errs <- runHolder(context.Background(), "", queryAddr, peerAddr, "", aCSV, 8, "entropy", "tcp-tier-secret", "alice")
+		errs <- runHolder(context.Background(), "", queryAddr, peerAddr, "", aCSV, 8, "entropy", "tcp-tier-secret", dpOptions{}, "alice")
 	}()
 	go func() {
-		errs <- runHolder(context.Background(), "", queryAddr, "", peerAddr, bCSV, 8, "entropy", "tcp-tier-secret", "bob")
+		errs <- runHolder(context.Background(), "", queryAddr, "", peerAddr, bCSV, 8, "entropy", "tcp-tier-secret", dpOptions{}, "bob")
 	}()
 	if err := <-done; err != nil {
 		t.Fatalf("query: %v", err)

@@ -53,6 +53,44 @@ type Result struct {
 	// top-down methods. Suppressed records are members of the root-
 	// sequence class and are exempt from the k-size guarantee.
 	Suppressed []int
+	// DP carries the differential-privacy release parameters when the
+	// view was published by the DP binner (dpblock); nil for the
+	// k-anonymous methods.
+	DP *DPInfo
+}
+
+// DPInfo records the (ε, δ) release a DP-binned view was published
+// under. The k-anonymous class-size guarantee does not apply to such
+// views (classes are deterministic bins, possibly of size 1); instead
+// the published bin sizes — NoisedCounts — carry calibrated one-sided
+// Laplace noise, and the matcher must treat the surplus over the true
+// membership as dummy records a faithful deployment would pad in.
+type DPInfo struct {
+	// Epsilon is the privacy budget this release consumed.
+	Epsilon float64
+	// Delta is the truncation failure mass of the one-sided mechanism.
+	Delta float64
+	// Seed keys the deterministic per-bin noise draws.
+	Seed int64
+	// Level is the hierarchy depth records were binned at (0 = root).
+	Level int
+	// NoisedCounts[i] is the published size of Classes[i]: the true
+	// membership plus non-negative noise, so padding only ever adds
+	// dummies and never hides a real member.
+	NoisedCounts []int64
+}
+
+// Dummies returns the total dummy records the padded release implies:
+// Σ (NoisedCounts[i] − |Classes[i]|).
+func (r *Result) Dummies() int64 {
+	if r.DP == nil {
+		return 0
+	}
+	var total int64
+	for i, c := range r.Classes {
+		total += r.DP.NoisedCounts[i] - int64(c.Size())
+	}
+	return total
 }
 
 // NumSequences returns the number of distinct generalization sequences,
@@ -151,6 +189,14 @@ type Anonymizer interface {
 	Name() string
 	// Anonymize generalizes the QID attributes of d under requirement k.
 	Anonymize(d *dataset.Dataset, qids []int, k int) (*Result, error)
+}
+
+// BuildResult groups records by the sequence assigned to them and fills
+// the Result bookkeeping deterministically (classes sorted by key). It is
+// the assembly step shared by every anonymizer in this package and by
+// external binning strategies (dpblock's deterministic VGH binner).
+func BuildResult(method string, k int, qids []int, seqs []vgh.Sequence, suppressed []int) *Result {
+	return buildResult(method, k, qids, seqs, suppressed)
 }
 
 // buildResult groups records by the sequence assigned to them and fills

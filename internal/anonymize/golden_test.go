@@ -1,0 +1,125 @@
+package anonymize_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pprl/internal/adult"
+	"pprl/internal/anonymize"
+	"pprl/internal/dpblock"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden view files")
+
+// goldenViews builds one deterministic view per anonymizer mode — the
+// four k-anonymous methods plus the DP binner with its noised release —
+// over a fixed Adult sample. This lives in an external test package
+// because the DP binner (dpblock) imports anonymize.
+func goldenViews(t *testing.T) map[string]*anonymize.Result {
+	t.Helper()
+	d := adult.Generate(120, 1)
+	qids, err := d.Schema().Resolve(adult.TopQIDs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := make(map[string]*anonymize.Result)
+	for _, a := range []anonymize.Anonymizer{
+		anonymize.NewMaxEntropy(), anonymize.NewTDS(), anonymize.NewDataFly(), anonymize.NewMondrian(),
+	} {
+		res, err := a.Anonymize(d, qids, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		views[a.Name()] = res
+	}
+	binner, err := dpblock.New(dpblock.Params{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := binner.Anonymize(d, qids, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dpblock.Publish(res, binner.Params()); err != nil {
+		t.Fatal(err)
+	}
+	views[binner.Name()] = res
+	return views
+}
+
+// TestViewGoldenFiles pins the serialized form of every anonymizer mode:
+// the writer's output must match the committed golden file byte for
+// byte, and reading the golden back and re-writing it must be the
+// identity (the format is canonical). Regenerate with `go test
+// ./internal/anonymize -run TestViewGoldenFiles -update` after a
+// deliberate format change.
+func TestViewGoldenFiles(t *testing.T) {
+	d := adult.Generate(120, 1)
+	for name, res := range goldenViews(t) {
+		path := filepath.Join("testdata", "golden_"+name+".view")
+		var buf bytes.Buffer
+		if err := anonymize.WriteView(&buf, d.Schema(), res); err != nil {
+			t.Fatalf("%s: WriteView: %v", name, err)
+		}
+		if *update {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		golden, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with -update): %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), golden) {
+			t.Errorf("%s: serialized view diverged from %s", name, path)
+		}
+		parsed, err := anonymize.ReadView(bytes.NewReader(golden), d.Schema())
+		if err != nil {
+			t.Fatalf("%s: ReadView(golden): %v", name, err)
+		}
+		var again bytes.Buffer
+		if err := anonymize.WriteView(&again, d.Schema(), parsed); err != nil {
+			t.Fatalf("%s: rewrite: %v", name, err)
+		}
+		if !bytes.Equal(again.Bytes(), golden) {
+			t.Errorf("%s: read→write is not the identity on the golden file", name)
+		}
+	}
+}
+
+// TestDPViewRoundTrip checks the DP release survives serialization
+// exactly: parameters, seed, level and every noised count.
+func TestDPViewRoundTrip(t *testing.T) {
+	d := adult.Generate(120, 1)
+	res := goldenViews(t)[dpblock.MethodName]
+	var buf bytes.Buffer
+	if err := anonymize.WriteView(&buf, d.Schema(), res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := anonymize.ReadView(&buf, d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DP == nil {
+		t.Fatal("DP release lost in round trip")
+	}
+	if got.DP.Epsilon != res.DP.Epsilon || got.DP.Delta != res.DP.Delta ||
+		got.DP.Seed != res.DP.Seed || got.DP.Level != res.DP.Level {
+		t.Fatalf("DP parameters changed: %+v vs %+v", got.DP, res.DP)
+	}
+	if len(got.DP.NoisedCounts) != len(res.DP.NoisedCounts) {
+		t.Fatal("noised count arity changed")
+	}
+	for i := range got.DP.NoisedCounts {
+		if got.DP.NoisedCounts[i] != res.DP.NoisedCounts[i] {
+			t.Fatalf("noised count %d changed: %d vs %d", i, got.DP.NoisedCounts[i], res.DP.NoisedCounts[i])
+		}
+	}
+	if got.Dummies() != res.Dummies() {
+		t.Fatalf("dummy total changed: %d vs %d", got.Dummies(), res.Dummies())
+	}
+}

@@ -23,12 +23,17 @@ import (
 //	k	32
 //	qids	age	workclass	…
 //	suppressed	4	17            (optional)
+//	dp	0.5	1e-06	7	2         (optional: ε δ seed level)
+//	noised	12,9,31               (optional: published bin sizes, class order)
 //	class	c:Masters␟n:35:37	0,1,2
 //	…
 //
 // Sequence values are prefixed by kind — c: categorical label,
 // n:<lo>:<hi> interval, p:<v> point — and joined with the unit separator
 // (U+001F), so labels containing spaces or punctuation round-trip.
+// The dp/noised pair appears only on views published by the DP binner;
+// a view carrying one without the other is rejected, as is a noised
+// count below the true class size (padding may only add dummies).
 
 const viewMagic = "pprl-view"
 
@@ -49,6 +54,21 @@ func WriteView(w io.Writer, schema *dataset.Schema, res *Result) error {
 			parts[i] = strconv.Itoa(s)
 		}
 		fmt.Fprintf(bw, "suppressed\t%s\n", strings.Join(parts, "\t"))
+	}
+	if res.DP != nil {
+		if len(res.DP.NoisedCounts) != len(res.Classes) {
+			return fmt.Errorf("anonymize: DP view has %d noised counts for %d classes",
+				len(res.DP.NoisedCounts), len(res.Classes))
+		}
+		fmt.Fprintf(bw, "dp\t%s\t%s\t%d\t%d\n",
+			strconv.FormatFloat(res.DP.Epsilon, 'g', -1, 64),
+			strconv.FormatFloat(res.DP.Delta, 'g', -1, 64),
+			res.DP.Seed, res.DP.Level)
+		counts := make([]string, len(res.DP.NoisedCounts))
+		for i, n := range res.DP.NoisedCounts {
+			counts[i] = strconv.FormatInt(n, 10)
+		}
+		fmt.Fprintf(bw, "noised\t%s\n", strings.Join(counts, ","))
 	}
 	for ci, c := range res.Classes {
 		vals := make([]string, len(c.Sequence))
@@ -127,6 +147,42 @@ func ReadView(r io.Reader, schema *dataset.Schema) (*Result, error) {
 				}
 				res.Suppressed = append(res.Suppressed, v)
 			}
+		case "dp":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("anonymize: line %d: dp needs ε, δ, seed and level", line)
+			}
+			eps, err1 := strconv.ParseFloat(fields[1], 64)
+			delta, err2 := strconv.ParseFloat(fields[2], 64)
+			seed, err3 := strconv.ParseInt(fields[3], 10, 64)
+			level, err4 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fmt.Errorf("anonymize: line %d: malformed dp directive", line)
+			}
+			if !(eps > 0) || delta < 0 || delta >= 1 || level < 0 {
+				return nil, fmt.Errorf("anonymize: line %d: dp parameters out of range (ε=%v δ=%v level=%d)", line, eps, delta, level)
+			}
+			counts := []int64(nil)
+			if res.DP != nil {
+				counts = res.DP.NoisedCounts
+			}
+			res.DP = &DPInfo{Epsilon: eps, Delta: delta, Seed: seed, Level: level, NoisedCounts: counts}
+		case "noised":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("anonymize: line %d: malformed noised counts", line)
+			}
+			var counts []int64
+			for _, f := range strings.Split(fields[1], ",") {
+				n, err := strconv.ParseInt(f, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("anonymize: line %d: bad noised count %q", line, f)
+				}
+				counts = append(counts, n)
+			}
+			if res.DP == nil {
+				res.DP = &DPInfo{NoisedCounts: counts}
+			} else {
+				res.DP.NoisedCounts = counts
+			}
 		case "class":
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("anonymize: line %d: class needs sequence and members", line)
@@ -168,6 +224,21 @@ func ReadView(r io.Reader, schema *dataset.Schema) (*Result, error) {
 	}
 	if len(res.Classes) == 0 {
 		return nil, fmt.Errorf("anonymize: view has no classes")
+	}
+	if res.DP != nil {
+		if !(res.DP.Epsilon > 0) {
+			return nil, fmt.Errorf("anonymize: noised counts without a dp directive")
+		}
+		if len(res.DP.NoisedCounts) != len(res.Classes) {
+			return nil, fmt.Errorf("anonymize: dp view has %d noised counts for %d classes",
+				len(res.DP.NoisedCounts), len(res.Classes))
+		}
+		for i, c := range res.Classes {
+			if res.DP.NoisedCounts[i] < int64(len(c.Members)) {
+				return nil, fmt.Errorf("anonymize: class %d noised count %d below true size %d",
+					i, res.DP.NoisedCounts[i], len(c.Members))
+			}
+		}
 	}
 	// Record indexes must cover 0..maxMember exactly once (gaps and
 	// duplicates are both rejected below), so a consistent view has

@@ -8,7 +8,7 @@ import (
 
 func TestViewRoundTrip(t *testing.T) {
 	d, qids := adultSample(t, 300)
-	for _, a := range []Anonymizer{NewMaxEntropy(), NewDataFly(), NewMondrian()} {
+	for _, a := range []Anonymizer{NewMaxEntropy(), NewTDS(), NewDataFly(), NewMondrian()} {
 		res, err := a.Anonymize(d, qids, 8)
 		if err != nil {
 			t.Fatal(err)
@@ -94,6 +94,14 @@ func TestReadViewErrors(t *testing.T) {
 		{"bad encoding", "pprl-view\t1\nqids\tage\nclass\tq:4\t0\n"},
 		{"no classes", "pprl-view\t1\nqids\tage\n"},
 		{"bad k", "pprl-view\t1\nk\tx\nqids\tage\nclass\tp:4\t0\n"},
+		{"dp arity", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\nclass\tp:4\t0\n"},
+		{"dp bad epsilon", "pprl-view\t1\nqids\tage\ndp\t0\t1e-06\t7\t2\nnoised\t1\nclass\tp:4\t0\n"},
+		{"dp bad delta", "pprl-view\t1\nqids\tage\ndp\t0.5\t1.5\t7\t2\nnoised\t1\nclass\tp:4\t0\n"},
+		{"dp without noised", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nclass\tp:4\t0\n"},
+		{"noised without dp", "pprl-view\t1\nqids\tage\nnoised\t1\nclass\tp:4\t0\n"},
+		{"noised arity", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nnoised\t1,2\nclass\tp:4\t0\n"},
+		{"noised below size", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nnoised\t1\nclass\tp:4\t0,1\n"},
+		{"noised negative", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nnoised\t-1\nclass\tp:4\t0\n"},
 	}
 	for _, c := range cases {
 		if _, err := ReadView(strings.NewReader(c.text), schema); err == nil {

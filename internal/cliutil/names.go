@@ -79,7 +79,9 @@ func TierModeByName(name string) (core.TierMode, error) {
 }
 
 // AnonymizerByName resolves a k-anonymization method from its
-// case-insensitive CLI/API name.
+// case-insensitive CLI/API name. The DP binner is not resolvable here —
+// it needs the ε parameters, so surfaces accepting "dp" route it
+// through Config.Epsilon (see IsDPName) before falling back to this.
 func AnonymizerByName(name string) (anonymize.Anonymizer, error) {
 	switch strings.ToLower(name) {
 	case "", "entropy":
@@ -91,6 +93,10 @@ func AnonymizerByName(name string) (anonymize.Anonymizer, error) {
 	case "mondrian":
 		return anonymize.NewMondrian(), nil
 	default:
-		return nil, fmt.Errorf("unknown anonymization method %q (want entropy, tds, datafly, or mondrian)", name)
+		return nil, fmt.Errorf("unknown anonymization method %q (want entropy, tds, datafly, mondrian, or dp with -epsilon)", name)
 	}
 }
+
+// IsDPName reports whether the method name selects the differentially
+// private blocking mode.
+func IsDPName(name string) bool { return strings.EqualFold(name, "dp") }

@@ -22,6 +22,7 @@ import (
 	"pprl/internal/blocking"
 	"pprl/internal/dataset"
 	"pprl/internal/distance"
+	"pprl/internal/dpblock"
 	"pprl/internal/heuristic"
 	"pprl/internal/journal"
 	"pprl/internal/smc"
@@ -247,6 +248,33 @@ type Config struct {
 	// an explicit key on the holders and never reveals it to the matcher.
 	TierKey []byte
 
+	// Epsilon, when positive, switches the run to differentially private
+	// blocking (DESIGN.md §14): both holders bin their records on fixed
+	// VGH ancestors via the deterministic dpblock binner and publish
+	// Laplace-noised bin counts, so the exchanged view sizes are
+	// (ε, δ)-DP instead of k-anonymous. The noise is pure padding — it
+	// never hides a real bin member — but every padded (dummy) pair a
+	// candidate bin contributes is charged against the SMC allowance, so
+	// smaller ε buys stronger privacy at the price of recall. Epsilon is
+	// the per-holder budget; the run's total spend (alice + bob, by
+	// sequential composition across the two releases) is reported in
+	// Result.DP. Zero (the default) keeps the paper's k-anonymization
+	// pipeline. When set, AliceAnonymizer/BobAnonymizer must be nil or
+	// dpblock binners, and AliceK/BobK are ignored by the binner.
+	Epsilon float64
+	// DPDelta is the truncation failure mass δ of the one-sided Laplace
+	// mechanism; 0 selects dpblock.DefaultDelta.
+	DPDelta float64
+	// DPSeed derives both holders' deterministic noise streams (alice
+	// uses DPSeed, bob DPSeed+1). It is part of the journal manifest: a
+	// resumed run must re-derive identical noised counts.
+	DPSeed int64
+	// DPLevel is the VGH depth records are binned at (0 selects
+	// dpblock.DefaultLevel). Coarser levels (smaller DPLevel) mean fewer,
+	// larger bins: fewer candidates missed at bin boundaries but more
+	// pairs per candidate bin.
+	DPLevel int
+
 	// Scale is the fixed-point factor for continuous values in the SMC
 	// circuit; 1 (default via DefaultConfig) is exact for integer data.
 	Scale int64
@@ -334,6 +362,33 @@ func (c *Config) normalize(schema *dataset.Schema) ([]int, *blocking.Rule, error
 	if c.Allowance < 0 || c.AllowanceFraction < 0 {
 		return nil, nil, fmt.Errorf("core: negative SMC allowance")
 	}
+	if c.Epsilon != 0 || c.DPDelta != 0 || c.DPSeed != 0 || c.DPLevel != 0 {
+		if c.Epsilon == 0 {
+			return nil, nil, fmt.Errorf("core: DP parameters set without Epsilon > 0")
+		}
+		binner, err := dpblock.New(c.dpParams(0))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		// Store the resolved defaults back so digests, manifests and
+		// reports see the effective δ and level, not the zero sentinels.
+		c.DPDelta = binner.Params().Delta
+		c.DPLevel = binner.Params().Level
+		if c.AliceAnonymizer == nil {
+			c.AliceAnonymizer = binner
+		}
+		if c.BobAnonymizer == nil {
+			c.BobAnonymizer = binner
+		}
+		// Mixing DP blocking with a k-anonymizer is undefined: the
+		// blocking step needs noised releases on both sides.
+		if _, ok := c.AliceAnonymizer.(*dpblock.Binner); !ok {
+			return nil, nil, fmt.Errorf("core: Epsilon set but AliceAnonymizer is %s, not the dp binner", c.AliceAnonymizer.Name())
+		}
+		if _, ok := c.BobAnonymizer.(*dpblock.Binner); !ok {
+			return nil, nil, fmt.Errorf("core: Epsilon set but BobAnonymizer is %s, not the dp binner", c.BobAnonymizer.Name())
+		}
+	}
 	if c.AliceAnonymizer == nil {
 		c.AliceAnonymizer = anonymize.NewMaxEntropy()
 	}
@@ -381,6 +436,21 @@ func (c *Config) normalize(schema *dataset.Schema) ([]int, *blocking.Rule, error
 	}
 	return qids, rule, nil
 }
+
+// dpParams assembles the dpblock parameters for one holder. holder 0 is
+// Alice, 1 is Bob: each release draws from its own seed so the two noise
+// streams are independent even when the holders share bin keys.
+func (c *Config) dpParams(holder int64) dpblock.Params {
+	return dpblock.Params{
+		Epsilon: c.Epsilon,
+		Delta:   c.DPDelta,
+		Seed:    c.DPSeed + holder,
+		Level:   c.DPLevel,
+	}
+}
+
+// DPEnabled reports whether the run uses differentially private blocking.
+func (c *Config) DPEnabled() bool { return c.Epsilon > 0 }
 
 // Tier defaults: the conservative thresholds keep the Match band tight
 // (false matches are the costly error under MaximizePrecision) while the

@@ -7,6 +7,7 @@ import (
 	"pprl/internal/anonymize"
 	"pprl/internal/blocking"
 	"pprl/internal/dataset"
+	"pprl/internal/dpblock"
 	"pprl/internal/heuristic"
 	"pprl/internal/index"
 	"pprl/internal/smc"
@@ -50,6 +51,22 @@ func Link(alice, bob Holder, cfg Config) (*Result, error) {
 	timings.AnonymizeBob = time.Since(start)
 	cfg.report("anonymize-bob", 1, 1)
 
+	// Step 1b — DP mode: each holder attaches its Laplace-noised bin
+	// counts to the view before the exchange, so the published bin sizes
+	// (not just the bins) are ε-DP. Noising is timed apart from binning
+	// so the bench can report the mechanism's own cost.
+	if cfg.DPEnabled() {
+		start = time.Now()
+		if err := dpblock.Publish(aView, cfg.dpParams(0)); err != nil {
+			return nil, fmt.Errorf("core: noising alice: %w", err)
+		}
+		if err := dpblock.Publish(bView, cfg.dpParams(1)); err != nil {
+			return nil, fmt.Errorf("core: noising bob: %w", err)
+		}
+		timings.DPNoise = time.Since(start)
+		cfg.report("dp-noise", 1, 1)
+	}
+
 	// Step 2 — blocking over the exchanged anonymized views.
 	start = time.Now()
 	block, err := blockViews(aView, bView, rule, &cfg)
@@ -65,6 +82,7 @@ func Link(alice, bob Holder, cfg Config) (*Result, error) {
 	}
 	res.Timings.AnonymizeAlice = timings.AnonymizeAlice
 	res.Timings.AnonymizeBob = timings.AnonymizeBob
+	res.Timings.DPNoise = timings.DPNoise
 	res.Timings.Blocking = timings.Blocking
 	return res, nil
 }
@@ -101,6 +119,16 @@ func LinkPrepared(alice, bob Holder, block *blocking.Result, cfg Config) (*Resul
 // footprint does not depend on the matrix size, so it runs under any
 // budget and reports per-row progress while it streams.
 func blockViews(aView, bView *anonymize.Result, rule *blocking.Rule, cfg *Config) (*blocking.Result, error) {
+	// DP mode has its own blocking engine — bin intersection over the
+	// noised releases — and ignores Config.Blocking: there is no dense
+	// rule evaluation to budget and no hierarchy index to build.
+	if cfg.DPEnabled() {
+		if aView.DP == nil || bView.DP == nil {
+			return nil, fmt.Errorf("dp blocking needs noised releases on both views")
+		}
+		block, _, err := dpblock.Block(aView, bView, rule)
+		return block, err
+	}
 	switch cfg.Blocking {
 	case BlockingDense:
 		if cfg.BlockingBudgetBytes > 0 {
@@ -124,6 +152,22 @@ func blockViews(aView, bView *anonymize.Result, rule *blocking.Rule, cfg *Config
 func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qids []int, cfg *Config) (*Result, error) {
 	res := &Result{cfg: *cfg, rule: rule, qids: qids, bobLen: bob.Data.Len(), Block: block}
 
+	// DP mode and the blocking result must agree: a prepared block built
+	// under different ε or seed would charge the wrong dummy shares.
+	dp := cfg.DPEnabled()
+	if dp {
+		if block.R.DP == nil || block.S.DP == nil {
+			return nil, fmt.Errorf("core: Epsilon set but the blocking result has no DP release")
+		}
+		if block.R.DP.Epsilon != cfg.Epsilon || block.R.DP.Seed != cfg.DPSeed ||
+			block.S.DP.Epsilon != cfg.Epsilon || block.S.DP.Seed != cfg.DPSeed+1 {
+			return nil, fmt.Errorf("core: config DP parameters (ε=%v seed=%d) disagree with the blocking result's release (ε=%v/%v seeds=%d/%d)",
+				cfg.Epsilon, cfg.DPSeed, block.R.DP.Epsilon, block.S.DP.Epsilon, block.R.DP.Seed, block.S.DP.Seed)
+		}
+	} else if block.R.DP != nil || block.S.DP != nil {
+		return nil, fmt.Errorf("core: blocking result carries a DP release but Config.Epsilon is unset")
+	}
+
 	// Step 3 — order the Unknown group pairs for the SMC budget.
 	var ordered []blocking.GroupPair
 	switch cfg.Strategy {
@@ -143,6 +187,30 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	// so its memory is reclaimable during the long crypto loop. Label
 	// lookups from here on use the sparse form transparently.
 	block.ReleaseLabels()
+
+	// DP accounting: the composed privacy spend of the two releases and
+	// the padding cost the noise induced. DummyPairs sums over exactly
+	// the candidate (Unknown) bin pairs — dummies in bins that never met
+	// a candidate cost nothing.
+	if dp {
+		res.DP = &DPStats{
+			AliceEpsilon: block.R.DP.Epsilon,
+			BobEpsilon:   block.S.DP.Epsilon,
+			TotalEpsilon: block.R.DP.Epsilon + block.S.DP.Epsilon,
+			Delta:        block.R.DP.Delta,
+			TotalDelta:   block.R.DP.Delta + block.S.DP.Delta,
+			Level:        block.R.DP.Level,
+			AliceBins:    len(block.R.Classes),
+			BobBins:      len(block.S.Classes),
+			AliceDummies: block.R.Dummies(),
+			BobDummies:   block.S.Dummies(),
+		}
+		for _, gp := range ordered {
+			real := int64(block.R.Classes[gp.RI].Size()) * int64(block.S.Classes[gp.SI].Size())
+			padded := block.R.DP.NoisedCounts[gp.RI] * block.S.DP.NoisedCounts[gp.SI]
+			res.DP.DummyPairs += padded - real
+		}
+	}
 
 	// Step 4 — resolve pairs with the SMC comparator until the allowance
 	// is exhausted.
@@ -328,10 +396,24 @@ func resolve(alice, bob Holder, block *blocking.Result, rule *blocking.Rule, qid
 	// service's progress endpoint) see the phase change immediately.
 	cfg.report("smc", done, allowance)
 	budget := allowance - res.Resume.ReplayedAllowance
+	// Under DP every purchased pair also pays its bin's dummy share: the
+	// charger interleaves the group's padding cost across its real pairs,
+	// so the allowance funds real + dummy comparisons exactly as a
+	// protocol run over the padded bins would spend it. Tier-labeled
+	// pairs skip both charges (they never reach the protocol), and
+	// replayed purchases pay only their dummy share here — their unit
+	// cost was already consumed upfront — so a resumed run's total spend
+	// equals the uninterrupted run's.
+	var charger dpblock.DummyCharger
 groups:
 	for _, gp := range ordered {
 		rc := &block.R.Classes[gp.RI]
 		sc := &block.S.Classes[gp.SI]
+		if dp {
+			charger = dpblock.NewDummyCharger(
+				int64(rc.Size()), block.R.DP.NoisedCounts[gp.RI],
+				int64(sc.Size()), block.S.DP.NoisedCounts[gp.SI])
+		}
 		for _, i := range rc.Members {
 			for _, j := range sc.Members {
 				key := pairKey(i, j, res.bobLen)
@@ -341,15 +423,27 @@ groups:
 				// are free — the budget below is spent exclusively on the
 				// still-uncertain band.
 				if _, ok := res.smcLabels[key]; ok {
+					if dp {
+						d := charger.Next()
+						budget -= d
+						res.DP.DummySpent += d
+					}
 					continue
 				}
 				if _, ok := res.tierLabels[key]; ok {
 					continue
 				}
-				if budget <= 0 {
+				cost := int64(1)
+				if dp {
+					cost += charger.Next()
+				}
+				if budget < cost {
 					break groups
 				}
-				budget--
+				budget -= cost
+				if dp {
+					res.DP.DummySpent += cost - 1
+				}
 				chunk = append(chunk, job{i: i, j: j, group: [2]int{gp.RI, gp.SI}})
 				if len(chunk) == chunkSize {
 					if err := flush(); err != nil {

@@ -65,6 +65,18 @@ func configDigest(cfg *Config, allowance int64) [32]byte {
 	hashField(h, "allowance", strconv.FormatInt(allowance, 10))
 	hashField(h, "scale", strconv.FormatInt(cfg.Scale, 10))
 	hashField(h, "seed", strconv.FormatInt(cfg.Seed, 10))
+	// The DP parameters are hashed only when DP is enabled, so digests of
+	// k-anonymous runs are unchanged from before the mode existed. A dp
+	// run and a k-anonymous run already differ via the anonymizer names;
+	// these fields refuse resumption across a silently changed ε, δ,
+	// noise seed or binning level — any of which changes the padded bins
+	// and therefore what every purchased verdict cost.
+	if cfg.DPEnabled() {
+		hashField(h, "epsilon", strconv.FormatFloat(cfg.Epsilon, 'g', -1, 64))
+		hashField(h, "dpdelta", strconv.FormatFloat(cfg.DPDelta, 'g', -1, 64))
+		hashField(h, "dpseed", strconv.FormatInt(cfg.DPSeed, 10))
+		hashField(h, "dplevel", strconv.Itoa(cfg.DPLevel))
+	}
 	return [32]byte(h.Sum(nil))
 }
 

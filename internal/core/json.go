@@ -27,6 +27,7 @@ type ResultJSON struct {
 	TierMatchedPairs   int64               `json:"tier_matched_pairs"`
 	TierNonMatched     int64               `json:"tier_nonmatched_pairs"`
 	TierUncertainPairs int64               `json:"tier_uncertain_pairs"`
+	DP                 *DPStats            `json:"dp,omitempty"`
 	Resume             metrics.ResumeStats `json:"resume"`
 	Timings            Timings             `json:"timings"`
 }
@@ -49,6 +50,7 @@ func (r *Result) Summarize() ResultJSON {
 		TierMatchedPairs:   r.tierMatched,
 		TierNonMatched:     r.tierNonMatched,
 		TierUncertainPairs: r.TierUncertainPairs,
+		DP:                 r.DP,
 		Resume:             r.Resume,
 		Timings:            r.Timings,
 	}
@@ -66,6 +68,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 type timingsJSON struct {
 	AnonymizeAliceNS int64 `json:"anonymize_alice_ns"`
 	AnonymizeBobNS   int64 `json:"anonymize_bob_ns"`
+	DPNoiseNS        int64 `json:"dp_noise_ns"`
 	BlockingNS       int64 `json:"blocking_ns"`
 	TierNS           int64 `json:"tier_ns"`
 	SMCNS            int64 `json:"smc_ns"`
@@ -76,6 +79,7 @@ func (t Timings) MarshalJSON() ([]byte, error) {
 	return json.Marshal(timingsJSON{
 		AnonymizeAliceNS: int64(t.AnonymizeAlice),
 		AnonymizeBobNS:   int64(t.AnonymizeBob),
+		DPNoiseNS:        int64(t.DPNoise),
 		BlockingNS:       int64(t.Blocking),
 		TierNS:           int64(t.Tier),
 		SMCNS:            int64(t.SMC),
@@ -90,6 +94,7 @@ func (t *Timings) UnmarshalJSON(data []byte) error {
 	}
 	t.AnonymizeAlice = time.Duration(w.AnonymizeAliceNS)
 	t.AnonymizeBob = time.Duration(w.AnonymizeBobNS)
+	t.DPNoise = time.Duration(w.DPNoiseNS)
 	t.Blocking = time.Duration(w.BlockingNS)
 	t.Tier = time.Duration(w.TierNS)
 	t.SMC = time.Duration(w.SMCNS)

@@ -57,6 +57,7 @@ func TestTimingsJSONRoundTrip(t *testing.T) {
 	in := Timings{
 		AnonymizeAlice: 1500 * time.Microsecond,
 		AnonymizeBob:   2 * time.Second,
+		DPNoise:        5 * time.Microsecond,
 		Blocking:       3 * time.Millisecond,
 		Tier:           40 * time.Microsecond,
 		SMC:            7 * time.Nanosecond,
@@ -65,7 +66,7 @@ func TestTimingsJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"anonymize_alice_ns":1500000,"anonymize_bob_ns":2000000000,"blocking_ns":3000000,"tier_ns":40000,"smc_ns":7}`
+	want := `{"anonymize_alice_ns":1500000,"anonymize_bob_ns":2000000000,"dp_noise_ns":5000,"blocking_ns":3000000,"tier_ns":40000,"smc_ns":7}`
 	if string(data) != want {
 		t.Errorf("wire form = %s, want %s", data, want)
 	}

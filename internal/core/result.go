@@ -14,9 +14,46 @@ import (
 type Timings struct {
 	AnonymizeAlice time.Duration
 	AnonymizeBob   time.Duration
-	Blocking       time.Duration
-	Tier           time.Duration
-	SMC            time.Duration
+	// DPNoise is the cost of drawing and attaching the Laplace-noised
+	// bin counts in DP mode; zero otherwise.
+	DPNoise  time.Duration
+	Blocking time.Duration
+	Tier     time.Duration
+	SMC      time.Duration
+}
+
+// DPStats is the privacy and padding accounting of a differentially
+// private blocking run (Config.Epsilon > 0); nil otherwise. Epsilon and
+// delta compose sequentially across the two holders' releases: the run's
+// total privacy spend against any one individual is (TotalEpsilon,
+// TotalDelta) in the worst case of a record present on both sides.
+type DPStats struct {
+	// AliceEpsilon and BobEpsilon are the per-release budgets.
+	AliceEpsilon float64 `json:"alice_epsilon"`
+	BobEpsilon   float64 `json:"bob_epsilon"`
+	// TotalEpsilon is the sequential composition of both releases.
+	TotalEpsilon float64 `json:"total_epsilon"`
+	// Delta is each release's truncation failure mass; TotalDelta the
+	// composed mass.
+	Delta      float64 `json:"delta"`
+	TotalDelta float64 `json:"total_delta"`
+	// Level is the VGH depth the holders binned at.
+	Level int `json:"level"`
+	// AliceBins and BobBins count the published bins.
+	AliceBins int `json:"alice_bins"`
+	BobBins   int `json:"bob_bins"`
+	// AliceDummies and BobDummies are the total padding records each
+	// release added across all bins.
+	AliceDummies int64 `json:"alice_dummies"`
+	BobDummies   int64 `json:"bob_dummies"`
+	// DummyPairs is the padding cost over candidate bin pairs: the
+	// comparisons a protocol run over the padded bins would waste on at
+	// least one dummy record.
+	DummyPairs int64 `json:"dummy_pairs"`
+	// DummySpent is the share of the SMC allowance charged for dummy
+	// comparisons (Allowance = Invocations + replayed + DummySpent +
+	// unspent remainder).
+	DummySpent int64 `json:"dummy_spent"`
 }
 
 // Result is the complete labeling of the |R|×|S| pair space produced by a
@@ -44,6 +81,9 @@ type Result struct {
 	// not confidently label — the band the SMC budget is spent on. Zero
 	// when the tier is off.
 	TierUncertainPairs int64
+	// DP is the privacy and padding accounting of a DP-blocking run;
+	// nil when Config.Epsilon was unset.
+	DP *DPStats
 	// Timings holds per-stage durations.
 	Timings Timings
 
@@ -214,6 +254,10 @@ func (r *Result) Summary() string {
 	if r.cfg.Tier != TierOff {
 		s += fmt.Sprintf(" tier=%v tier-labeled=%d/%d uncertain=%d",
 			r.cfg.Tier, r.tierMatched, r.tierNonMatched, r.TierUncertainPairs)
+	}
+	if r.DP != nil {
+		s += fmt.Sprintf(" dp-eps=%v dp-delta=%v dummies=%d dummy-spent=%d",
+			r.DP.TotalEpsilon, r.DP.TotalDelta, r.DP.AliceDummies+r.DP.BobDummies, r.DP.DummySpent)
 	}
 	return s
 }

@@ -1,0 +1,121 @@
+package dpblock
+
+import (
+	"fmt"
+
+	"pprl/internal/anonymize"
+	"pprl/internal/blocking"
+	"pprl/internal/vgh"
+)
+
+// Accounting is the per-run DP bookkeeping the matcher can derive from
+// the two noised releases: composed budget, bin counts, and the dummy
+// comparisons the padding implies. DummyPairs is the cost of privacy —
+// a faithful deployment cannot tell dummies from real records, so every
+// padded slot in a candidate bin pair is an SMC comparison the budget
+// must cover.
+type Accounting struct {
+	// AliceEpsilon/BobEpsilon are the two releases' budgets; the run's
+	// composed leakage bound is their sum (sequential composition over
+	// the two publications).
+	AliceEpsilon, BobEpsilon float64
+	// AliceDelta/BobDelta are the truncation failure masses.
+	AliceDelta, BobDelta float64
+	// AliceBins/BobBins count the published bins.
+	AliceBins, BobBins int
+	// AliceDummies/BobDummies are the total padded records per release.
+	AliceDummies, BobDummies int64
+	// CandidateBinPairs counts bin pairs whose keys intersect.
+	CandidateBinPairs int64
+	// CandidatePairs counts true record pairs inside candidate bins.
+	CandidatePairs int64
+	// DummyPairs = Σ over candidate bin pairs of ñ_A·ñ_B − n_A·n_B: the
+	// comparisons attributable to padding.
+	DummyPairs int64
+}
+
+// TotalEpsilon returns the composed budget of the run's two releases.
+func (a *Accounting) TotalEpsilon() float64 { return a.AliceEpsilon + a.BobEpsilon }
+
+// TotalDelta returns the composed truncation mass.
+func (a *Accounting) TotalDelta() float64 { return a.AliceDelta + a.BobDelta }
+
+// Block intersects two published DP releases: bin pairs whose sequences
+// share at least one concrete value become Unknown (candidates for the
+// bloom/SMC tiers), every other record pair is NonMatch. No pair is ever
+// labeled Match — DP blocking has no certain-match evidence, so the
+// exact layers retain sole authority over Match verdicts and the
+// pipeline's structural precision is untouched. The rule is used only to
+// validate that the views agree on the QID set.
+//
+// Both views must have been through Publish; refusing un-noised views
+// here is what keeps "exchange only noised bins" an invariant rather
+// than a convention.
+func Block(a, b *anonymize.Result, rule *blocking.Rule) (*blocking.Result, *Accounting, error) {
+	if a.DP == nil || b.DP == nil {
+		return nil, nil, fmt.Errorf("dpblock: both views must carry a DP release (got %v/%v)", a.DP != nil, b.DP != nil)
+	}
+	if err := blocking.ValidateViews(a, b, rule); err != nil {
+		return nil, nil, err
+	}
+	if len(a.DP.NoisedCounts) != len(a.Classes) || len(b.DP.NoisedCounts) != len(b.Classes) {
+		return nil, nil, fmt.Errorf("dpblock: noised counts do not cover the classes")
+	}
+
+	acct := &Accounting{
+		AliceEpsilon: a.DP.Epsilon, BobEpsilon: b.DP.Epsilon,
+		AliceDelta: a.DP.Delta, BobDelta: b.DP.Delta,
+		AliceBins: len(a.Classes), BobBins: len(b.Classes),
+		AliceDummies: a.Dummies(), BobDummies: b.Dummies(),
+	}
+
+	builder := blocking.NewBuilder(a, b)
+	var candidatePairs int64
+	for ri, rc := range a.Classes {
+		for si, sc := range b.Classes {
+			if !sequencesIntersect(rc.Sequence, sc.Sequence) {
+				continue
+			}
+			builder.Observe(ri, si, blocking.Unknown)
+			real := int64(rc.Size()) * int64(sc.Size())
+			padded := a.DP.NoisedCounts[ri] * b.DP.NoisedCounts[si]
+			candidatePairs += real
+			acct.CandidateBinPairs++
+			acct.DummyPairs += padded - real
+		}
+	}
+	acct.CandidatePairs = candidatePairs
+	total := int64(len(a.ClassOf)) * int64(len(b.ClassOf))
+	builder.AddNonMatched(total - candidatePairs)
+
+	classPairs := int64(len(a.Classes)) * int64(len(b.Classes))
+	stats := &blocking.Stats{
+		RClasses:        len(a.Classes),
+		SClasses:        len(b.Classes),
+		ClassPairs:      classPairs,
+		RuleEvaluations: classPairs,
+	}
+	return builder.Result(stats), acct, nil
+}
+
+// sequencesIntersect reports whether two bins share at least one concrete
+// record value on every attribute. With both holders binning at the same
+// depth this degenerates to bin-key equality (sibling bins never share
+// values); the general form also handles releases binned at different
+// depths.
+func sequencesIntersect(a, b vgh.Sequence) bool {
+	for j := range a {
+		av, bv := a[j], b[j]
+		if av.IsCategorical() != bv.IsCategorical() {
+			return false
+		}
+		if av.IsCategorical() {
+			if !av.Node.Overlaps(bv.Node) {
+				return false
+			}
+		} else if !av.Iv.Overlaps(bv.Iv) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+package dpblock
+
+// DummyCharger spreads a candidate bin pair's dummy comparisons across
+// its real ones deterministically: after the k-th real purchase exactly
+// floor(k·extra/real) dummy comparisons have been charged, so by the
+// time the group is exhausted the full ñ_A·ñ_B cost has been paid. A
+// faithful deployment cannot distinguish dummies from real records and
+// pays for them interleaved; modeling the charge proportionally (rather
+// than all-up-front or all-at-the-end) keeps a partially afforded group
+// honest and keeps resumed runs — which replay some purchases from the
+// journal — spending exactly what the uninterrupted run would have.
+type DummyCharger struct {
+	real, extra     int64
+	bought, charged int64
+}
+
+// NewDummyCharger sizes the charger for one candidate bin pair with true
+// sizes (realA, realB) and published sizes (noisedA, noisedB).
+func NewDummyCharger(realA, noisedA, realB, noisedB int64) DummyCharger {
+	real := realA * realB
+	return DummyCharger{real: real, extra: noisedA*noisedB - real}
+}
+
+// Next advances one real purchase and returns the dummy comparisons to
+// charge along with it.
+func (c *DummyCharger) Next() int64 {
+	c.bought++
+	want := c.extra * c.bought / c.real
+	d := want - c.charged
+	c.charged = want
+	return d
+}
+
+// Charged returns the dummy comparisons charged so far.
+func (c *DummyCharger) Charged() int64 { return c.charged }

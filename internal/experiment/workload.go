@@ -39,6 +39,8 @@ type Options struct {
 	QIDCounts []int
 	// Allowances is the Figure 8 sweep, as fractions (paper: 0..0.03).
 	Allowances []float64
+	// Epsilons is the DP benchmark's per-holder budget sweep.
+	Epsilons []float64
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +73,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Allowances == nil {
 		o.Allowances = []float64{0, 0.005, 0.010, 0.015, 0.020, 0.025, 0.030}
+	}
+	if o.Epsilons == nil {
+		o.Epsilons = []float64{0.25, 0.5, 1, 2, 4, 8}
 	}
 	return o
 }

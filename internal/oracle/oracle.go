@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pprl/internal/anonymize"
 	"pprl/internal/blocking"
 	"pprl/internal/core"
 	"pprl/internal/dataset"
@@ -336,6 +337,97 @@ func (o *Oracle) CheckTier(res *core.Result, maxFalseRate float64) (TierReport, 
 	if rate := rep.FalseRate(); maxFalseRate >= 0 && rate > maxFalseRate {
 		return rep, fmt.Errorf("oracle: tier false-classification rate %.6f exceeds bound %.6f (%d false matches, %d false non-matches of %d labels)",
 			rate, maxFalseRate, rep.FalseMatches, rep.FalseNonMatches, rep.Labeled)
+	}
+	return rep, nil
+}
+
+// DPBlockReport is the oracle's scoring of a differentially private
+// blocking result against exact ground truth.
+type DPBlockReport struct {
+	// TrueMatches is the exact match count over the full pair space.
+	TrueMatches int64
+	// Missed counts truly matching record pairs whose bins do not
+	// intersect — DP blocking excludes them from the candidate space, so
+	// no downstream layer can ever recover them.
+	Missed int64
+	// CandidatePairs counts record pairs left Unknown for the tiers
+	// below (before dummy padding).
+	CandidatePairs int64
+}
+
+// MissRate is the fraction of true matches the bin intersection lost;
+// 0 when the relations hold no true match.
+func (r DPBlockReport) MissRate() float64 {
+	if r.TrueMatches == 0 {
+		return 0
+	}
+	return float64(r.Missed) / float64(r.TrueMatches)
+}
+
+// CheckDPBlocking verifies the DP blocking contract against the oracle:
+//
+//   - the result carries a noised release for both relations, with one
+//     padded count ≥ the true size per class (published sizes never
+//     understate, so the dummy charge is never negative);
+//   - no class pair is labeled Match — DP blocking only ever prunes;
+//     match authority stays with the exact layers, which is why noised
+//     blocking cannot create false positives;
+//   - every truly matching pair that was pruned is counted, and when
+//     maxMissRate ≥ 0 the missed-match rate must stay under it. Pass a
+//     negative bound to collect the report without enforcing one (the
+//     rate depends on the binning depth and data skew; the structural
+//     invariants above are enforced unconditionally).
+func (o *Oracle) CheckDPBlocking(block *blocking.Result, maxMissRate float64) (DPBlockReport, error) {
+	var rep DPBlockReport
+	for _, side := range []struct {
+		name string
+		view *anonymize.Result
+	}{{"alice", block.R}, {"bob", block.S}} {
+		dp := side.view.DP
+		if dp == nil {
+			return rep, fmt.Errorf("oracle: %s carries no DP release", side.name)
+		}
+		if len(dp.NoisedCounts) != len(side.view.Classes) {
+			return rep, fmt.Errorf("oracle: %s release has %d counts for %d classes",
+				side.name, len(dp.NoisedCounts), len(side.view.Classes))
+		}
+		for ci, c := range side.view.Classes {
+			if dp.NoisedCounts[ci] < int64(c.Size()) {
+				return rep, fmt.Errorf("oracle: %s class %d (%v) published count %d below true size %d",
+					side.name, ci, c.Sequence, dp.NoisedCounts[ci], c.Size())
+			}
+		}
+	}
+	var firstMiss *pairFault
+	for i := 0; i < o.alice.Len(); i++ {
+		ri := block.R.ClassOf[i]
+		for j := 0; j < o.bob.Len(); j++ {
+			si := block.S.ClassOf[j]
+			label := block.Label(ri, si)
+			if label == blocking.Match {
+				return rep, fmt.Errorf("oracle: DP blocking asserted a Match label: %w",
+					&pairFault{i: i, j: j, msg: fmt.Sprintf("classes (%d,%d) labeled Match; DP blocking must leave match authority to the exact layers", ri, si)})
+			}
+			if label == blocking.Unknown {
+				rep.CandidatePairs++
+			}
+			if !o.Matches(i, j) {
+				continue
+			}
+			rep.TrueMatches++
+			if label == blocking.NonMatch {
+				rep.Missed++
+				if firstMiss == nil {
+					firstMiss = &pairFault{i: i, j: j, msg: fmt.Sprintf(
+						"true match pruned: bins %v / %v do not intersect (raw %v / %v)",
+						block.R.Classes[ri].Sequence, block.S.Classes[si].Sequence, o.aliceSeqs[i], o.bobSeqs[j])}
+				}
+			}
+		}
+	}
+	if rate := rep.MissRate(); maxMissRate >= 0 && rate > maxMissRate {
+		return rep, fmt.Errorf("oracle: DP blocking missed-match rate %.6f exceeds bound %.6f (%d of %d true matches pruned); first: %w",
+			rate, maxMissRate, rep.Missed, rep.TrueMatches, firstMiss)
 	}
 	return rep, nil
 }

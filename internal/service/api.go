@@ -44,10 +44,21 @@ type JobSpec struct {
 	AllowanceFraction float64 `json:"allowance_fraction,omitempty"`
 	Allowance         int64   `json:"allowance,omitempty"`
 	// Heuristic, Strategy, Anonymizer and Blocking take the CLI names
-	// (see cliutil); empty selects the paper defaults.
+	// (see cliutil); empty selects the paper defaults. Anonymizer "dp"
+	// selects differentially private blocking and requires Epsilon.
 	Heuristic  string `json:"heuristic,omitempty"`
 	Strategy   string `json:"strategy,omitempty"`
 	Anonymizer string `json:"anonymizer,omitempty"`
+	// Epsilon, when positive, runs the job under differentially private
+	// blocking: per-holder privacy budget of the noised bin releases
+	// (composed spend is 2ε; see core.DPStats). Requires Anonymizer ""
+	// or "dp". DPDelta is the truncation mass (0 = default 1e-6), DPSeed
+	// the deterministic noise seed, DPLevel the VGH binning depth (0 =
+	// default).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	DPDelta float64 `json:"dp_delta,omitempty"`
+	DPSeed  int64   `json:"dp_seed,omitempty"`
+	DPLevel int     `json:"dp_level,omitempty"`
 	// Blocking selects the blocking engine: "dense" (default) or
 	// "indexed" (hierarchy index with candidate pruning and streaming
 	// pair emission; same labels, sub-quadratic enumeration).
@@ -94,8 +105,18 @@ func (s *JobSpec) Validate() error {
 	if s.AlicePath == "" || s.BobPath == "" {
 		return fmt.Errorf("alice_path and bob_path are required")
 	}
-	if s.Theta < 0 || s.AllowanceFraction < 0 || s.Allowance < 0 || s.K < 0 {
+	if s.Allowance < 0 || s.K < 0 {
 		return fmt.Errorf("negative parameters are invalid")
+	}
+	if s.Theta != 0 {
+		if err := cliutil.ThetaRange.Named("theta").Validate(s.Theta); err != nil {
+			return err
+		}
+	}
+	if s.AllowanceFraction != 0 {
+		if err := cliutil.AllowanceFractionRange.Named("allowance_fraction").Validate(s.AllowanceFraction); err != nil {
+			return err
+		}
 	}
 	if _, err := cliutil.HeuristicByName(s.Heuristic); err != nil {
 		return err
@@ -103,8 +124,30 @@ func (s *JobSpec) Validate() error {
 	if _, err := cliutil.StrategyByName(s.Strategy); err != nil {
 		return err
 	}
-	if _, err := cliutil.AnonymizerByName(s.Anonymizer); err != nil {
-		return err
+	if cliutil.IsDPName(s.Anonymizer) {
+		if s.Epsilon == 0 {
+			return fmt.Errorf("anonymizer %q requires epsilon > 0", s.Anonymizer)
+		}
+	} else {
+		if _, err := cliutil.AnonymizerByName(s.Anonymizer); err != nil {
+			return err
+		}
+		if s.Anonymizer != "" && s.Epsilon != 0 {
+			return fmt.Errorf("epsilon requires anonymizer \"dp\", got %q", s.Anonymizer)
+		}
+	}
+	if s.Epsilon != 0 || s.DPDelta != 0 || s.DPSeed != 0 || s.DPLevel != 0 {
+		if err := cliutil.EpsilonRange.Named("epsilon").Validate(s.Epsilon); err != nil {
+			return err
+		}
+		if s.DPDelta != 0 {
+			if err := cliutil.DeltaRange.Named("dp_delta").Validate(s.DPDelta); err != nil {
+				return err
+			}
+		}
+		if s.DPLevel < 0 {
+			return fmt.Errorf("dp_level must be ≥ 0, got %d", s.DPLevel)
+		}
 	}
 	if _, err := cliutil.BlockingModeByName(s.Blocking); err != nil {
 		return err
@@ -115,8 +158,8 @@ func (s *JobSpec) Validate() error {
 	if _, err := cliutil.TierModeByName(s.Tier); err != nil {
 		return err
 	}
-	if s.TierLow < 0 || s.TierHigh > 1 || s.TierLow > s.TierHigh {
-		return fmt.Errorf("tier thresholds must satisfy 0 ≤ tier_low ≤ tier_high ≤ 1")
+	if err := cliutil.TierBand(s.TierLow, s.TierHigh); err != nil {
+		return err
 	}
 	return nil
 }
@@ -144,11 +187,20 @@ func (s *JobSpec) Config(qids []string) (core.Config, error) {
 	if cfg.Strategy, err = cliutil.StrategyByName(s.Strategy); err != nil {
 		return cfg, err
 	}
-	anon, err := cliutil.AnonymizerByName(s.Anonymizer)
-	if err != nil {
-		return cfg, err
+	if s.Epsilon != 0 {
+		// DP mode: leave the anonymizers nil so the core config installs
+		// the deterministic binner with these parameters.
+		cfg.Epsilon = s.Epsilon
+		cfg.DPDelta = s.DPDelta
+		cfg.DPSeed = s.DPSeed
+		cfg.DPLevel = s.DPLevel
+	} else {
+		anon, err := cliutil.AnonymizerByName(s.Anonymizer)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.AliceAnonymizer, cfg.BobAnonymizer = anon, anon
 	}
-	cfg.AliceAnonymizer, cfg.BobAnonymizer = anon, anon
 	if cfg.Blocking, err = cliutil.BlockingModeByName(s.Blocking); err != nil {
 		return cfg, err
 	}
@@ -199,7 +251,7 @@ func (s State) Terminal() bool {
 // pipeline's progress hook.
 type Progress struct {
 	// Phase is the pipeline stage: "anonymize-alice", "anonymize-bob",
-	// "blocking", "tier", or "smc".
+	// "dp-noise" (DP jobs only), "blocking", "tier", or "smc".
 	Phase string `json:"phase"`
 	// Done and Total are the stage's position; for the "smc" phase they
 	// are pairs purchased vs the resolved allowance.

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServiceDPJob: a job submitted with anonymizer "dp" runs under
+// differentially private blocking, reports the ε accounting in its
+// result, and feeds the DP counters in /metrics.
+func TestServiceDPJob(t *testing.T) {
+	dataDir := writeDataDir(t, 120, 11)
+	_, ts := newTestServer(t, Config{Dir: t.TempDir(), DataDir: dataDir, Workers: 1})
+
+	spec := testSpec()
+	spec.K = 0
+	spec.Anonymizer = "dp"
+	spec.Epsilon = 8
+	spec.DPSeed = 3
+	spec.Allowance = 2000
+	job := submit(t, ts, spec)
+	waitState(t, ts, job.ID, StateDone)
+	res := getResult(t, ts, job.ID)
+
+	dp := res.Result.DP
+	if dp == nil {
+		t.Fatal("DP job result carries no dp accounting")
+	}
+	if dp.TotalEpsilon != 16 {
+		t.Errorf("total_epsilon = %v, want 8 + 8", dp.TotalEpsilon)
+	}
+	if dp.AliceBins == 0 || dp.BobBins == 0 {
+		t.Errorf("bin counts zero: %+v", dp)
+	}
+	if spent := res.Result.Invocations + dp.DummySpent; spent > res.Result.Allowance {
+		t.Errorf("spent %d (real %d + dummy %d) over allowance %d",
+			spent, res.Result.Invocations, dp.DummySpent, res.Result.Allowance)
+	}
+	// DP blocking never asserts matches; with Evaluate on, everything
+	// reported came from an exact layer, so precision is 1.
+	if res.Evaluation == nil {
+		t.Fatal("evaluation missing")
+	}
+	if res.Evaluation.FalsePositives != 0 {
+		t.Errorf("DP job reported %d false positives; exact layers own Match labels",
+			res.Evaluation.FalsePositives)
+	}
+
+	mt, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mt.Body)
+	mt.Body.Close()
+	for _, want := range []string{
+		"pprl_dp_jobs_total 1",
+		"pprl_dp_epsilon_spent_milli_total 16000",
+		"pprl_dp_dummy_pairs_total",
+		"pprl_dp_dummy_spent_total",
+	} {
+		if !strings.Contains(string(mraw), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mraw)
+		}
+	}
+}
+
+// TestServiceDPSpecValidation: malformed DP specs are rejected at submit
+// time with HTTP 400.
+func TestServiceDPSpecValidation(t *testing.T) {
+	dataDir := writeDataDir(t, 40, 11)
+	_, ts := newTestServer(t, Config{Dir: t.TempDir(), DataDir: dataDir, Workers: 1})
+
+	cases := map[string]JobSpec{}
+
+	noEps := testSpec()
+	noEps.Anonymizer = "dp"
+	cases["dp anonymizer without epsilon"] = noEps
+
+	clash := testSpec()
+	clash.Anonymizer = "datafly"
+	clash.Epsilon = 2
+	cases["epsilon with a k-anonymizer"] = clash
+
+	negEps := testSpec()
+	negEps.Anonymizer = "dp"
+	negEps.Epsilon = -1
+	cases["negative epsilon"] = negEps
+
+	badDelta := testSpec()
+	badDelta.Anonymizer = "dp"
+	badDelta.Epsilon = 2
+	badDelta.DPDelta = 0.7
+	cases["delta out of range"] = badDelta
+
+	badLevel := testSpec()
+	badLevel.Anonymizer = "dp"
+	badLevel.Epsilon = 2
+	badLevel.DPLevel = -3
+	cases["negative level"] = badLevel
+
+	for name, spec := range cases {
+		if _, code := submitCode(t, ts, spec); code != http.StatusBadRequest {
+			t.Errorf("%s: accepted with HTTP %d", name, code)
+		}
+	}
+}

@@ -105,6 +105,11 @@ type Server struct {
 	mTierNonMatched *metrics.Var
 	mTierUncertain  *metrics.Var
 
+	mDPJobs         *metrics.Var
+	mDPEpsilonMilli *metrics.Var
+	mDPDummyPairs   *metrics.Var
+	mDPDummySpent   *metrics.Var
+
 	mWorkerChunks    *metrics.VarVec
 	mWorkerFailures  *metrics.VarVec
 	mWorkerHeartbeat *metrics.VarVec
@@ -156,6 +161,10 @@ func New(cfg Config) (*Server, error) {
 	s.mTierMatched = s.reg.Counter("tier_matched_pairs_total", "Unknown pairs the triage tier labeled Match for free across completed jobs.")
 	s.mTierNonMatched = s.reg.Counter("tier_nonmatched_pairs_total", "Unknown pairs the triage tier labeled NonMatch for free across completed jobs.")
 	s.mTierUncertain = s.reg.Counter("tier_uncertain_pairs_total", "Unknown pairs the tier left for the SMC allowance across completed jobs.")
+	s.mDPJobs = s.reg.Counter("dp_jobs_total", "Jobs completed under differentially private blocking.")
+	s.mDPEpsilonMilli = s.reg.Counter("dp_epsilon_spent_milli_total", "Composed epsilon spent across completed DP jobs, in thousandths.")
+	s.mDPDummyPairs = s.reg.Counter("dp_dummy_pairs_total", "Dummy candidate pairs introduced by noise padding across completed DP jobs.")
+	s.mDPDummySpent = s.reg.Counter("dp_dummy_spent_total", "SMC allowance consumed by dummy-pair charges across completed DP jobs.")
 	s.mWorkerChunks = s.reg.CounterVec("worker_chunks_total", "worker", "Comparison chunks completed per fleet worker.")
 	s.mWorkerFailures = s.reg.CounterVec("worker_failures_total", "worker", "Failures observed per fleet worker (chunks reassigned).")
 	s.mWorkerHeartbeat = s.reg.GaugeVec("worker_heartbeat_seconds", "worker", "Unix time of each fleet worker's last heartbeat.")
@@ -652,6 +661,13 @@ func (s *Server) execute(ctx context.Context, job *Job) error {
 	s.mTierMatched.Add(res.TierMatchedPairs())
 	s.mTierNonMatched.Add(res.TierNonMatchedPairs())
 	s.mTierUncertain.Add(res.TierUncertainPairs)
+	if res.DP != nil {
+		s.mDPJobs.Add(1)
+		// The registry is integer-valued; epsilon is reported in milli-units.
+		s.mDPEpsilonMilli.Add(int64(res.DP.TotalEpsilon*1000 + 0.5))
+		s.mDPDummyPairs.Add(res.DP.DummyPairs)
+		s.mDPDummySpent.Add(res.DP.DummySpent)
+	}
 	return nil
 }
 

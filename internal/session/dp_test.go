@@ -1,0 +1,150 @@
+package session
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"pprl/internal/adult"
+	"pprl/internal/blocking"
+	"pprl/internal/dataset"
+	"pprl/internal/match"
+	"pprl/internal/smc"
+)
+
+// runLocalDPSession wires the three roles with DP-publishing holders.
+func runLocalDPSession(t *testing.T, aliceData, bobData *dataset.Dataset, cfg QueryConfig, aliceHC, bobHC HolderConfig) (*QueryResult, error) {
+	t.Helper()
+	qa, aq := smc.NewConnPair()
+	qb, bq := smc.NewConnPair()
+	ab, ba := smc.NewConnPair()
+	aliceHC.Data, bobHC.Data = aliceData, bobData
+	errs := make(chan error, 2)
+	go func() { errs <- RunHolder(aq, ab, aliceHC, true) }()
+	go func() { errs <- RunHolder(bq, ba, bobHC, false) }()
+	res, err := RunQuery(qa, qb, cfg)
+	if err != nil {
+		// Unblock the holders before draining their errors.
+		qa.Close()
+		qb.Close()
+		<-errs
+		<-errs
+		return nil, err
+	}
+	for i := 0; i < 2; i++ {
+		if herr := <-errs; herr != nil {
+			t.Fatalf("holder error: %v", herr)
+		}
+	}
+	return res, nil
+}
+
+// TestSessionDPEndToEnd: both holders publish noised releases, the
+// querying party blocks on bin intersection, pays dummy charges, and
+// every reported match is exact.
+func TestSessionDPEndToEnd(t *testing.T) {
+	aliceData, bobData := sessionWorkload(t, 120)
+	cfg := QueryConfig{
+		Schema:    aliceData.Schema(),
+		QIDs:      adult.DefaultQIDs(),
+		Theta:     0.05,
+		Allowance: 4000,
+		KeyBits:   testKeyBits,
+	}
+	res, err := runLocalDPSession(t, aliceData, bobData, cfg,
+		HolderConfig{Epsilon: 8, DPSeed: 1},
+		HolderConfig{Epsilon: 8, DPSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DP == nil {
+		t.Fatal("DP session carries no accounting")
+	}
+	if got := res.DP.TotalEpsilon(); got != 16 {
+		t.Errorf("TotalEpsilon = %v, want 8 + 8", got)
+	}
+	if res.AliceView.Method != "dp" || res.BobView.Method != "dp" {
+		t.Errorf("view methods = %q/%q", res.AliceView.Method, res.BobView.Method)
+	}
+	if res.AliceView.DP == nil || res.BobView.DP == nil {
+		t.Error("views lost their noised releases in transit")
+	}
+	if spent := res.Invocations + res.DPDummySpent; spent > res.Allowance {
+		t.Errorf("spent %d (real %d + dummy %d) over allowance %d",
+			spent, res.Invocations, res.DPDummySpent, res.Allowance)
+	}
+	if res.Invocations == 0 {
+		t.Error("no live comparisons; the test needs a real budget")
+	}
+	// Every reported match must be a true match: DP blocking emits no
+	// Match labels, so matches come only from exact SMC verdicts.
+	qids, err := aliceData.Schema().Resolve(cfg.QIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := blocking.RuleFor(aliceData.Schema(), qids, cfg.Theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := match.TruePairs(aliceData, bobData, qids, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueKeys := make(map[int64]bool, len(truth))
+	for _, p := range truth {
+		trueKeys[p.Key(bobData.Len())] = true
+	}
+	for _, p := range res.Matches {
+		if !trueKeys[p.Key(bobData.Len())] {
+			t.Fatalf("reported match (%d,%d) is not a true match", p.I, p.J)
+		}
+	}
+	// The match list is duplicate-free.
+	keys := make([]int64, len(res.Matches))
+	for i, p := range res.Matches {
+		keys[i] = p.Key(bobData.Len())
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			t.Fatal("duplicate match reported")
+		}
+	}
+}
+
+// TestSessionDPMixedRefused: the querying party refuses a session where
+// only one holder opted into DP publishing.
+func TestSessionDPMixedRefused(t *testing.T) {
+	aliceData, bobData := sessionWorkload(t, 60)
+	cfg := QueryConfig{
+		Schema:    aliceData.Schema(),
+		QIDs:      adult.DefaultQIDs(),
+		Theta:     0.05,
+		Allowance: 50,
+		KeyBits:   testKeyBits,
+	}
+	_, err := runLocalDPSession(t, aliceData, bobData, cfg,
+		HolderConfig{Epsilon: 8, DPSeed: 1},
+		HolderConfig{K: 8})
+	if err == nil || !strings.Contains(err.Error(), "DP release") {
+		t.Fatalf("mixed session: err = %v, want refusal", err)
+	}
+}
+
+// TestSessionDPHolderValidation: holder-side DP parameter mistakes fail
+// before anything crosses the wire.
+func TestSessionDPHolderValidation(t *testing.T) {
+	aliceData, _ := sessionWorkload(t, 30)
+	qa, aq := smc.NewConnPair()
+	defer qa.Close()
+	ab, _ := smc.NewConnPair()
+	defer ab.Close()
+	err := RunHolder(aq, ab, HolderConfig{Data: aliceData, DPSeed: 3}, true)
+	if err == nil || !strings.Contains(err.Error(), "epsilon") {
+		t.Fatalf("DP seed without epsilon: err = %v", err)
+	}
+	err = RunHolder(aq, ab, HolderConfig{Data: aliceData, Epsilon: -2}, true)
+	if err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"pprl/internal/bloom"
 	"pprl/internal/dataset"
 	"pprl/internal/distance"
+	"pprl/internal/dpblock"
 	"pprl/internal/heuristic"
 	"pprl/internal/journal"
 	"pprl/internal/match"
@@ -66,10 +67,27 @@ func Identify(conn smc.Conn) (string, error) {
 type HolderConfig struct {
 	// Data is the holder's private relation.
 	Data *dataset.Dataset
-	// K is the holder's anonymity requirement.
+	// K is the holder's anonymity requirement. Ignored under DP blocking
+	// (Epsilon > 0), whose privacy guarantee comes from the noised
+	// release, not class sizes.
 	K int
-	// Anonymizer defaults to the paper's max-entropy method.
+	// Anonymizer defaults to the paper's max-entropy method, or to the
+	// deterministic dpblock binner when Epsilon is set.
 	Anonymizer anonymize.Anonymizer
+	// Epsilon, when positive, makes this holder publish a differentially
+	// private release instead of a k-anonymous view: records are binned
+	// on fixed VGH ancestors and the view carries Laplace-noised bin
+	// counts, so the published bin sizes are (ε, δ)-DP. Both holders must
+	// opt in — the querying party refuses mixed sessions.
+	Epsilon float64
+	// DPDelta is the truncation mass (0 selects dpblock.DefaultDelta),
+	// DPSeed this holder's noise seed (holders should pick distinct
+	// seeds), DPLevel the VGH binning depth (0 selects
+	// dpblock.DefaultLevel). The level must match the peer's or the bins
+	// never intersect.
+	DPDelta float64
+	DPSeed  int64
+	DPLevel int
 	// TierKey is the CLK keyed-hash secret shared between the holders
 	// (out of band, like the schema) and withheld from the querying
 	// party. Required when the broadcast parameters enable the triage
@@ -86,7 +104,26 @@ func RunHolder(query, peer smc.Conn, cfg HolderConfig, isAlice bool) error {
 	if cfg.Data == nil {
 		return fmt.Errorf("session: holder has no data")
 	}
-	if cfg.K < 1 {
+	dp := cfg.Epsilon != 0 || cfg.DPDelta != 0 || cfg.DPSeed != 0 || cfg.DPLevel != 0
+	var dpParams dpblock.Params
+	if dp {
+		if cfg.Epsilon <= 0 {
+			return fmt.Errorf("session: holder DP parameters set without a positive epsilon")
+		}
+		binner, err := dpblock.New(dpblock.Params{
+			Epsilon: cfg.Epsilon, Delta: cfg.DPDelta, Seed: cfg.DPSeed, Level: cfg.DPLevel,
+		})
+		if err != nil {
+			return fmt.Errorf("session: %w", err)
+		}
+		dpParams = binner.Params()
+		if cfg.Anonymizer == nil {
+			cfg.Anonymizer = binner
+		}
+		if _, ok := cfg.Anonymizer.(*dpblock.Binner); !ok {
+			return fmt.Errorf("session: epsilon set but the holder's anonymizer is %s, not the dp binner", cfg.Anonymizer.Name())
+		}
+	} else if cfg.K < 1 {
 		return fmt.Errorf("session: holder k must be ≥ 1, got %d", cfg.K)
 	}
 	if cfg.Anonymizer == nil {
@@ -106,6 +143,13 @@ func RunHolder(query, peer smc.Conn, cfg HolderConfig, isAlice bool) error {
 	view, err := cfg.Anonymizer.Anonymize(cfg.Data, qids, cfg.K)
 	if err != nil {
 		return fmt.Errorf("session: anonymizing: %w", err)
+	}
+	if dp {
+		// Attach the noised bin counts before the view leaves the holder:
+		// only the padded sizes ever cross the wire.
+		if err := dpblock.Publish(view, dpParams); err != nil {
+			return fmt.Errorf("session: noising view: %w", err)
+		}
 	}
 	var buf bytes.Buffer
 	if err := anonymize.WriteView(&buf, cfg.Data.Schema(), view); err != nil {
@@ -233,6 +277,15 @@ type QueryResult struct {
 	// AliceView and BobView are the published views (K, method,
 	// sequence counts — everything this party may inspect).
 	AliceView, BobView *anonymize.Result
+	// DP, when both holders published differentially private releases,
+	// carries the composed privacy accounting and padding costs of the
+	// DP blocking step; nil otherwise.
+	DP *dpblock.Accounting
+	// DPDummySpent is the share of the allowance charged for dummy
+	// comparisons under DP blocking: the querying party pays for the
+	// padding records it cannot distinguish from real ones, so
+	// Invocations + Resume.ReplayedAllowance + DPDummySpent ≤ Allowance.
+	DPDummySpent int64
 }
 
 // RunQuery executes the querying party: broadcast parameters, collect
@@ -310,7 +363,20 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 		}
 	}
 
-	block, err := blocking.Block(aView, bView, rule)
+	// Both holders must agree on the blocking mode: a DP release on one
+	// side only would silently fall back to slack-rule blocking over a
+	// k=1 binning, which guarantees neither privacy model.
+	dp := aView.DP != nil && bView.DP != nil
+	if (aView.DP != nil) != (bView.DP != nil) {
+		return nil, fmt.Errorf("session: one holder published a DP release and the other did not")
+	}
+	var block *blocking.Result
+	var acct *dpblock.Accounting
+	if dp {
+		block, acct, err = dpblock.Block(aView, bView, rule)
+	} else {
+		block, err = blocking.Block(aView, bView, rule)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +386,7 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 		UnknownPairs:       block.UnknownPairs,
 		AliceView:          aView,
 		BobView:            bView,
+		DP:                 acct,
 	}
 	// Pairs certain from blocking alone.
 	for ri, row := range block.Labels {
@@ -434,13 +501,32 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 		return nil
 	}
 	budget := allowance - res.Resume.ReplayedAllowance
+	// Under DP every purchased pair also pays its bin's dummy share (see
+	// core's resolve loop for the model): the charger interleaves each
+	// group's padding cost across its real pairs. Replayed purchases pay
+	// only their dummy share — their unit cost was consumed upfront — so
+	// a resumed session's total spend equals an uninterrupted one's. Once
+	// the remaining budget cannot cover a purchase plus its dummies, no
+	// further pairs are bought (tier scanning may continue for free).
+	var charger dpblock.DummyCharger
+	budgetDone := false
 groups:
 	for _, gp := range ordered {
+		if dp {
+			charger = dpblock.NewDummyCharger(
+				int64(aView.Classes[gp.RI].Size()), aView.DP.NoisedCounts[gp.RI],
+				int64(bView.Classes[gp.SI].Size()), bView.DP.NoisedCounts[gp.SI])
+		}
 		for _, i := range aView.Classes[gp.RI].Members {
 			for _, j := range bView.Classes[gp.SI].Members {
 				// Already purchased by the interrupted session; applied
 				// upfront above, never re-bought.
 				if _, ok := replayed[[2]int{i, j}]; ok {
+					if dp {
+						d := charger.Next()
+						budget -= d
+						res.DPDummySpent += d
+					}
 					continue
 				}
 				// The triage tier labels the confident bands for free;
@@ -464,7 +550,7 @@ groups:
 					}
 					res.TierUncertainPairs++
 				}
-				if budget <= 0 {
+				if budgetDone {
 					if cfg.Tier == nil {
 						break groups
 					}
@@ -472,7 +558,19 @@ groups:
 					// bands even though the budget is gone.
 					continue
 				}
-				budget--
+				cost := int64(1)
+				if dp {
+					cost += charger.Next()
+				}
+				if budget < cost {
+					budgetDone = true
+					if cfg.Tier == nil {
+						break groups
+					}
+					continue
+				}
+				budget -= cost
+				res.DPDummySpent += cost - 1
 				pairs = append(pairs, [2]int{i, j})
 				if len(pairs) == chunk {
 					if err := flush(); err != nil {
