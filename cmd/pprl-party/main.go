@@ -20,8 +20,13 @@
 //
 // Holders can opt into differentially private blocking instead of
 // k-anonymous generalization: -method dp -epsilon 2 -dp-seed <own seed>
-// publishes Laplace-noised bin counts; the session then requires both
-// holders to opt in (the querying party refuses mixed sessions).
+// publishes Laplace-noised bin counts with member lists padded to match
+// (the handle space is permuted, dummies behave like records downstream,
+// and matches print as handles the holders translate locally); the
+// session then requires both holders to opt in (the querying party
+// refuses mixed sessions). The seed never crosses the wire and is
+// domain-separated by role, so even identical -dp-seed values on the
+// two holders draw uncorrelated noise.
 //
 // A fourth role joins a pprl-serve daemon's SMC worker fleet: the worker
 // registers with the daemon's coordinator, receives encoded records per
@@ -93,7 +98,7 @@ func main() {
 		method      = flag.String("method", "entropy", "holders: anonymization method (entropy, tds, datafly, mondrian, or dp with -epsilon)")
 		epsilon     = flag.Float64("epsilon", 0, "holders: differential-privacy budget for -method dp")
 		dpDelta     = flag.Float64("dp-delta", 0, "holders: DP truncation mass for -method dp (0 = default)")
-		dpSeed      = flag.Int64("dp-seed", 0, "holders: deterministic DP noise seed (each holder picks its own)")
+		dpSeed      = flag.Int64("dp-seed", 0, "holders: private DP noise/padding seed (never sent; role-separated, so a shared default is safe)")
 		dpLevel     = flag.Int("dp-level", 0, "holders: VGH binning depth for -method dp (0 = default)")
 		qids        = flag.String("qids", strings.Join(pprl.DefaultAdultQIDs(), ","), "query: quasi-identifier attributes")
 		theta       = flag.Float64("theta", 0.05, "query: matching threshold")
@@ -282,8 +287,8 @@ func runQuery(out io.Writer, opts queryOptions) error {
 		res.AliceView.Method, res.AliceView.K, res.AliceView.NumSequences(),
 		res.BobView.Method, res.BobView.K, res.BobView.NumSequences())
 	if res.DP != nil {
-		fmt.Fprintf(out, "dp: composed ε=%v δ=%v; %d dummy pairs padded in, %d allowance spent on dummies\n",
-			res.DP.TotalEpsilon(), res.DP.TotalDelta(), res.DP.DummyPairs, res.DPDummySpent)
+		fmt.Fprintf(out, "dp: composed ε=%v δ=%v over %d×%d published bins\n",
+			res.DP.TotalEpsilon(), res.DP.TotalDelta(), res.DP.AliceBins, res.DP.BobBins)
 	}
 	fmt.Fprintf(out, "blocking: %.2f%% of %d pairs decided; %d unknown\n",
 		100*res.BlockingEfficiency, res.TotalPairs, res.UnknownPairs)

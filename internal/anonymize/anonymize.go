@@ -70,18 +70,28 @@ type DPInfo struct {
 	Epsilon float64
 	// Delta is the truncation failure mass of the one-sided mechanism.
 	Delta float64
-	// Seed keys the deterministic per-bin noise draws.
+	// Seed keys the deterministic per-bin noise draws and the padding
+	// permutation. It is holder-private: WriteView never serializes it
+	// (a recipient holding the seed could recompute and subtract every
+	// bin's noise), so views parsed from the wire carry Seed 0. Only
+	// in-process views — the single-trust-domain engine — retain it.
 	Seed int64
 	// Level is the hierarchy depth records were binned at (0 = root).
 	Level int
 	// NoisedCounts[i] is the published size of Classes[i]: the true
 	// membership plus non-negative noise, so padding only ever adds
-	// dummies and never hides a real member.
+	// dummies and never hides a real member. Before such a view leaves
+	// its holder, dpblock.Pad stretches each member list to exactly this
+	// count with dummy handles, so the wire form never reveals the true
+	// size next to the noised one.
 	NoisedCounts []int64
 }
 
-// Dummies returns the total dummy records the padded release implies:
-// Σ (NoisedCounts[i] − |Classes[i]|).
+// Dummies returns the total dummy records the noised release implies
+// beyond the member lists: Σ (NoisedCounts[i] − |Classes[i]|). Only
+// meaningful on an in-process (unpadded) view; once dpblock.Pad has
+// stretched the member lists — i.e. on any view that crossed the wire —
+// it returns 0, which is exactly what a recipient is allowed to know.
 func (r *Result) Dummies() int64 {
 	if r.DP == nil {
 		return 0

@@ -46,6 +46,12 @@ func goldenViews(t *testing.T) map[string]*anonymize.Result {
 	if err := dpblock.Publish(res, binner.Params()); err != nil {
 		t.Fatal(err)
 	}
+	// A DP view must be padded before it can serialize: the wire form
+	// carries only noised sizes and permuted handles, never true bin
+	// membership.
+	if _, err := dpblock.Pad(res); err != nil {
+		t.Fatal(err)
+	}
 	views[binner.Name()] = res
 	return views
 }
@@ -92,7 +98,9 @@ func TestViewGoldenFiles(t *testing.T) {
 }
 
 // TestDPViewRoundTrip checks the DP release survives serialization
-// exactly: parameters, seed, level and every noised count.
+// exactly — parameters, level, every noised count — while the holder's
+// secrets stay home: the noise seed is withheld and the padded member
+// lists reveal no dummy surplus.
 func TestDPViewRoundTrip(t *testing.T) {
 	d := adult.Generate(120, 1)
 	res := goldenViews(t)[dpblock.MethodName]
@@ -108,8 +116,11 @@ func TestDPViewRoundTrip(t *testing.T) {
 		t.Fatal("DP release lost in round trip")
 	}
 	if got.DP.Epsilon != res.DP.Epsilon || got.DP.Delta != res.DP.Delta ||
-		got.DP.Seed != res.DP.Seed || got.DP.Level != res.DP.Level {
+		got.DP.Level != res.DP.Level {
 		t.Fatalf("DP parameters changed: %+v vs %+v", got.DP, res.DP)
+	}
+	if got.DP.Seed != 0 {
+		t.Fatalf("noise seed %d crossed the wire; a recipient could subtract the padding", got.DP.Seed)
 	}
 	if len(got.DP.NoisedCounts) != len(res.DP.NoisedCounts) {
 		t.Fatal("noised count arity changed")
@@ -118,8 +129,41 @@ func TestDPViewRoundTrip(t *testing.T) {
 		if got.DP.NoisedCounts[i] != res.DP.NoisedCounts[i] {
 			t.Fatalf("noised count %d changed: %d vs %d", i, got.DP.NoisedCounts[i], res.DP.NoisedCounts[i])
 		}
+		if int64(got.Classes[i].Size()) != got.DP.NoisedCounts[i] {
+			t.Fatalf("class %d: wire member list has %d handles, published count %d",
+				i, got.Classes[i].Size(), got.DP.NoisedCounts[i])
+		}
 	}
-	if got.Dummies() != res.Dummies() {
-		t.Fatalf("dummy total changed: %d vs %d", got.Dummies(), res.Dummies())
+	if got.Dummies() != 0 {
+		t.Fatalf("wire view reveals %d dummies; padding must hide the surplus", got.Dummies())
+	}
+}
+
+// TestDPViewUnpaddedRefused pins the boundary invariant: an un-padded DP
+// view never serializes, so true bin sizes cannot leave the holder even
+// by mistake.
+func TestDPViewUnpaddedRefused(t *testing.T) {
+	d := adult.Generate(120, 1)
+	qids, err := d.Schema().Resolve(adult.TopQIDs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binner, err := dpblock.New(dpblock.Params{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := binner.Anonymize(d, qids, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dpblock.Publish(res, binner.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Dummies() == 0 {
+		t.Skip("noise draw added no padding; nothing to refuse")
+	}
+	var buf bytes.Buffer
+	if err := anonymize.WriteView(&buf, d.Schema(), res); err == nil {
+		t.Fatal("WriteView accepted a DP view whose member lists reveal true bin sizes")
 	}
 }

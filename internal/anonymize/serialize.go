@@ -23,7 +23,7 @@ import (
 //	k	32
 //	qids	age	workclass	…
 //	suppressed	4	17            (optional)
-//	dp	0.5	1e-06	7	2         (optional: ε δ seed level)
+//	dp	0.5	1e-06	2             (optional: ε δ level)
 //	noised	12,9,31               (optional: published bin sizes, class order)
 //	class	c:Masters␟n:35:37	0,1,2
 //	…
@@ -32,8 +32,14 @@ import (
 // n:<lo>:<hi> interval, p:<v> point — and joined with the unit separator
 // (U+001F), so labels containing spaces or punctuation round-trip.
 // The dp/noised pair appears only on views published by the DP binner;
-// a view carrying one without the other is rejected, as is a noised
-// count below the true class size (padding may only add dummies).
+// a view carrying one without the other is rejected. Two things about a
+// DP release deliberately never appear on the wire: the noise seed
+// (anyone holding it could recompute each bin's padding and subtract it,
+// recovering the true counts — it stays with the holder, like the tier
+// key), and the true class sizes (member lists must already be padded to
+// the noised counts by dpblock.Pad, so every class lists exactly its
+// published size in dummy-interleaved handles; a DP view whose member
+// counts disagree with its noised counts is rejected on both ends).
 
 const viewMagic = "pprl-view"
 
@@ -60,10 +66,16 @@ func WriteView(w io.Writer, schema *dataset.Schema, res *Result) error {
 			return fmt.Errorf("anonymize: DP view has %d noised counts for %d classes",
 				len(res.DP.NoisedCounts), len(res.Classes))
 		}
-		fmt.Fprintf(bw, "dp\t%s\t%s\t%d\t%d\n",
+		for i, c := range res.Classes {
+			if int64(len(c.Members)) != res.DP.NoisedCounts[i] {
+				return fmt.Errorf("anonymize: DP class %d lists %d members for noised count %d; pad the release (dpblock.Pad) before serializing",
+					i, len(c.Members), res.DP.NoisedCounts[i])
+			}
+		}
+		fmt.Fprintf(bw, "dp\t%s\t%s\t%d\n",
 			strconv.FormatFloat(res.DP.Epsilon, 'g', -1, 64),
 			strconv.FormatFloat(res.DP.Delta, 'g', -1, 64),
-			res.DP.Seed, res.DP.Level)
+			res.DP.Level)
 		counts := make([]string, len(res.DP.NoisedCounts))
 		for i, n := range res.DP.NoisedCounts {
 			counts[i] = strconv.FormatInt(n, 10)
@@ -148,24 +160,27 @@ func ReadView(r io.Reader, schema *dataset.Schema) (*Result, error) {
 				res.Suppressed = append(res.Suppressed, v)
 			}
 		case "dp":
-			if len(fields) != 5 {
-				return nil, fmt.Errorf("anonymize: line %d: dp needs ε, δ, seed and level", line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("anonymize: line %d: dp needs ε, δ and level", line)
 			}
 			eps, err1 := strconv.ParseFloat(fields[1], 64)
 			delta, err2 := strconv.ParseFloat(fields[2], 64)
-			seed, err3 := strconv.ParseInt(fields[3], 10, 64)
-			level, err4 := strconv.Atoi(fields[4])
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			level, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
 				return nil, fmt.Errorf("anonymize: line %d: malformed dp directive", line)
 			}
-			if !(eps > 0) || delta < 0 || delta >= 1 || level < 0 {
-				return nil, fmt.Errorf("anonymize: line %d: dp parameters out of range (ε=%v δ=%v level=%d)", line, eps, delta, level)
+			// The delta range mirrors dpblock.Params: a published release
+			// always carries a concrete δ in (0, 0.5) (zero is only a
+			// config-time "use the default"), so anything else is a view
+			// the pipeline could never have produced.
+			if !(eps > 0) || !(delta > 0) || delta >= 0.5 || level < 0 {
+				return nil, fmt.Errorf("anonymize: line %d: dp parameters out of range (ε=%v δ=%v level=%d; want ε>0, δ in (0,0.5), level≥0)", line, eps, delta, level)
 			}
 			counts := []int64(nil)
 			if res.DP != nil {
 				counts = res.DP.NoisedCounts
 			}
-			res.DP = &DPInfo{Epsilon: eps, Delta: delta, Seed: seed, Level: level, NoisedCounts: counts}
+			res.DP = &DPInfo{Epsilon: eps, Delta: delta, Level: level, NoisedCounts: counts}
 		case "noised":
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("anonymize: line %d: malformed noised counts", line)
@@ -233,10 +248,13 @@ func ReadView(r io.Reader, schema *dataset.Schema) (*Result, error) {
 			return nil, fmt.Errorf("anonymize: dp view has %d noised counts for %d classes",
 				len(res.DP.NoisedCounts), len(res.Classes))
 		}
+		// A DP view on the wire is always padded: exactly the noised
+		// count of handles per class. Accepting fewer would mean the true
+		// bin size arrived alongside the noised one, voiding the release.
 		for i, c := range res.Classes {
-			if res.DP.NoisedCounts[i] < int64(len(c.Members)) {
-				return nil, fmt.Errorf("anonymize: class %d noised count %d below true size %d",
-					i, res.DP.NoisedCounts[i], len(c.Members))
+			if res.DP.NoisedCounts[i] != int64(len(c.Members)) {
+				return nil, fmt.Errorf("anonymize: class %d lists %d members for noised count %d (DP views must be padded)",
+					i, len(c.Members), res.DP.NoisedCounts[i])
 			}
 		}
 	}

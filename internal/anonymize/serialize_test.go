@@ -94,14 +94,17 @@ func TestReadViewErrors(t *testing.T) {
 		{"bad encoding", "pprl-view\t1\nqids\tage\nclass\tq:4\t0\n"},
 		{"no classes", "pprl-view\t1\nqids\tage\n"},
 		{"bad k", "pprl-view\t1\nk\tx\nqids\tage\nclass\tp:4\t0\n"},
-		{"dp arity", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\nclass\tp:4\t0\n"},
-		{"dp bad epsilon", "pprl-view\t1\nqids\tage\ndp\t0\t1e-06\t7\t2\nnoised\t1\nclass\tp:4\t0\n"},
-		{"dp bad delta", "pprl-view\t1\nqids\tage\ndp\t0.5\t1.5\t7\t2\nnoised\t1\nclass\tp:4\t0\n"},
-		{"dp without noised", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nclass\tp:4\t0\n"},
+		{"dp arity (legacy seed field)", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nnoised\t1\nclass\tp:4\t0\n"},
+		{"dp bad epsilon", "pprl-view\t1\nqids\tage\ndp\t0\t1e-06\t2\nnoised\t1\nclass\tp:4\t0\n"},
+		{"dp bad delta", "pprl-view\t1\nqids\tage\ndp\t0.5\t1.5\t2\nnoised\t1\nclass\tp:4\t0\n"},
+		{"dp delta at half", "pprl-view\t1\nqids\tage\ndp\t0.5\t0.5\t2\nnoised\t1\nclass\tp:4\t0\n"},
+		{"dp zero delta", "pprl-view\t1\nqids\tage\ndp\t0.5\t0\t2\nnoised\t1\nclass\tp:4\t0\n"},
+		{"dp without noised", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t2\nclass\tp:4\t0\n"},
 		{"noised without dp", "pprl-view\t1\nqids\tage\nnoised\t1\nclass\tp:4\t0\n"},
-		{"noised arity", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nnoised\t1,2\nclass\tp:4\t0\n"},
-		{"noised below size", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nnoised\t1\nclass\tp:4\t0,1\n"},
-		{"noised negative", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t7\t2\nnoised\t-1\nclass\tp:4\t0\n"},
+		{"noised arity", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t2\nnoised\t1,2\nclass\tp:4\t0\n"},
+		{"noised below size", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t2\nnoised\t1\nclass\tp:4\t0,1\n"},
+		{"unpadded dp view", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t2\nnoised\t3\nclass\tp:4\t0,1\n"},
+		{"noised negative", "pprl-view\t1\nqids\tage\ndp\t0.5\t1e-06\t2\nnoised\t-1\nclass\tp:4\t0\n"},
 	}
 	for _, c := range cases {
 		if _, err := ReadView(strings.NewReader(c.text), schema); err == nil {

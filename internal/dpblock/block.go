@@ -14,6 +14,15 @@ import (
 // a faithful deployment cannot tell dummies from real records, so every
 // padded slot in a candidate bin pair is an SMC comparison the budget
 // must cover.
+//
+// The dummy fields are only nonzero for in-process (unpadded) views,
+// where the engine simulates the padding cost with DummyCharger. Views
+// that crossed the wire were padded by their holders first (Pad), so
+// their member lists already equal the noised counts: the matcher's
+// accounting reads AliceDummies/BobDummies/DummyPairs as 0 and
+// CandidatePairs in the padded handle space — which is exactly the
+// matcher's view of the world, since distinguishing dummies from
+// records is what the padding prevents.
 type Accounting struct {
 	// AliceEpsilon/BobEpsilon are the two releases' budgets; the run's
 	// composed leakage bound is their sum (sequential composition over

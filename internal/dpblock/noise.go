@@ -31,8 +31,32 @@ import (
 // (seed, key) to noise ever changes so journals cannot silently mix.
 const noiseDomain = "pprl-dpblock-v1"
 
+// HolderSeed derives the noise seed one party of a distributed session
+// actually draws from, domain-separating the configured seed by role.
+// Two holders that both leave their seed at the default (or happen to
+// pick the same value) would otherwise draw identical noise for
+// identical bin keys, correlating the two releases and weakening the
+// composed guarantee; hashing the role in makes the draws independent
+// regardless of what the operators configured. The in-process engine
+// achieves the same separation arithmetically (DPSeed for Alice,
+// DPSeed+1 for Bob).
+func HolderSeed(seed int64, role string) int64 {
+	h := sha256.New()
+	h.Write([]byte(noiseDomain))
+	h.Write([]byte{2})
+	h.Write([]byte(role))
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], uint64(seed))
+	h.Write(sb[:])
+	return int64(binary.BigEndian.Uint64(h.Sum(nil)[:8]))
+}
+
 // Noise returns the deterministic padding for one bin: non-negative,
-// integral, and a pure function of (seed, binKey, ε, δ).
+// integral, and a pure function of (seed, binKey, ε, δ). The seed must
+// stay private to the holder: a recipient who learns it can recompute
+// every bin's padding and subtract it, recovering the true counts the
+// release is supposed to hide (anonymize.WriteView therefore never
+// serializes it).
 func Noise(seed int64, binKey string, epsilon, delta float64) int64 {
 	u := uniform(seed, binKey)
 	b := 1 / epsilon

@@ -8,9 +8,37 @@ import (
 	"pprl/internal/adult"
 	"pprl/internal/blocking"
 	"pprl/internal/dataset"
+	"pprl/internal/dpblock"
 	"pprl/internal/match"
 	"pprl/internal/smc"
 )
+
+// reconstructPad replays a holder's deterministic padding pass (same
+// data, same derived seed) to recover the private handle→record map the
+// holder never sent. Only a test can do this; the querying party lacks
+// the seed.
+func reconstructPad(t *testing.T, d *dataset.Dataset, hc HolderConfig, role string, qids []int) *dpblock.PadMap {
+	t.Helper()
+	binner, err := dpblock.New(dpblock.Params{
+		Epsilon: hc.Epsilon, Delta: hc.DPDelta,
+		Seed: dpblock.HolderSeed(hc.DPSeed, role), Level: hc.DPLevel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := binner.Anonymize(d, qids, hc.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dpblock.Publish(view, binner.Params()); err != nil {
+		t.Fatal(err)
+	}
+	pad, err := dpblock.Pad(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pad
+}
 
 // runLocalDPSession wires the three roles with DP-publishing holders.
 func runLocalDPSession(t *testing.T, aliceData, bobData *dataset.Dataset, cfg QueryConfig, aliceHC, bobHC HolderConfig) (*QueryResult, error) {
@@ -39,9 +67,10 @@ func runLocalDPSession(t *testing.T, aliceData, bobData *dataset.Dataset, cfg Qu
 	return res, nil
 }
 
-// TestSessionDPEndToEnd: both holders publish noised releases, the
-// querying party blocks on bin intersection, pays dummy charges, and
-// every reported match is exact.
+// TestSessionDPEndToEnd: both holders publish padded noised releases,
+// the querying party blocks on bin intersection and buys comparisons in
+// the handle space, and every reported match — translated back through
+// the holders' private pad maps — is exact.
 func TestSessionDPEndToEnd(t *testing.T) {
 	aliceData, bobData := sessionWorkload(t, 120)
 	cfg := QueryConfig{
@@ -51,9 +80,9 @@ func TestSessionDPEndToEnd(t *testing.T) {
 		Allowance: 4000,
 		KeyBits:   testKeyBits,
 	}
-	res, err := runLocalDPSession(t, aliceData, bobData, cfg,
-		HolderConfig{Epsilon: 8, DPSeed: 1},
-		HolderConfig{Epsilon: 8, DPSeed: 2})
+	aliceHC := HolderConfig{Epsilon: 8, DPSeed: 1}
+	bobHC := HolderConfig{Epsilon: 8, DPSeed: 2}
+	res, err := runLocalDPSession(t, aliceData, bobData, cfg, aliceHC, bobHC)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,20 +96,45 @@ func TestSessionDPEndToEnd(t *testing.T) {
 		t.Errorf("view methods = %q/%q", res.AliceView.Method, res.BobView.Method)
 	}
 	if res.AliceView.DP == nil || res.BobView.DP == nil {
-		t.Error("views lost their noised releases in transit")
+		t.Fatal("views lost their noised releases in transit")
 	}
-	if spent := res.Invocations + res.DPDummySpent; spent > res.Allowance {
-		t.Errorf("spent %d (real %d + dummy %d) over allowance %d",
-			spent, res.Invocations, res.DPDummySpent, res.Allowance)
+	// The wire form withholds the holder's secrets: no noise seed, and
+	// member lists stretched to exactly the noised counts so true bin
+	// sizes are not recoverable from the release.
+	if d := res.AliceView.Dummies(); d != 0 {
+		t.Errorf("alice view reveals %d dummies on the wire", d)
+	}
+	if d := res.BobView.Dummies(); d != 0 {
+		t.Errorf("bob view reveals %d dummies on the wire", d)
+	}
+	if res.AliceView.DP.Seed != 0 || res.BobView.DP.Seed != 0 {
+		t.Errorf("noise seeds crossed the wire: %d/%d", res.AliceView.DP.Seed, res.BobView.DP.Seed)
+	}
+	for i, c := range res.AliceView.Classes {
+		if int64(c.Size()) != res.AliceView.DP.NoisedCounts[i] {
+			t.Fatalf("alice class %d: %d members on the wire, published count %d",
+				i, c.Size(), res.AliceView.DP.NoisedCounts[i])
+		}
+	}
+	if res.Invocations > res.Allowance {
+		t.Errorf("spent %d over allowance %d", res.Invocations, res.Allowance)
 	}
 	if res.Invocations == 0 {
 		t.Error("no live comparisons; the test needs a real budget")
 	}
-	// Every reported match must be a true match: DP blocking emits no
-	// Match labels, so matches come only from exact SMC verdicts.
+	// Every reported match must be a true match once translated from
+	// handles back to records: DP blocking emits no Match labels and
+	// dummy handles can never satisfy the circuit, so matches come only
+	// from exact SMC verdicts on real pairs.
 	qids, err := aliceData.Schema().Resolve(cfg.QIDs)
 	if err != nil {
 		t.Fatal(err)
+	}
+	aPad := reconstructPad(t, aliceData, aliceHC, RoleAlice, qids)
+	bPad := reconstructPad(t, bobData, bobHC, RoleBob, qids)
+	if len(aPad.RecordOf) != len(res.AliceView.ClassOf) {
+		t.Fatalf("reconstructed alice pad spans %d handles, wire view %d",
+			len(aPad.RecordOf), len(res.AliceView.ClassOf))
 	}
 	rule, err := blocking.RuleFor(aliceData.Schema(), qids, cfg.Theta)
 	if err != nil {
@@ -94,16 +148,19 @@ func TestSessionDPEndToEnd(t *testing.T) {
 	for _, p := range truth {
 		trueKeys[p.Key(bobData.Len())] = true
 	}
+	keys := make([]int64, 0, len(res.Matches))
 	for _, p := range res.Matches {
-		if !trueKeys[p.Key(bobData.Len())] {
-			t.Fatalf("reported match (%d,%d) is not a true match", p.I, p.J)
+		ra, rb := aPad.RecordOf[p.I], bPad.RecordOf[p.J]
+		if ra < 0 || rb < 0 {
+			t.Fatalf("reported match (%d,%d) involves a dummy handle", p.I, p.J)
 		}
+		rec := match.Pair{I: ra, J: rb}
+		if !trueKeys[rec.Key(bobData.Len())] {
+			t.Fatalf("reported match (%d,%d) → records (%d,%d) is not a true match", p.I, p.J, ra, rb)
+		}
+		keys = append(keys, rec.Key(bobData.Len()))
 	}
 	// The match list is duplicate-free.
-	keys := make([]int64, len(res.Matches))
-	for i, p := range res.Matches {
-		keys[i] = p.Key(bobData.Len())
-	}
 	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 	for i := 1; i < len(keys); i++ {
 		if keys[i] == keys[i-1] {
@@ -128,6 +185,25 @@ func TestSessionDPMixedRefused(t *testing.T) {
 		HolderConfig{K: 8})
 	if err == nil || !strings.Contains(err.Error(), "DP release") {
 		t.Fatalf("mixed session: err = %v, want refusal", err)
+	}
+}
+
+// TestSessionDPAlwaysSpecRefused: a classifier whose every attribute is
+// unconditionally accepted matches any pair — dummies included — so a DP
+// holder must refuse it before publishing anything.
+func TestSessionDPAlwaysSpecRefused(t *testing.T) {
+	aliceData, _ := sessionWorkload(t, 30)
+	schema := aliceData.Schema()
+	qids, err := schema.Resolve(adult.DefaultQIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &smc.Spec{Scale: 1, Attrs: make([]smc.AttrSpec, len(qids))}
+	for i := range spec.Attrs {
+		spec.Attrs[i] = smc.AttrSpec{Mode: smc.ModeAlways}
+	}
+	if _, err := dpDummyRow(schema, qids, spec, true); err == nil {
+		t.Fatal("all-ModeAlways spec accepted; DP padding cannot be hidden in it")
 	}
 }
 

@@ -81,10 +81,12 @@ type HolderConfig struct {
 	// opt in — the querying party refuses mixed sessions.
 	Epsilon float64
 	// DPDelta is the truncation mass (0 selects dpblock.DefaultDelta),
-	// DPSeed this holder's noise seed (holders should pick distinct
-	// seeds), DPLevel the VGH binning depth (0 selects
-	// dpblock.DefaultLevel). The level must match the peer's or the bins
-	// never intersect.
+	// DPSeed this holder's noise seed, DPLevel the VGH binning depth (0
+	// selects dpblock.DefaultLevel). The seed is domain-separated by
+	// role (dpblock.HolderSeed) before any draw, so two holders that
+	// both leave it at the default still produce uncorrelated releases;
+	// it never crosses the wire. The level must match the peer's or the
+	// bins never intersect.
 	DPDelta float64
 	DPSeed  int64
 	DPLevel int
@@ -104,6 +106,10 @@ func RunHolder(query, peer smc.Conn, cfg HolderConfig, isAlice bool) error {
 	if cfg.Data == nil {
 		return fmt.Errorf("session: holder has no data")
 	}
+	role := RoleBob
+	if isAlice {
+		role = RoleAlice
+	}
 	dp := cfg.Epsilon != 0 || cfg.DPDelta != 0 || cfg.DPSeed != 0 || cfg.DPLevel != 0
 	var dpParams dpblock.Params
 	if dp {
@@ -111,7 +117,8 @@ func RunHolder(query, peer smc.Conn, cfg HolderConfig, isAlice bool) error {
 			return fmt.Errorf("session: holder DP parameters set without a positive epsilon")
 		}
 		binner, err := dpblock.New(dpblock.Params{
-			Epsilon: cfg.Epsilon, Delta: cfg.DPDelta, Seed: cfg.DPSeed, Level: cfg.DPLevel,
+			Epsilon: cfg.Epsilon, Delta: cfg.DPDelta,
+			Seed: dpblock.HolderSeed(cfg.DPSeed, role), Level: cfg.DPLevel,
 		})
 		if err != nil {
 			return fmt.Errorf("session: %w", err)
@@ -144,11 +151,23 @@ func RunHolder(query, peer smc.Conn, cfg HolderConfig, isAlice bool) error {
 	if err != nil {
 		return fmt.Errorf("session: anonymizing: %w", err)
 	}
+	var pad *dpblock.PadMap
+	var dummyRow []int64
 	if dp {
-		// Attach the noised bin counts before the view leaves the holder:
-		// only the padded sizes ever cross the wire.
+		// Attach the noised bin counts and pad the member lists before
+		// the view leaves the holder: the wire carries only noised sizes
+		// and permuted handles, never true bin membership, and the noise
+		// seed stays here (WriteView withholds it). The dummy SMC row is
+		// built now so a classifier that cannot host hidden padding is
+		// refused before anything is published.
 		if err := dpblock.Publish(view, dpParams); err != nil {
 			return fmt.Errorf("session: noising view: %w", err)
+		}
+		if dummyRow, err = dpDummyRow(cfg.Data.Schema(), qids, params.Spec, isAlice); err != nil {
+			return fmt.Errorf("session: %w", err)
+		}
+		if pad, err = dpblock.Pad(view); err != nil {
+			return fmt.Errorf("session: padding view: %w", err)
 		}
 	}
 	var buf bytes.Buffer
@@ -171,15 +190,38 @@ func RunHolder(query, peer smc.Conn, cfg HolderConfig, isAlice bool) error {
 			return fmt.Errorf("session: tier encoder: %w", err)
 		}
 		filters := bloom.EncodeRecords(tierEnc, cfg.Data, qids)
-		encodings := make([][]byte, len(filters))
-		for i, f := range filters {
-			encodings[i] = f.Marshal()
+		var encodings [][]byte
+		if pad == nil {
+			encodings = make([][]byte, len(filters))
+			for i, f := range filters {
+				encodings[i] = f.Marshal()
+			}
+		} else {
+			// One CLK per published handle: real handles get their
+			// record's filter, dummy handles a synthetic one whose
+			// density is drawn from the real population, so the tier
+			// release does not separate padding from records either.
+			rng := dpblock.NewPRNG(dpParams.Seed, "tier-dummy")
+			encodings = make([][]byte, len(pad.RecordOf))
+			for h, rec := range pad.RecordOf {
+				if rec >= 0 {
+					encodings[h] = filters[rec].Marshal()
+				} else {
+					encodings[h] = dpDummyFilterBytes(rng, params.Tier.M, filters)
+				}
+			}
 		}
 		if err := query.Send(&smc.Message{Kind: smc.MsgEncodings, Encodings: encodings}); err != nil {
 			return fmt.Errorf("session: publishing tier encodings: %w", err)
 		}
 	}
 	enc := smc.EncodeRecords(cfg.Data, qids, params.Spec.Scale)
+	if pad != nil {
+		// The SMC loop addresses records by published handle; dummy
+		// handles answer with the sentinel row, so a compare request
+		// against one runs the full protocol and verdicts NonMatch.
+		enc = dpPadEncodings(enc, dummyRow, pad)
+	}
 	if isAlice {
 		return smc.RunAlice(query, peer, enc, params.Spec)
 	}
@@ -278,14 +320,14 @@ type QueryResult struct {
 	// sequence counts — everything this party may inspect).
 	AliceView, BobView *anonymize.Result
 	// DP, when both holders published differentially private releases,
-	// carries the composed privacy accounting and padding costs of the
-	// DP blocking step; nil otherwise.
+	// carries the composed privacy accounting of the DP blocking step;
+	// nil otherwise. The dummy fields of a wire accounting read 0: the
+	// holders pad their releases before publishing (dpblock.Pad), so
+	// dummies arrive as ordinary handles this party cannot distinguish
+	// from records — their comparisons spend allowance at unit price
+	// like any other pair, and Matches under DP are handle pairs the
+	// holders translate back through their private PadMaps.
 	DP *dpblock.Accounting
-	// DPDummySpent is the share of the allowance charged for dummy
-	// comparisons under DP blocking: the querying party pays for the
-	// padding records it cannot distinguish from real ones, so
-	// Invocations + Resume.ReplayedAllowance + DPDummySpent ≤ Allowance.
-	DPDummySpent int64
 }
 
 // RunQuery executes the querying party: broadcast parameters, collect
@@ -501,32 +543,19 @@ func RunQuery(alice, bob smc.Conn, cfg QueryConfig) (*QueryResult, error) {
 		return nil
 	}
 	budget := allowance - res.Resume.ReplayedAllowance
-	// Under DP every purchased pair also pays its bin's dummy share (see
-	// core's resolve loop for the model): the charger interleaves each
-	// group's padding cost across its real pairs. Replayed purchases pay
-	// only their dummy share — their unit cost was consumed upfront — so
-	// a resumed session's total spend equals an uninterrupted one's. Once
-	// the remaining budget cannot cover a purchase plus its dummies, no
-	// further pairs are bought (tier scanning may continue for free).
-	var charger dpblock.DummyCharger
+	// Under DP the member lists this party iterates are already padded by
+	// the holders, so the dummy comparisons DummyCharger models in the
+	// in-process engine happen here as ordinary pairs: every purchase
+	// costs exactly one unit, and which of them paid for padding is
+	// something only the holders know.
 	budgetDone := false
 groups:
 	for _, gp := range ordered {
-		if dp {
-			charger = dpblock.NewDummyCharger(
-				int64(aView.Classes[gp.RI].Size()), aView.DP.NoisedCounts[gp.RI],
-				int64(bView.Classes[gp.SI].Size()), bView.DP.NoisedCounts[gp.SI])
-		}
 		for _, i := range aView.Classes[gp.RI].Members {
 			for _, j := range bView.Classes[gp.SI].Members {
 				// Already purchased by the interrupted session; applied
 				// upfront above, never re-bought.
 				if _, ok := replayed[[2]int{i, j}]; ok {
-					if dp {
-						d := charger.Next()
-						budget -= d
-						res.DPDummySpent += d
-					}
 					continue
 				}
 				// The triage tier labels the confident bands for free;
@@ -558,19 +587,14 @@ groups:
 					// bands even though the budget is gone.
 					continue
 				}
-				cost := int64(1)
-				if dp {
-					cost += charger.Next()
-				}
-				if budget < cost {
+				if budget < 1 {
 					budgetDone = true
 					if cfg.Tier == nil {
 						break groups
 					}
 					continue
 				}
-				budget -= cost
-				res.DPDummySpent += cost - 1
+				budget--
 				pairs = append(pairs, [2]int{i, j})
 				if len(pairs) == chunk {
 					if err := flush(); err != nil {
