@@ -4,9 +4,9 @@ GO ?= go
 # How long `make fuzz` spends per fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke tier-smoke dp-smoke bench-smoke distributed-smoke
+.PHONY: check build binaries vet test race fuzz crash restart bench perf blocking-smoke tier-smoke dp-smoke bench-smoke distributed-smoke incremental-smoke
 
-check: build binaries vet test race crash restart fuzz blocking-smoke tier-smoke dp-smoke bench-smoke distributed-smoke
+check: build binaries vet test race crash restart fuzz blocking-smoke tier-smoke dp-smoke bench-smoke distributed-smoke incremental-smoke
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,15 @@ dp-smoke:
 	$(GO) run ./cmd/pprl-bench -exp dp -records 600
 	$(GO) test -run '^TestRunDPJSON$$' -count=1 ./cmd/pprl-bench
 
+# Incremental appends vs from-scratch re-runs at a smoke scale (the run
+# hard-fails on any verdict divergence between the arms), the golden-
+# schema test over the emitted BENCH_incremental report, and the
+# service-level live-dataset crash/replay smoke under the race detector.
+incremental-smoke:
+	$(GO) run ./cmd/pprl-bench -exp incremental -records 600
+	$(GO) test -run '^TestRunIncrementalJSON$$' -count=1 ./cmd/pprl-bench
+	$(GO) test -race -count=1 -run '^TestService(IncrementalSmoke|DedupDataset)$$' ./internal/service
+
 # One-iteration compile-and-run of every crypto micro-benchmark: keeps
 # the paillier kernels and the SMC engine benches from bit-rotting
 # without paying for a real measurement run.
@@ -89,10 +98,12 @@ bench:
 	$(GO) run ./cmd/pprl-bench -exp blocking -json
 
 # Machine-readable engine reports (BENCH_smc.json, BENCH_blocking.json,
-# BENCH_tier.json, BENCH_dp.json, BENCH_distributed.json).
+# BENCH_tier.json, BENCH_dp.json, BENCH_distributed.json,
+# BENCH_incremental.json).
 perf:
 	$(GO) run ./cmd/pprl-bench -exp smcperf -json
 	$(GO) run ./cmd/pprl-bench -exp blocking -json
 	$(GO) run ./cmd/pprl-bench -exp tier -json
 	$(GO) run ./cmd/pprl-bench -exp dp -json
 	$(GO) run ./cmd/pprl-bench -exp distributed -json
+	$(GO) run ./cmd/pprl-bench -exp incremental -json

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunIncrementalJSON: -json with the incremental artifact must write
+// a parseable appends-vs-re-runs report to the -incremental-out path,
+// with the contract invariants visible in the numbers: both arms agreed
+// on the verdict count (the experiment hard-fails otherwise), the
+// incremental arm never purchases more than the re-run arm, and the
+// amortized figures are consistent with the totals.
+func TestRunIncrementalJSON(t *testing.T) {
+	incrOut := filepath.Join(t.TempDir(), "BENCH_incremental.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "incremental", 240, false, 3, true, 512, "", "", "", "", 24, "", incrOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(incrOut)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Theta  float64 `json:"theta"`
+		Seed   int64   `json:"seed"`
+		Points []struct {
+			Records       int     `json:"records"`
+			Alice         int     `json:"alice_records"`
+			Bob           int     `json:"bob_records"`
+			Batches       int     `json:"batches_per_side"`
+			Deltas        int     `json:"deltas"`
+			IncrPurchased int64   `json:"incremental_purchased"`
+			RerunBought   int64   `json:"rerun_purchased"`
+			IncrPerRecord float64 `json:"incremental_purchased_per_record"`
+			Savings       float64 `json:"purchase_savings"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Theta <= 0 || rep.Seed == 0 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("-records overrides the size sweep with one point; got %d", len(rep.Points))
+	}
+	pt := rep.Points[0]
+	if pt.Records != 240 || pt.Alice <= 0 || pt.Bob <= 0 || pt.Batches <= 1 {
+		t.Errorf("point header wrong: %+v", pt)
+	}
+	if pt.Deltas <= 0 {
+		t.Error("overlapping split produced no matches")
+	}
+	if pt.IncrPurchased > pt.RerunBought {
+		t.Errorf("incremental arm purchased %d, more than the %d of re-running every prefix", pt.IncrPurchased, pt.RerunBought)
+	}
+	wantPer := float64(pt.IncrPurchased) / float64(pt.Alice+pt.Bob)
+	if diff := pt.IncrPerRecord - wantPer; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("amortized figure %v inconsistent with totals (want %v)", pt.IncrPerRecord, wantPer)
+	}
+	if pt.Savings < 1 {
+		t.Errorf("purchase savings %v < 1: re-running from scratch cannot be cheaper", pt.Savings)
+	}
+	if !strings.Contains(buf.String(), "incremental appends vs from-scratch re-runs") {
+		t.Error("incremental table missing from output")
+	}
+}

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, tier, dp, distributed, example, or all")
+		exps        = flag.String("exp", "all", "comma-separated artifact IDs: fig2..fig8, strategies, anonymizers, baselines, diversity, strings, bloom, timing, smcperf, blocking, tier, dp, distributed, incremental, example, or all")
 		records     = flag.Int("records", 0, "workload size (records before the overlap split); 0 = default 1800")
 		full        = flag.Bool("full", false, "paper-scale workload: 30,162 records (slow)")
 		seed        = flag.Int64("seed", 0, "workload seed; 0 = default")
@@ -35,15 +35,16 @@ func main() {
 		dpOut       = flag.String("dp-out", "BENCH_dp.json", "dp: path of the machine-readable benchmark report (with -json)")
 		distPairs   = flag.Int("dist-pairs", 256, "distributed: SMC comparisons striped across each fleet size")
 		distOut     = flag.String("distributed-out", "BENCH_distributed.json", "distributed: path of the machine-readable benchmark report (with -json)")
+		incrOut     = flag.String("incremental-out", "BENCH_incremental.json", "incremental: path of the machine-readable benchmark report (with -json)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut, *tierOut, *dpOut, *distPairs, *distOut); err != nil {
+	if err := run(os.Stdout, *exps, *records, *full, *seed, *asJSON, *perfBits, *perfOut, *blockingOut, *tierOut, *dpOut, *distPairs, *distOut, *incrOut); err != nil {
 		fmt.Fprintln(os.Stderr, "pprl-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut, tierOut, dpOut string, distPairs int, distOut string) error {
+func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON bool, perfBits int, perfOut, blockingOut, tierOut, dpOut string, distPairs int, distOut, incrOut string) error {
 	render := func(t *experiment.Table) error {
 		if asJSON {
 			return t.RenderJSON(out)
@@ -247,6 +248,29 @@ func run(out io.Writer, exps string, records int, full bool, seed int64, asJSON 
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "distributed: report written to %s\n", distOut)
+		}
+	}
+	if want("incremental") {
+		rep, t, err := experiment.IncrementalPerf(opts)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if asJSON && incrOut != "" {
+			f, err := os.Create(incrOut)
+			if err != nil {
+				return fmt.Errorf("incremental: %w", err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("incremental: writing report: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "incremental: report written to %s\n", incrOut)
 		}
 	}
 	return nil

@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden file")
 // `go test ./cmd/pprl-bench -run Golden -update`.
 func TestGoldenOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, 512, "", "", "", "", 24, ""); err != nil {
+	if err := run(&buf, "example,fig2,fig3,fig8,strategies,baselines", 600, false, 0, false, 512, "", "", "", "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "golden.txt")
@@ -44,7 +44,7 @@ func TestGoldenOutput(t *testing.T) {
 
 func TestRunSelectedArtifacts(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "example,fig3", 240, false, 3, false, 512, "", "", "", "", 24, ""); err != nil {
+	if err := run(&buf, "example,fig3", 240, false, 3, false, 512, "", "", "", "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -61,7 +61,7 @@ func TestRunSelectedArtifacts(t *testing.T) {
 
 func TestRunFig6And7Selection(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig7", 240, false, 3, false, 512, "", "", "", "", 24, ""); err != nil {
+	if err := run(&buf, "fig7", 240, false, 3, false, 512, "", "", "", "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -72,7 +72,7 @@ func TestRunFig6And7Selection(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", 240, false, 3, true, 512, "", "", "", "", 24, ""); err != nil {
+	if err := run(&buf, "fig3", 240, false, 3, true, 512, "", "", "", "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	var tab struct {
@@ -90,7 +90,7 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunBaselines(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "baselines", 240, false, 3, false, 512, "", "", "", "", 24, ""); err != nil {
+	if err := run(&buf, "baselines", 240, false, 3, false, 512, "", "", "", "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "pure SMC") {
@@ -103,7 +103,7 @@ func TestRunBaselines(t *testing.T) {
 func TestRunSMCPerfJSON(t *testing.T) {
 	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "smcperf", 240, false, 3, true, 512, perfOut, "", "", "", 24, ""); err != nil {
+	if err := run(&buf, "smcperf", 240, false, 3, true, 512, perfOut, "", "", "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(perfOut)
@@ -168,7 +168,7 @@ func TestRunSMCPerfJSON(t *testing.T) {
 func TestRunBlockingJSON(t *testing.T) {
 	blockingOut := filepath.Join(t.TempDir(), "BENCH_blocking.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "blocking", 240, false, 3, true, 512, "", blockingOut, "", "", 24, ""); err != nil {
+	if err := run(&buf, "blocking", 240, false, 3, true, 512, "", blockingOut, "", "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(blockingOut)
@@ -207,7 +207,7 @@ func TestRunBlockingJSON(t *testing.T) {
 func TestRunTierJSON(t *testing.T) {
 	tierOut := filepath.Join(t.TempDir(), "BENCH_tier.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "tier", 240, false, 3, true, 512, "", "", tierOut, "", 24, ""); err != nil {
+	if err := run(&buf, "tier", 240, false, 3, true, 512, "", "", tierOut, "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(tierOut)
@@ -262,7 +262,7 @@ func TestRunTierJSON(t *testing.T) {
 func TestRunSMCPerfTextNoFile(t *testing.T) {
 	perfOut := filepath.Join(t.TempDir(), "BENCH_smc.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "smcperf", 240, false, 3, false, 512, perfOut, "", "", "", 24, ""); err != nil {
+	if err := run(&buf, "smcperf", 240, false, 3, false, 512, perfOut, "", "", "", 24, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(perfOut); err == nil {
@@ -278,7 +278,7 @@ func TestRunSMCPerfTextNoFile(t *testing.T) {
 func TestRunDistributedJSON(t *testing.T) {
 	distOut := filepath.Join(t.TempDir(), "BENCH_distributed.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "distributed", 120, false, 3, true, 64, "", "", "", "", 24, distOut); err != nil {
+	if err := run(&buf, "distributed", 120, false, 3, true, 64, "", "", "", "", 24, distOut, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(distOut)

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"pprl"
+	"pprl/internal/blocking"
+	"pprl/internal/cliutil"
+	"pprl/internal/incremental"
+	"pprl/internal/journal"
+	"pprl/internal/metrics"
+	"pprl/internal/oracle"
+)
+
+// runDedup links one relation against itself through the incremental
+// engine: unordered pairs i < j, self-pairs excluded, same slack rule
+// and SMC cost model as the two-party pipeline. The -allowance fraction
+// is taken of the n(n-1)/2 unordered pair space.
+func runDedup(out io.Writer, opts options) error {
+	if opts.bPath != "" {
+		return fmt.Errorf("-dedup links -a against itself; -b is not allowed")
+	}
+	if opts.anonName != "" || opts.epsilon != 0 {
+		return fmt.Errorf("-dedup uses fixed-level binning (-level); -anon and -epsilon do not apply")
+	}
+	if len(opts.workers) > 0 {
+		return fmt.Errorf("-dedup does not stripe across a worker fleet")
+	}
+	schema, err := loadSchema(opts.schemaPath)
+	if err != nil {
+		return err
+	}
+	data, err := readCSV(schema, opts.aPath)
+	if err != nil {
+		return err
+	}
+	n := int64(data.Len())
+	allowance := int64(opts.allowance * float64(n*(n-1)/2))
+
+	cfg := incremental.Config{
+		QIDs:      strings.Split(opts.qids, ","),
+		Theta:     opts.theta,
+		Level:     opts.level,
+		Allowance: allowance,
+		Dedup:     true,
+	}
+	if cfg.Heuristic, err = cliutil.HeuristicByName(opts.heurName); err != nil {
+		return err
+	}
+	if cfg.Strategy, err = cliutil.StrategyByName(opts.strategy); err != nil {
+		return err
+	}
+	if cfg.Tier, err = cliutil.TierModeByName(opts.tier); err != nil {
+		return err
+	}
+	cfg.TierHigh, cfg.TierLow = opts.tierHigh, opts.tierLow
+	if opts.secure {
+		cfg.Comparator = pprl.SecureComparatorFactory(opts.keyBits)
+	}
+	cfg.SMCWorkers = opts.smcWorkers
+	if cfg.SMCPacking, err = cliutil.PackingModeByName(opts.packing); err != nil {
+		return err
+	}
+
+	switch {
+	case opts.journalPath != "":
+		w, err := journal.Create(opts.journalPath, journal.Options{SyncEvery: opts.journalSync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		cfg.Journal = w
+	case opts.resumePath != "":
+		w, err := journal.Resume(opts.resumePath, journal.Options{SyncEvery: opts.journalSync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		cfg.Journal = w
+		cfg.Recovered = w.Recovered()
+	}
+
+	eng, err := incremental.New(schema, cfg)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Append(0, data.Records())
+	if err != nil {
+		return err
+	}
+	stats := eng.Stats()
+
+	var conf *metrics.Confusion
+	var truthPairs int
+	if opts.eval {
+		c, truth, err := dedupEvaluate(data, cfg.QIDs, opts.theta, res.Deltas)
+		if err != nil {
+			return err
+		}
+		conf, truthPairs = c, truth
+	}
+
+	if opts.jsonOut {
+		doc := struct {
+			Dedup      bool                `json:"dedup"`
+			Records    int                 `json:"records"`
+			Allowance  int64               `json:"allowance"`
+			Stats      incremental.Stats   `json:"stats"`
+			Evaluation *metrics.Confusion  `json:"evaluation,omitempty"`
+			TruthPairs *int                `json:"truth_pairs,omitempty"`
+			Matches    []incremental.Delta `json:"matches,omitempty"`
+		}{Dedup: true, Records: data.Len(), Allowance: allowance, Stats: stats}
+		if conf != nil {
+			doc.Evaluation = conf
+			doc.TruthPairs = &truthPairs
+		}
+		if opts.showPairs {
+			doc.Matches = res.Deltas
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Fprintf(out, "dedup: records=%d bins=%d matched-pairs=%d allowance=%d used=%d purchased=%d replayed=%d\n",
+		data.Len(), stats.Bins[0], stats.Deltas, allowance, stats.Used, stats.Purchased, stats.Replayed)
+	fmt.Fprintf(out, "labels: blocking=%d tier=%d residual=%d purchased=%d\n",
+		stats.BlockingMatches, stats.TierMatches, stats.ResidualMatches,
+		int64(stats.Deltas)-stats.BlockingMatches-stats.TierMatches-stats.ResidualMatches)
+	if conf != nil {
+		fmt.Fprintf(out, "evaluation: %v (|truth|=%d)\n", *conf, truthPairs)
+	}
+	if opts.showPairs {
+		w := bufio.NewWriter(out)
+		defer w.Flush()
+		for _, d := range res.Deltas {
+			fmt.Fprintf(w, "%d\t%d\n", d.AliceID, d.BobID)
+		}
+	}
+	return nil
+}
+
+// dedupEvaluate scores the emitted pairs against the exact decision rule
+// over the unordered pair space — computable here because this command
+// holds the (single) file.
+func dedupEvaluate(data *pprl.Dataset, qidNames []string, theta float64, deltas []incremental.Delta) (*metrics.Confusion, int, error) {
+	schema := data.Schema()
+	qids, err := schema.Resolve(qidNames)
+	if err != nil {
+		return nil, 0, err
+	}
+	rule, err := blocking.RuleFor(schema, qids, theta)
+	if err != nil {
+		return nil, 0, err
+	}
+	orc, err := oracle.New(data, data, qids, rule)
+	if err != nil {
+		return nil, 0, err
+	}
+	matched := make(map[[2]int]bool, len(deltas))
+	for _, d := range deltas {
+		matched[[2]int{d.I, d.J}] = true
+	}
+	var conf metrics.Confusion
+	truth := 0
+	for i := 0; i < data.Len(); i++ {
+		for j := i + 1; j < data.Len(); j++ {
+			want := orc.Matches(i, j)
+			got := matched[[2]int{i, j}]
+			if want {
+				truth++
+			}
+			switch {
+			case want && got:
+				conf.TruePositives++
+			case !want && got:
+				conf.FalsePositives++
+			case want && !got:
+				conf.FalseNegatives++
+			}
+		}
+	}
+	return &conf, truth, nil
+}

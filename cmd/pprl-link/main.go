@@ -29,6 +29,13 @@
 // exit; -resume replays the purchased verdicts and spends only the
 // remaining allowance. A resume with changed flags or changed input files
 // is refused.
+//
+// -dedup links one file against itself (duplicate detection inside a
+// single relation) through the incremental engine: unordered pairs
+// i < j, self-pairs excluded, the -allowance fraction taken of the
+// n(n-1)/2 unordered pair space:
+//
+//	pprl-link -dedup -a data.csv -pairs
 package main
 
 import (
@@ -84,6 +91,10 @@ type options struct {
 	tier      string
 	tierHigh  float64
 	tierLow   float64
+	// dedup links -a against itself through the incremental engine
+	// (unordered pairs i < j); level is its fixed binning depth.
+	dedup     bool
+	level     int
 	eval      bool
 	showPairs bool
 	jsonOut   bool
@@ -121,6 +132,8 @@ func main() {
 	flag.StringVar(&opts.tier, "tier", "off", "triage tier between blocking and SMC: off or bloom (Dice over CLK encodings)")
 	flag.Float64Var(&opts.tierHigh, "tier-high", 0, "tier Dice threshold for Match (0 = default 0.95)")
 	flag.Float64Var(&opts.tierLow, "tier-low", 0, "tier Dice threshold for NonMatch (0 = default 0.60)")
+	flag.BoolVar(&opts.dedup, "dedup", false, "deduplicate -a against itself (unordered pairs; -b not allowed)")
+	flag.IntVar(&opts.level, "level", 0, "fixed binning depth for -dedup (0 = default)")
 	flag.BoolVar(&opts.eval, "eval", false, "score against exact ground truth (requires both files, which this command has)")
 	flag.BoolVar(&opts.showPairs, "pairs", false, "print matched entity-ID pairs")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit one machine-readable JSON document instead of text")
@@ -158,7 +171,7 @@ func main() {
 }
 
 func run(out io.Writer, opts options) error {
-	if opts.aPath == "" || opts.bPath == "" {
+	if opts.aPath == "" || (opts.bPath == "" && !opts.dedup) {
 		return fmt.Errorf("-a and -b are required")
 	}
 	if opts.journalPath != "" && opts.resumePath != "" {
@@ -174,6 +187,12 @@ func run(out io.Writer, opts options) error {
 	}
 	if err := cliutil.TierBand(opts.tierLow, opts.tierHigh); err != nil {
 		return err
+	}
+	if opts.dedup {
+		return runDedup(out, opts)
+	}
+	if opts.level != 0 {
+		return fmt.Errorf("-level applies only to -dedup")
 	}
 	dp := cliutil.IsDPName(opts.anonName)
 	if dp && opts.epsilon == 0 {

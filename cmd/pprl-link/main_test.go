@@ -252,3 +252,59 @@ func TestRunLinkTier(t *testing.T) {
 		t.Errorf("bad -tier accepted: %v", err)
 	}
 }
+
+// TestRunLinkDedup: -dedup links one relation against itself through
+// the incremental engine and the emitted unordered pairs match the
+// exact rule (ample allowance, perfect evaluation).
+func TestRunLinkDedup(t *testing.T) {
+	a, _ := writePair(t)
+	var buf bytes.Buffer
+	opts := baseOpts(a, "")
+	opts.dedup = true
+	opts.allowance = 0.5 // ample over n(n-1)/2
+	opts.eval = true
+	opts.jsonOut = true
+	opts.showPairs = true
+	if err := run(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Dedup      bool `json:"dedup"`
+		Records    int  `json:"records"`
+		Evaluation *struct {
+			FalsePositives int64
+			FalseNegatives int64
+		} `json:"evaluation"`
+		TruthPairs int        `json:"truth_pairs"`
+		Matches    [][]int    `json:"-"`
+		RawMatches []struct { I, J int } `json:"matches"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if !doc.Dedup || doc.Records == 0 {
+		t.Fatalf("dedup doc malformed: %s", buf.String())
+	}
+	if doc.Evaluation == nil {
+		t.Fatal("dedup -eval emitted no evaluation")
+	}
+	if doc.Evaluation.FalsePositives != 0 || doc.Evaluation.FalseNegatives != 0 {
+		t.Errorf("ample-allowance dedup is not exact: %+v (|truth|=%d)", doc.Evaluation, doc.TruthPairs)
+	}
+	for _, m := range doc.RawMatches {
+		if m.I >= m.J {
+			t.Errorf("dedup pair (%d,%d) not normalized to i < j", m.I, m.J)
+		}
+	}
+
+	// Guard rails.
+	if err := run(nil, func() options { o := baseOpts(a, a); o.dedup = true; return o }()); err == nil {
+		t.Error("-dedup with -b should fail")
+	}
+	if err := run(nil, func() options { o := baseOpts(a, ""); o.dedup = true; o.epsilon = 1; return o }()); err == nil {
+		t.Error("-dedup with -epsilon should fail")
+	}
+	if err := run(nil, func() options { o := baseOpts(a, a); o.level = 2; return o }()); err == nil {
+		t.Error("-level without -dedup should fail")
+	}
+}

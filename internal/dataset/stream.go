@@ -76,6 +76,17 @@ func (p *csvParser) next() (rec Record, ok bool, err error) {
 			return Record{}, false, fmt.Errorf("dataset: reading CSV row %d: %w", p.rowNum, err)
 		}
 		p.rowNum++
+		// FieldsPerRecord is -1 (headers may omit entity/class columns),
+		// so a truncated trailing row arrives short instead of erroring
+		// in the csv layer; reject it before any cell access.
+		for _, col := range p.colFor {
+			if col >= len(row) {
+				return Record{}, false, fmt.Errorf("dataset: row %d: %d columns, need at least %d", p.rowNum, len(row), col+1)
+			}
+		}
+		if p.entityCol >= len(row) {
+			return Record{}, false, fmt.Errorf("dataset: row %d: %d columns, entity_id column is %d", p.rowNum, len(row), p.entityCol+1)
+		}
 		if p.dropMissing {
 			skip := false
 			for _, col := range p.colFor {

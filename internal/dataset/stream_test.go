@@ -143,3 +143,93 @@ func TestStreamErrors(t *testing.T) {
 		t.Errorf("stream recovered after error: %v", err)
 	}
 }
+
+// TestOpenStreamEdgeCases pins the stream's behavior at the input
+// boundaries a live ingest path actually hits: empty files, header-only
+// files, a chunk boundary landing exactly on EOF, and a truncated
+// trailing row (a partial append caught mid-write).
+func TestOpenStreamEdgeCases(t *testing.T) {
+	s := testSchema(t)
+	write := func(content string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "rel.csv")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Empty file: no header to resolve, so OpenStream itself fails (and
+	// must not leak the file handle — Close is never reachable).
+	if _, err := OpenStream(s, write(""), StreamOptions{}); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Errorf("empty file: err = %v, want header error", err)
+	}
+
+	// Header-only file: a valid, zero-record relation. The first Next is
+	// already EOF and ReadAll materializes an empty dataset.
+	st, err := OpenStream(s, write("education,hours\n"), StreamOptions{})
+	if err != nil {
+		t.Fatalf("header-only file rejected: %v", err)
+	}
+	if _, err := st.Next(); err != io.EOF {
+		t.Errorf("header-only Next: %v, want io.EOF", err)
+	}
+	if st.Dropped() != 0 {
+		t.Errorf("header-only stream dropped %d rows", st.Dropped())
+	}
+	st.Close()
+	st, err = OpenStream(s, write("education,hours\n"), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := st.ReadAll()
+	if err != nil || d.Len() != 0 {
+		t.Errorf("header-only ReadAll: %d records, err %v", d.Len(), err)
+	}
+	st.Close()
+
+	// Record count an exact multiple of the chunk size: every chunk is
+	// full and EOF arrives on its own call, not inside a short chunk.
+	st, err = OpenStream(s, write(streamCSV(12, false)), StreamOptions{ChunkRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 3; i++ {
+		chunk, err := st.Next()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if len(chunk) != 4 {
+			t.Fatalf("chunk %d holds %d records, want 4", i, len(chunk))
+		}
+	}
+	if _, err := st.Next(); err != io.EOF {
+		t.Errorf("chunk-aligned EOF: %v, want io.EOF", err)
+	}
+
+	// Truncated trailing row: fewer columns than the schema needs must be
+	// a row-numbered error, not a panic, and the stream stays failed.
+	st, err = OpenStream(s, write("education,hours\nBachelors,5\nMasters\n"), StreamOptions{ChunkRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Next(); err == nil || !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("truncated row: err = %v, want row-numbered error", err)
+	}
+	if _, err := st.Next(); err == nil || err == io.EOF {
+		t.Errorf("stream recovered after truncated row: %v", err)
+	}
+
+	// Same truncation with an entity_id header: the id column itself is
+	// the one missing from the short row.
+	st2, err := OpenStream(s, write("education,hours,entity_id\nBachelors,5,7\nMasters,3\n"), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Next(); err == nil || !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("missing entity_id cell: err = %v, want row-numbered error", err)
+	}
+}

@@ -82,7 +82,7 @@ func Block(a, b *anonymize.Result, rule *blocking.Rule) (*blocking.Result, *Acco
 	var candidatePairs int64
 	for ri, rc := range a.Classes {
 		for si, sc := range b.Classes {
-			if !sequencesIntersect(rc.Sequence, sc.Sequence) {
+			if !SequencesIntersect(rc.Sequence, sc.Sequence) {
 				continue
 			}
 			builder.Observe(ri, si, blocking.Unknown)
@@ -107,12 +107,13 @@ func Block(a, b *anonymize.Result, rule *blocking.Rule) (*blocking.Result, *Acco
 	return builder.Result(stats), acct, nil
 }
 
-// sequencesIntersect reports whether two bins share at least one concrete
+// SequencesIntersect reports whether two bins share at least one concrete
 // record value on every attribute. With both holders binning at the same
 // depth this degenerates to bin-key equality (sibling bins never share
 // values); the general form also handles releases binned at different
-// depths.
-func sequencesIntersect(a, b vgh.Sequence) bool {
+// depths. Exported for the incremental engine, whose DP mode labels
+// candidate bin pairs with exactly this predicate.
+func SequencesIntersect(a, b vgh.Sequence) bool {
 	for j := range a {
 		av, bv := a[j], b[j]
 		if av.IsCategorical() != bv.IsCategorical() {

@@ -21,6 +21,17 @@ func NewDummyCharger(realA, noisedA, realB, noisedB int64) DummyCharger {
 	return DummyCharger{real: real, extra: noisedA*noisedB - real}
 }
 
+// NewDeltaCharger sizes a charger directly from a real-pair count and a
+// dummy surplus, for callers that compute the pair arithmetic themselves.
+// The incremental engine uses it to telescope DP padding cost across
+// append batches: each batch charges only the surplus the new records
+// added (excess-now minus excess-already-charged), spread over that
+// batch's new real pairs, so the per-batch charges sum exactly to the
+// frozen run's dummy spend.
+func NewDeltaCharger(real, extra int64) DummyCharger {
+	return DummyCharger{real: real, extra: extra}
+}
+
 // Next advances one real purchase and returns the dummy comparisons to
 // charge along with it.
 func (c *DummyCharger) Next() int64 {

@@ -22,7 +22,6 @@ import (
 
 	"pprl/internal/anonymize"
 	"pprl/internal/dataset"
-	"pprl/internal/vgh"
 )
 
 // MethodName is the anonymizer name DP-binned views are published under.
@@ -112,33 +111,9 @@ func (b *Binner) Name() string { return MethodName }
 // 1 — DP mode makes no class-size promise — and carries no DP release
 // info yet; Publish attaches the noised counts.
 func (b *Binner) Anonymize(d *dataset.Dataset, qids []int, k int) (*anonymize.Result, error) {
-	if d.Len() == 0 {
-		return nil, fmt.Errorf("dpblock: empty dataset")
-	}
-	if len(qids) == 0 {
-		return nil, fmt.Errorf("dpblock: empty quasi-identifier set")
-	}
-	for _, q := range qids {
-		if q < 0 || q >= d.Schema().Len() {
-			return nil, fmt.Errorf("dpblock: QID index %d out of range", q)
-		}
-	}
-	seqs := make([]vgh.Sequence, d.Len())
-	for i := 0; i < d.Len(); i++ {
-		rec := d.Record(i)
-		seq := make(vgh.Sequence, len(qids))
-		for j, q := range qids {
-			attr := d.Schema().Attr(q)
-			switch attr.Kind {
-			case dataset.Categorical:
-				seq[j] = vgh.CatValue(attr.Hierarchy.GeneralizeToDepth(rec.Cells[q].Node, b.p.Level))
-			case dataset.Continuous:
-				seq[j] = vgh.NumValue(attr.Intervals.At(rec.Cells[q].Num, b.p.Level))
-			default:
-				return nil, fmt.Errorf("dpblock: attribute %q has unknown kind", attr.Name)
-			}
-		}
-		seqs[i] = seq
+	seqs, err := binSequences(d, qids, b.p.Level)
+	if err != nil {
+		return nil, err
 	}
 	return anonymize.BuildResult(MethodName, 1, qids, seqs, nil), nil
 }

@@ -181,7 +181,7 @@ func TestBlockIntersection(t *testing.T) {
 		for j := 0; j < bob.Len(); j += 41 {
 			ri, si := aView.ClassOf[i], bView.ClassOf[j]
 			want := blocking.NonMatch
-			if sequencesIntersect(aView.Classes[ri].Sequence, bView.Classes[si].Sequence) {
+			if SequencesIntersect(aView.Classes[ri].Sequence, bView.Classes[si].Sequence) {
 				want = blocking.Unknown
 			}
 			if got := res.Label(ri, si); got != want {

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pprl/internal/adult"
+	"pprl/internal/core"
+	"pprl/internal/dataset"
+	"pprl/internal/dpblock"
+	"pprl/internal/incremental"
+)
+
+// incrementalAmple is the absolute allowance both arms run under: large
+// enough that every residual pair is purchasable, so the two arms emit
+// identical verdicts and the comparison isolates orchestration cost.
+const incrementalAmple = int64(1) << 30
+
+// IncrementalPerfPoint is one workload size of the incremental
+// benchmark: a live dataset absorbing the same records in B appended
+// batches per side, measured against re-running the frozen pipeline
+// from scratch on every union prefix (the only alternative a system
+// without delta emission has).
+type IncrementalPerfPoint struct {
+	Records int `json:"records"`
+	Alice   int `json:"alice_records"`
+	Bob     int `json:"bob_records"`
+	Batches int `json:"batches_per_side"`
+	Deltas  int `json:"deltas"`
+
+	// Incremental arm: one engine, 2B appends, no replay.
+	IncrementalPurchased int64   `json:"incremental_purchased"`
+	IncrementalMillis    float64 `json:"incremental_millis"`
+
+	// Re-run arm: B from-scratch frozen runs over growing prefixes.
+	RerunPurchased int64   `json:"rerun_purchased"`
+	RerunMillis    float64 `json:"rerun_millis"`
+
+	// Amortized cost per appended record (both sides counted).
+	IncrementalPurchasedPerRecord float64 `json:"incremental_purchased_per_record"`
+	RerunPurchasedPerRecord       float64 `json:"rerun_purchased_per_record"`
+	IncrementalMicrosPerRecord    float64 `json:"incremental_micros_per_record"`
+	RerunMicrosPerRecord          float64 `json:"rerun_micros_per_record"`
+
+	// PurchaseSavings is rerun_purchased / incremental_purchased — how
+	// many times over the re-run strategy pays for the same verdicts.
+	PurchaseSavings float64 `json:"purchase_savings"`
+}
+
+// IncrementalPerfReport is the machine-readable benchmark `pprl-bench
+// -exp incremental -json` writes to BENCH_incremental.json.
+type IncrementalPerfReport struct {
+	Theta  float64                `json:"theta"`
+	Level  int                    `json:"level"`
+	Seed   int64                  `json:"seed"`
+	Points []IncrementalPerfPoint `json:"points"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *IncrementalPerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// incrementalBatches is the per-side append count: enough steps that the
+// prefix re-runs dominate honestly, few enough that the benchmark stays
+// in seconds at the 10k point.
+const incrementalBatches = 8
+
+// IncrementalPerf measures the amortized cost of absorbing appends
+// through the incremental engine against re-running the frozen pipeline
+// on every union prefix. Both arms use fixed-level binning, the same
+// rule, and an ample allowance, so they emit identical verdicts and the
+// numbers compare orchestration cost alone. Default sizes follow the
+// roadmap's N=1k/10k; -records overrides with a single custom size.
+func IncrementalPerf(opts Options) (*IncrementalPerfReport, *Table, error) {
+	sizes := []int{1000, 10000}
+	if opts.Records != 0 {
+		sizes = []int{opts.Records}
+	}
+	o := opts.withDefaults()
+
+	rep := &IncrementalPerfReport{Theta: o.Theta, Seed: o.Seed}
+	for _, n := range sizes {
+		pt, err := incrementalPoint(n, o)
+		if err != nil {
+			return nil, nil, fmt.Errorf("incremental: N=%d: %w", n, err)
+		}
+		rep.Points = append(rep.Points, *pt)
+	}
+
+	t := &Table{
+		ID: "incremental",
+		Title: fmt.Sprintf("incremental appends vs from-scratch re-runs (Adult, θ=%.2f, %d batches/side, ample allowance)",
+			o.Theta, incrementalBatches),
+		Columns: []string{"records", "deltas", "incr purchased", "rerun purchased", "savings", "incr µs/rec", "rerun µs/rec"},
+	}
+	for _, pt := range rep.Points {
+		t.AddRow(
+			fmt.Sprintf("%d", pt.Records),
+			fmt.Sprintf("%d", pt.Deltas),
+			fmt.Sprintf("%d", pt.IncrementalPurchased),
+			fmt.Sprintf("%d", pt.RerunPurchased),
+			fmt.Sprintf("%.1f×", pt.PurchaseSavings),
+			fmt.Sprintf("%.1f", pt.IncrementalMicrosPerRecord),
+			fmt.Sprintf("%.1f", pt.RerunMicrosPerRecord),
+		)
+	}
+	return rep, t, nil
+}
+
+// incrementalPoint runs both arms at one workload size.
+func incrementalPoint(n int, o Options) (*IncrementalPerfPoint, error) {
+	full := adult.Generate(n, o.Seed)
+	alice, bob := dataset.SplitOverlap(full, rand.New(rand.NewSource(o.Seed+1)))
+	schema := alice.Schema()
+	b := incrementalBatches
+	if alice.Len() < b || bob.Len() < b {
+		return nil, fmt.Errorf("need at least %d records per side (got %d/%d)", b, alice.Len(), bob.Len())
+	}
+
+	pt := &IncrementalPerfPoint{
+		Records: n,
+		Alice:   alice.Len(),
+		Bob:     bob.Len(),
+		Batches: b,
+	}
+	total := float64(alice.Len() + bob.Len())
+
+	// Incremental arm: one engine absorbs alternating appends.
+	cfg := incremental.Config{
+		QIDs:      o.QIDs,
+		Theta:     o.Theta,
+		Allowance: incrementalAmple,
+		Strategy:  core.MaximizePrecision,
+	}
+	eng, err := incremental.New(schema, cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := 0; i < b; i++ {
+		aPart := alice.Slice(i*alice.Len()/b, (i+1)*alice.Len()/b)
+		bPart := bob.Slice(i*bob.Len()/b, (i+1)*bob.Len()/b)
+		if _, err := eng.Append(0, aPart.Records()); err != nil {
+			return nil, err
+		}
+		if _, err := eng.Append(1, bPart.Records()); err != nil {
+			return nil, err
+		}
+	}
+	pt.IncrementalMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	stats := eng.Stats()
+	pt.Deltas = stats.Deltas
+	pt.IncrementalPurchased = stats.Purchased
+
+	// Re-run arm: a from-scratch frozen run on every union prefix.
+	lb, err := dpblock.NewLevelBinner(0)
+	if err != nil {
+		return nil, err
+	}
+	frozen := core.DefaultConfig(o.QIDs)
+	frozen.Theta = o.Theta
+	frozen.AliceAnonymizer, frozen.BobAnonymizer = lb, lb
+	frozen.AliceK, frozen.BobK = 1, 1
+	frozen.Allowance = incrementalAmple
+	frozen.Strategy = core.MaximizePrecision
+	frozen.Scale = 1
+	var last *core.Result
+	start = time.Now()
+	for i := 0; i < b; i++ {
+		aPrefix := alice.Slice(0, (i+1)*alice.Len()/b)
+		bPrefix := bob.Slice(0, (i+1)*bob.Len()/b)
+		res, err := core.Link(core.Holder{Data: aPrefix}, core.Holder{Data: bPrefix}, frozen)
+		if err != nil {
+			return nil, err
+		}
+		pt.RerunPurchased += res.Invocations
+		last = res
+	}
+	pt.RerunMillis = float64(time.Since(start)) / float64(time.Millisecond)
+
+	// Both arms must land on the same final match set size; a mismatch
+	// means the delta contract broke and the numbers are meaningless.
+	if got := last.MatchedPairCount(); got != int64(pt.Deltas) {
+		return nil, fmt.Errorf("verdict divergence: incremental emitted %d deltas, frozen union run matched %d pairs", pt.Deltas, got)
+	}
+
+	pt.IncrementalPurchasedPerRecord = float64(pt.IncrementalPurchased) / total
+	pt.RerunPurchasedPerRecord = float64(pt.RerunPurchased) / total
+	pt.IncrementalMicrosPerRecord = pt.IncrementalMillis * 1000 / total
+	pt.RerunMicrosPerRecord = pt.RerunMillis * 1000 / total
+	if pt.IncrementalPurchased > 0 {
+		pt.PurchaseSavings = float64(pt.RerunPurchased) / float64(pt.IncrementalPurchased)
+	}
+	return pt, nil
+}

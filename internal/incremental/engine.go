@@ -1,0 +1,743 @@
+package incremental
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pprl/internal/blocking"
+	"pprl/internal/bloom"
+	"pprl/internal/core"
+	"pprl/internal/dataset"
+	"pprl/internal/distance"
+	"pprl/internal/dpblock"
+	"pprl/internal/index"
+	"pprl/internal/journal"
+	"pprl/internal/smc"
+	"pprl/internal/vgh"
+)
+
+// Delta is one newly discovered Match pair. I and J are record positions
+// (I on side 0, J on side 1; for dedup both on side 0 with I < J);
+// AliceID/BobID are the corresponding entity identifiers for consumers
+// that never see positional indexes.
+type Delta struct {
+	Batch   int `json:"batch"`
+	I       int `json:"i"`
+	J       int `json:"j"`
+	AliceID int `json:"alice_id"`
+	BobID   int `json:"bob_id"`
+}
+
+// BatchResult summarizes one Append.
+type BatchResult struct {
+	// Batch is the global 0-based batch index.
+	Batch int
+	// Side is the holder that grew (always 0 for dedup).
+	Side int
+	// Records is how many records the batch appended.
+	Records int
+	// Deltas are the batch's newly discovered Match pairs.
+	Deltas []Delta
+	// Spent is the allowance the batch consumed (unit purchases plus DP
+	// dummy shares), counting replayed verdicts at their original cost.
+	Spent int64
+	// Replayed reports the batch was reconstructed wholesale from a
+	// committed journal frame: verdicts applied from disk, zero allowance
+	// re-spent, and — because the original commit already exposed them —
+	// its deltas must not be re-emitted to consumers.
+	Replayed bool
+}
+
+// Stats is the engine's lifetime accounting.
+type Stats struct {
+	Batches int
+	// Records and Bins are per side; side 1 stays zero for dedup.
+	Records [2]int
+	Bins    [2]int
+	// Deltas counts emitted Match pairs; BlockingMatches, TierMatches and
+	// ResidualMatches break out the free ones (the remainder were
+	// purchased).
+	Deltas          int
+	BlockingMatches int64
+	TierMatches     int64
+	TierNonMatches  int64
+	ResidualMatches int64
+	// Purchased counts live comparator invocations by this process;
+	// Replayed counts verdicts applied from the journal instead.
+	Purchased int64
+	Replayed  int64
+	// Used is the lifetime pool position: unit purchases plus DP dummy
+	// shares, including the replayed share. LiveSpent/ReplaySpent split
+	// it by who paid in this process's lifetime; DummySpent is the DP
+	// padding portion.
+	Used        int64
+	LiveSpent   int64
+	ReplaySpent int64
+	DummySpent  int64
+	// Epoch advances once per applied batch; readers use it to detect
+	// growth between snapshots.
+	Epoch uint64
+}
+
+// bin is one equivalence bin of a side: the shared fixed-level sequence
+// and its member record positions in append order.
+type bin struct {
+	seq     vgh.Sequence
+	members []int32
+}
+
+// side is one holder's live state.
+type side struct {
+	data  *dataset.Dataset
+	enc   [][]int64
+	clk   []*bloom.Filter
+	binOf []int32
+	bins  []bin
+	byKey map[string]int32
+	live  *index.Live
+	// noise is the DP padding per bin: the same deterministic draw the
+	// frozen release uses, computed once when the bin first appears and
+	// constant forever after — which is exactly why K appends remain one
+	// logical release.
+	noise map[int32]int64
+}
+
+// Engine owns one live dataset (dedup) or one live dataset pair. Append
+// is serialized by an internal lock; Deltas/Stats may be called
+// concurrently with it and see committed state only.
+type Engine struct {
+	mu     sync.RWMutex
+	cfg    Config
+	schema *dataset.Schema
+	qids   []int
+	rule   *blocking.Rule
+	spec   *smc.Spec
+	dp     bool
+	tier   bool
+	tenc   *bloom.Encoder
+	sides  []*side
+
+	nextBatch int
+	frames    []journal.BatchFrame
+	replay    map[[2]int32]bool
+	tierOnWAL map[[2]int32]bool
+	// dummyCharged tracks, per candidate bin pair, the DP dummy
+	// comparisons already paid for, so each batch charges only the
+	// increment its records added (the telescoping sum).
+	dummyCharged map[[2]int32]int64
+
+	deltas []Delta
+	stats  Stats
+	failed bool
+}
+
+// New builds an engine over a schema. When resuming, cfg.Journal must be
+// a writer opened with journal.Open/Resume and cfg.Recovered its
+// Recovered() state; the engine then expects the caller to re-Append
+// every stored batch in the original order — committed batches replay
+// from the journal at zero live cost, the uncommitted tail batch
+// re-processes with its journaled verdict prefix applied free.
+func New(schema *dataset.Schema, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	qids, err := schema.Resolve(cfg.QIDs)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: %w", err)
+	}
+	var rule *blocking.Rule
+	if len(cfg.Thresholds) > 0 {
+		rule, err = blocking.NewRule(distance.MetricsFor(schema, qids), cfg.Thresholds)
+	} else {
+		rule, err = blocking.RuleFor(schema, qids, cfg.Theta)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("incremental: %w", err)
+	}
+	spec, err := smc.SpecFromRule(rule, cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: building SMC spec: %w", err)
+	}
+	spec.Packing = cfg.SMCPacking.SMC()
+
+	e := &Engine{
+		cfg:          cfg,
+		schema:       schema,
+		qids:         qids,
+		rule:         rule,
+		spec:         spec,
+		dp:           cfg.Epsilon > 0,
+		tier:         cfg.Tier == core.TierBloom,
+		replay:       make(map[[2]int32]bool),
+		tierOnWAL:    make(map[[2]int32]bool),
+		dummyCharged: make(map[[2]int32]int64),
+	}
+	if e.tier {
+		e.tenc, err = bloom.NewEncoder(cfg.TierM, cfg.TierK, cfg.TierQ, cfg.TierKey)
+		if err != nil {
+			return nil, fmt.Errorf("incremental: tier encoder: %w", err)
+		}
+	}
+	nSides := 2
+	if cfg.Dedup {
+		nSides = 1
+	}
+	for s := 0; s < nSides; s++ {
+		e.sides = append(e.sides, &side{
+			data:  dataset.New(schema),
+			byKey: make(map[string]int32),
+			live:  index.NewLive(rule),
+			noise: make(map[int32]int64),
+		})
+	}
+	if cfg.Journal != nil {
+		if _, err := cfg.Journal.Begin(cfg.manifest(schema, qids)); err != nil {
+			return nil, fmt.Errorf("incremental: %w", err)
+		}
+		if cfg.Recovered != nil {
+			e.frames = cfg.Recovered.Batches
+			for _, fr := range e.frames {
+				for _, v := range fr.Verdicts {
+					e.replay[[2]int32{int32(v.I), int32(v.J)}] = v.Matched
+				}
+				for _, v := range fr.TierVerdicts {
+					e.tierOnWAL[[2]int32{int32(v.I), int32(v.J)}] = true
+				}
+			}
+		}
+	}
+	return e, nil
+}
+
+// Dedup reports whether the engine links one dataset against itself.
+func (e *Engine) Dedup() bool { return e.cfg.Dedup }
+
+// Batches returns how many batches have been applied.
+func (e *Engine) Batches() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.nextBatch
+}
+
+// PendingReplay reports how many journaled batches have not been
+// re-applied yet; a resuming caller must Append exactly that many stored
+// batches before accepting new traffic.
+func (e *Engine) PendingReplay() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.nextBatch >= len(e.frames) {
+		return 0
+	}
+	return len(e.frames) - e.nextBatch
+}
+
+// Stats returns a snapshot of the lifetime accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
+
+// Deltas returns the emitted deltas of all batches with index ≥ from, in
+// emission order.
+func (e *Engine) Deltas(from int) []Delta {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	i := sort.Search(len(e.deltas), func(i int) bool { return e.deltas[i].Batch >= from })
+	out := make([]Delta, len(e.deltas)-i)
+	copy(out, e.deltas[i:])
+	return out
+}
+
+// group is one candidate bin pair touched by a batch: its uncertain new
+// pairs in deterministic order plus the heuristic score.
+type group struct {
+	a, b  int32 // cross: side-0 bin, side-1 bin; dedup: a ≤ b
+	score float64
+	pairs [][2]int32
+}
+
+// Append applies one batch of records to one side and returns the delta.
+// Any error poisons the engine (state may be half-applied); callers
+// rebuild it from the journal, exactly as the service does after a
+// crash.
+func (e *Engine) Append(sideIdx int, recs []dataset.Record) (*BatchResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.failed {
+		return nil, fmt.Errorf("incremental: engine poisoned by an earlier error; rebuild from the journal")
+	}
+	res, err := e.append(sideIdx, recs)
+	if err != nil {
+		e.failed = true
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Engine) append(sideIdx int, recs []dataset.Record) (*BatchResult, error) {
+	if sideIdx < 0 || sideIdx >= len(e.sides) {
+		return nil, fmt.Errorf("incremental: side %d out of range (dedup=%v)", sideIdx, e.cfg.Dedup)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("incremental: empty batch")
+	}
+	batch := e.nextBatch
+	digest := BatchDigest(sideIdx, recs)
+
+	// Match the batch against its journal frame when replaying.
+	var frame *journal.BatchFrame
+	if batch < len(e.frames) {
+		frame = &e.frames[batch]
+		if int(frame.Mark.Side) != sideIdx || int(frame.Mark.Records) != len(recs) || frame.Mark.Digest != digest {
+			return nil, fmt.Errorf("incremental: batch %d does not match its journal frame (side %d/%d, records %d/%d, digest equal=%v): the stored batch changed since the crash",
+				batch, sideIdx, frame.Mark.Side, len(recs), frame.Mark.Records, frame.Mark.Digest == digest)
+		}
+	}
+	committedReplay := frame != nil && frame.Committed
+	if frame == nil && e.cfg.Journal != nil {
+		if err := e.cfg.Journal.RecordBatch(journal.BatchMark{
+			Batch: uint32(batch), Side: uint8(sideIdx), Records: uint32(len(recs)), Digest: digest,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Grow the side: records, bins, live index, encodings.
+	s := e.sides[sideIdx]
+	base := s.data.Len()
+	for _, rec := range recs {
+		if err := s.data.Append(rec); err != nil {
+			return nil, fmt.Errorf("incremental: %w", err)
+		}
+	}
+	touched, err := e.binNew(sideIdx, base)
+	if err != nil {
+		return nil, err
+	}
+	s.enc = smc.EncodeRecords(s.data, e.qids, e.cfg.Scale)
+	if e.tier {
+		for i := base; i < s.data.Len(); i++ {
+			s.clk = append(s.clk, e.tenc.Encode(bloom.FieldsOf(s.data, e.qids, i)...))
+		}
+	}
+
+	// Candidate generation: new pairs only, labeled by the same predicate
+	// the frozen run uses (slack rule, or bin intersection under DP).
+	var batchDeltas []Delta
+	groups := e.collectGroups(sideIdx, base, touched, batch, &batchDeltas)
+	sort.SliceStable(groups, func(x, y int) bool {
+		gx, gy := groups[x], groups[y]
+		if gx.score != gy.score {
+			if e.cfg.Strategy == core.MaximizeRecall {
+				return gx.score > gy.score
+			}
+			return gx.score < gy.score
+		}
+		if gx.a != gy.a {
+			return gx.a < gy.a
+		}
+		return gx.b < gy.b
+	})
+
+	spent, err := e.resolve(sideIdx, groups, batch, committedReplay, &batchDeltas)
+	if err != nil {
+		return nil, err
+	}
+
+	if e.cfg.Journal != nil && !committedReplay {
+		if err := e.cfg.Journal.RecordBatchCommit(journal.BatchCommit{
+			Batch: uint32(batch), Deltas: uint32(len(batchDeltas)), Spent: spent,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	e.deltas = append(e.deltas, batchDeltas...)
+	e.nextBatch++
+	e.stats.Batches = e.nextBatch
+	e.stats.Records[sideIdx] = s.data.Len()
+	e.stats.Bins[sideIdx] = len(s.bins)
+	e.stats.Deltas = len(e.deltas)
+	e.stats.Epoch++
+	out := make([]Delta, len(batchDeltas))
+	copy(out, batchDeltas)
+	return &BatchResult{
+		Batch: batch, Side: sideIdx, Records: len(recs),
+		Deltas: out, Spent: spent, Replayed: committedReplay,
+	}, nil
+}
+
+// binNew assigns every record appended at or after base to its
+// fixed-level bin, inserting unseen bins into the live index (and, in DP
+// mode, drawing their constant noise). It returns the touched bin ids in
+// ascending order.
+func (e *Engine) binNew(sideIdx, base int) ([]int32, error) {
+	s := e.sides[sideIdx]
+	touchedSet := make(map[int32]bool)
+	for i := base; i < s.data.Len(); i++ {
+		seq, err := dpblock.BinRecord(s.data, e.qids, i, e.cfg.Level)
+		if err != nil {
+			return nil, err
+		}
+		key := seq.Key()
+		bi, ok := s.byKey[key]
+		if !ok {
+			id, err := s.live.Insert(seq)
+			if err != nil {
+				return nil, fmt.Errorf("incremental: %w", err)
+			}
+			bi = int32(id)
+			if int(bi) != len(s.bins) {
+				return nil, fmt.Errorf("incremental: live index id %d, want %d", bi, len(s.bins))
+			}
+			s.bins = append(s.bins, bin{seq: seq})
+			s.byKey[key] = bi
+			if e.dp {
+				s.noise[bi] = dpblock.Noise(e.dpSeed(sideIdx), key, e.cfg.Epsilon, e.cfg.DPDelta)
+			}
+		}
+		s.bins[bi].members = append(s.bins[bi].members, int32(i))
+		s.binOf = append(s.binOf, bi)
+		touchedSet[bi] = true
+	}
+	touched := make([]int32, 0, len(touchedSet))
+	for bi := range touchedSet {
+		touched = append(touched, bi)
+	}
+	sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+	return touched, nil
+}
+
+// dpSeed is the holder's noise seed, matching the frozen engine's
+// arithmetic separation (DPSeed for side 0, DPSeed+1 for side 1).
+func (e *Engine) dpSeed(sideIdx int) int64 { return e.cfg.DPSeed + int64(sideIdx) }
+
+// collectGroups enumerates the batch's new candidate pairs. Certain
+// blocking Matches are emitted as deltas immediately (they cost
+// nothing); Unknown groups are returned scored for the budget loop;
+// everything else is a certain NonMatch and is dropped unenumerated
+// where the live index excluded it.
+func (e *Engine) collectGroups(sideIdx, base int, touched []int32, batch int, deltas *[]Delta) []group {
+	var groups []group
+	buf := make([]float64, e.rule.Len())
+	s := e.sides[sideIdx]
+
+	addGroup := func(a, b int32, seqA, seqB vgh.Sequence, pairs [][2]int32) {
+		if len(pairs) == 0 {
+			return
+		}
+		label := blocking.Unknown
+		if e.dp {
+			// DP blocking has no certain-match evidence; intersecting bins
+			// are Unknown, the rest NonMatch (dpblock.Block's predicate).
+			if !dpblock.SequencesIntersect(seqA, seqB) {
+				return
+			}
+		} else {
+			label = e.rule.Decide(seqA, seqB)
+			if label == blocking.NonMatch {
+				return
+			}
+		}
+		if label == blocking.Match {
+			for _, p := range pairs {
+				*deltas = append(*deltas, e.delta(batch, p))
+				e.stats.BlockingMatches++
+			}
+			return
+		}
+		groups = append(groups, group{
+			a: a, b: b,
+			score: e.cfg.Heuristic.Score(e.rule.ExpectedDistances(seqA, seqB, buf)),
+			pairs: pairs,
+		})
+	}
+
+	if !e.cfg.Dedup {
+		o := e.sides[1-sideIdx]
+		for _, bi := range touched {
+			b := &s.bins[bi]
+			newM := newMembers(b.members, base)
+			o.live.Candidates(b.seq, func(ci int) {
+				oc := &o.bins[ci]
+				pairs := make([][2]int32, 0, len(newM)*len(oc.members))
+				if sideIdx == 0 {
+					for _, i := range newM {
+						for _, j := range oc.members {
+							pairs = append(pairs, [2]int32{i, j})
+						}
+					}
+					addGroup(bi, int32(ci), b.seq, oc.seq, pairs)
+				} else {
+					for _, i := range oc.members {
+						for _, j := range newM {
+							pairs = append(pairs, [2]int32{i, j})
+						}
+					}
+					addGroup(int32(ci), bi, oc.seq, b.seq, pairs)
+				}
+			})
+		}
+		return groups
+	}
+
+	// Dedup: unordered bin pairs over one side, each processed once per
+	// batch; pairs are unordered record pairs with at least one new
+	// endpoint, self-pairs excluded.
+	seen := make(map[[2]int32]bool)
+	for _, bi := range touched {
+		b := &s.bins[bi]
+		s.live.Candidates(b.seq, func(ci int) {
+			lo, hi := bi, int32(ci)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			k := [2]int32{lo, hi}
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			lb, hb := &s.bins[lo], &s.bins[hi]
+			var pairs [][2]int32
+			if lo == hi {
+				m := lb.members
+				for x := 0; x < len(m); x++ {
+					for y := x + 1; y < len(m); y++ {
+						if m[x] < int32(base) && m[y] < int32(base) {
+							continue
+						}
+						pairs = append(pairs, [2]int32{m[x], m[y]})
+					}
+				}
+			} else {
+				for _, i := range lb.members {
+					for _, j := range hb.members {
+						if i < int32(base) && j < int32(base) {
+							continue
+						}
+						if i < j {
+							pairs = append(pairs, [2]int32{i, j})
+						} else {
+							pairs = append(pairs, [2]int32{j, i})
+						}
+					}
+				}
+			}
+			addGroup(lo, hi, lb.seq, hb.seq, pairs)
+		})
+	}
+	return groups
+}
+
+// newMembers returns the suffix of an ascending member list with record
+// position ≥ base.
+func newMembers(members []int32, base int) []int32 {
+	i := sort.Search(len(members), func(i int) bool { return members[i] >= int32(base) })
+	return members[i:]
+}
+
+// resolve runs the budget loop over the batch's uncertain groups: tier
+// triage first (free), then journal replay (free), then purchased SMC
+// comparisons until the lifetime pool runs dry, then residual labeling
+// per the strategy.
+func (e *Engine) resolve(sideIdx int, groups []group, batch int, committedReplay bool, deltas *[]Delta) (int64, error) {
+	if len(groups) == 0 {
+		return 0, nil
+	}
+	var cmp smc.Comparator
+	defer func() {
+		if cmp != nil {
+			cmp.Close()
+		}
+	}()
+	getCmp := func() (smc.Comparator, error) {
+		if cmp != nil {
+			return cmp, nil
+		}
+		encA := e.sides[0].enc
+		encB := encA
+		if !e.cfg.Dedup {
+			encB = e.sides[1].enc
+		}
+		var err error
+		cmp, err = e.cfg.Comparator(encA, encB, e.spec, e.cfg.SMCWorkers)
+		if err != nil {
+			return nil, fmt.Errorf("incremental: building comparator: %w", err)
+		}
+		return cmp, nil
+	}
+
+	var spent int64
+	exhausted := false
+	for _, g := range groups {
+		var charger dpblock.DummyCharger
+		gkey := [2]int32{g.a, g.b}
+		if e.dp {
+			extra := e.groupExcess(sideIdx, g) - e.dummyCharged[gkey]
+			if extra < 0 {
+				extra = 0
+			}
+			charger = dpblock.NewDeltaCharger(int64(len(g.pairs)), extra)
+		}
+		var paidDummies int64
+		for _, p := range g.pairs {
+			key := p
+			// An exact purchased verdict always wins; replay is free of
+			// live cost but advances the lifetime pool at original price.
+			if matched, ok := e.replay[key]; ok {
+				cost := int64(1)
+				if e.dp {
+					cost += charger.Next()
+				}
+				e.stats.Used += cost
+				e.stats.ReplaySpent += cost
+				e.stats.Replayed++
+				if e.dp {
+					paidDummies += cost - 1
+					e.stats.DummySpent += cost - 1
+				}
+				spent += cost
+				if matched {
+					*deltas = append(*deltas, e.delta(batch, p))
+				}
+				continue
+			}
+			// Tier triage: deterministic, free, recomputed on replay.
+			if e.tier {
+				var dice float64
+				if e.cfg.Dedup {
+					dice = e.sides[0].clk[p[0]].Dice(e.sides[0].clk[p[1]])
+				} else {
+					dice = e.sides[0].clk[p[0]].Dice(e.sides[1].clk[p[1]])
+				}
+				switch bloom.Classify(dice, e.cfg.TierLow, e.cfg.TierHigh) {
+				case bloom.BandMatch:
+					e.stats.TierMatches++
+					*deltas = append(*deltas, e.delta(batch, p))
+					if err := e.journalTier(p, true, committedReplay); err != nil {
+						return spent, err
+					}
+					continue
+				case bloom.BandNonMatch:
+					e.stats.TierNonMatches++
+					if err := e.journalTier(p, false, committedReplay); err != nil {
+						return spent, err
+					}
+					continue
+				}
+			}
+			if exhausted {
+				e.residual(batch, p, deltas)
+				continue
+			}
+			cost := int64(1)
+			var dummy int64
+			if e.dp {
+				dummy = charger.Next()
+				cost += dummy
+			}
+			if e.cfg.Allowance > 0 && e.stats.Used+cost > e.cfg.Allowance {
+				// Mirror the frozen engine's break: once a pair is
+				// unaffordable, everything after it in this batch is
+				// residual — partial groups stay honest and the pool is
+				// never overdrawn by a cheaper later pair.
+				exhausted = true
+				e.residual(batch, p, deltas)
+				continue
+			}
+			if committedReplay {
+				return spent, fmt.Errorf("incremental: committed batch %d needs a fresh purchase for pair (%d,%d): journal and engine state diverged", batch, p[0], p[1])
+			}
+			c, err := getCmp()
+			if err != nil {
+				return spent, err
+			}
+			matched, err := c.Compare(int(p[0]), int(p[1]))
+			if err != nil {
+				return spent, fmt.Errorf("incremental: SMC comparison (%d,%d): %w", p[0], p[1], err)
+			}
+			if e.cfg.Journal != nil {
+				if err := e.cfg.Journal.Record(int(p[0]), int(p[1]), matched); err != nil {
+					return spent, fmt.Errorf("incremental: journal append (%d,%d): %w", p[0], p[1], err)
+				}
+			}
+			e.stats.Used += cost
+			e.stats.LiveSpent += cost
+			e.stats.Purchased++
+			if e.dp {
+				paidDummies += dummy
+				e.stats.DummySpent += dummy
+			}
+			spent += cost
+			if matched {
+				*deltas = append(*deltas, e.delta(batch, p))
+			}
+		}
+		if e.dp {
+			e.dummyCharged[gkey] += paidDummies
+		}
+	}
+	return spent, nil
+}
+
+// residual labels a pair the pool could not afford: non-match under
+// MaximizePrecision (structural precision preserved — residuals are
+// never emitted), match under MaximizeRecall.
+func (e *Engine) residual(batch int, p [2]int32, deltas *[]Delta) {
+	if e.cfg.Strategy == core.MaximizeRecall {
+		e.stats.ResidualMatches++
+		*deltas = append(*deltas, e.delta(batch, p))
+	}
+}
+
+// journalTier records a tier label unless the journal already holds it
+// (the pair was labeled before a crash, or the whole batch is replaying).
+func (e *Engine) journalTier(p [2]int32, matched, committedReplay bool) error {
+	if e.cfg.Journal == nil || committedReplay || e.tierOnWAL[p] {
+		return nil
+	}
+	if err := e.cfg.Journal.RecordTier(int(p[0]), int(p[1]), matched); err != nil {
+		return fmt.Errorf("incremental: journal tier append (%d,%d): %w", p[0], p[1], err)
+	}
+	return nil
+}
+
+// groupExcess is the candidate bin pair's current dummy-pair surplus:
+// padded products minus real products, with self-pair arithmetic for
+// dedup.
+func (e *Engine) groupExcess(sideIdx int, g group) int64 {
+	if !e.cfg.Dedup {
+		a, b := e.sides[0], e.sides[1]
+		nA := int64(len(a.bins[g.a].members))
+		nB := int64(len(b.bins[g.b].members))
+		pA := nA + a.noise[g.a]
+		pB := nB + b.noise[g.b]
+		return pA*pB - nA*nB
+	}
+	s := e.sides[0]
+	if g.a == g.b {
+		n := int64(len(s.bins[g.a].members))
+		p := n + s.noise[g.a]
+		return p*(p-1)/2 - n*(n-1)/2
+	}
+	nA := int64(len(s.bins[g.a].members))
+	nB := int64(len(s.bins[g.b].members))
+	pA := nA + s.noise[g.a]
+	pB := nB + s.noise[g.b]
+	return pA*pB - nA*nB
+}
+
+// delta materializes one emitted Match pair.
+func (e *Engine) delta(batch int, p [2]int32) Delta {
+	d := Delta{Batch: batch, I: int(p[0]), J: int(p[1])}
+	d.AliceID = e.sides[0].data.Record(d.I).EntityID
+	if e.cfg.Dedup {
+		d.BobID = e.sides[0].data.Record(d.J).EntityID
+	} else {
+		d.BobID = e.sides[1].data.Record(d.J).EntityID
+	}
+	return d
+}

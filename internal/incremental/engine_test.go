@@ -1,0 +1,559 @@
+package incremental_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"pprl/internal/blocking"
+	"pprl/internal/core"
+	"pprl/internal/dataset"
+	"pprl/internal/distance"
+	"pprl/internal/dpblock"
+	"pprl/internal/incremental"
+	"pprl/internal/journal"
+	"pprl/internal/testkit"
+)
+
+// ample is an allowance no test workload can exhaust.
+const ample = int64(1) << 40
+
+// batchesOf splits a dataset's records into batches of at most n.
+func batchesOf(d *dataset.Dataset, n int) [][]dataset.Record {
+	recs := d.Records()
+	var out [][]dataset.Record
+	for len(recs) > 0 {
+		k := n
+		if k > len(recs) {
+			k = len(recs)
+		}
+		out = append(out, recs[:k])
+		recs = recs[k:]
+	}
+	return out
+}
+
+// appendInterleaved drives eng through alternating alice/bob batches and
+// returns the union of emitted delta pairs, failing on any duplicate
+// emission (the delta contract: a pair is announced at most once).
+func appendInterleaved(t *testing.T, eng *incremental.Engine, alice, bob *dataset.Dataset) map[[2]int]bool {
+	t.Helper()
+	ab := batchesOf(alice, alice.Len()/3+1)
+	bb := batchesOf(bob, bob.Len()/2+1)
+	union := make(map[[2]int]bool)
+	for len(ab) > 0 || len(bb) > 0 {
+		if len(ab) > 0 {
+			res, err := eng.Append(0, ab[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			addDeltas(t, union, res.Deltas)
+			ab = ab[1:]
+		}
+		if len(bb) > 0 {
+			res, err := eng.Append(1, bb[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			addDeltas(t, union, res.Deltas)
+			bb = bb[1:]
+		}
+	}
+	return union
+}
+
+func addDeltas(t *testing.T, union map[[2]int]bool, ds []incremental.Delta) {
+	t.Helper()
+	for _, d := range ds {
+		key := [2]int{d.I, d.J}
+		if union[key] {
+			t.Fatalf("pair (%d,%d) emitted twice", d.I, d.J)
+		}
+		union[key] = true
+	}
+}
+
+// frozenMatches runs the frozen pipeline and enumerates its match set.
+func frozenMatches(t *testing.T, alice, bob *dataset.Dataset, cfg core.Config) (*core.Result, map[[2]int]bool) {
+	t.Helper()
+	res, err := core.Link(core.Holder{Data: alice}, core.Holder{Data: bob}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := make(map[[2]int]bool)
+	for i := 0; i < alice.Len(); i++ {
+		for j := 0; j < bob.Len(); j++ {
+			if res.PairMatched(i, j) {
+				matches[[2]int{i, j}] = true
+			}
+		}
+	}
+	return res, matches
+}
+
+// frozenConfig builds the frozen counterpart of an incremental run: both
+// holders anonymize with the fixed-level binner (k is irrelevant to it),
+// same rule, same absolute allowance.
+func frozenConfig(t *testing.T, w *testkit.World, allowance int64) core.Config {
+	t.Helper()
+	lb, err := dpblock.NewLevelBinner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(w.Alice.Schema().Names())
+	cfg.Theta = w.Cfg.Theta
+	cfg.Thresholds = w.Cfg.Thresholds
+	cfg.AliceAnonymizer, cfg.BobAnonymizer = lb, lb
+	cfg.AliceK, cfg.BobK = 1, 1
+	cfg.Allowance = allowance
+	cfg.Strategy = core.MaximizePrecision
+	cfg.Scale = 1
+	return cfg
+}
+
+func incrementalConfig(w *testkit.World, allowance int64) incremental.Config {
+	return incremental.Config{
+		QIDs:       w.Alice.Schema().Names(),
+		Theta:      w.Cfg.Theta,
+		Thresholds: w.Cfg.Thresholds,
+		Allowance:  allowance,
+		Strategy:   core.MaximizePrecision,
+	}
+}
+
+func diffPairSets(t *testing.T, got, want map[[2]int]bool, label string) {
+	t.Helper()
+	for p := range want {
+		if !got[p] {
+			t.Errorf("%s: pair (%d,%d) in frozen match set but never emitted as a delta", label, p[0], p[1])
+		}
+	}
+	for p := range got {
+		if !want[p] {
+			t.Errorf("%s: delta (%d,%d) emitted but not in the frozen match set", label, p[0], p[1])
+		}
+	}
+}
+
+// TestIncrementalMatchesFrozen is the core equivalence oracle: the union
+// of deltas across interleaved append batches must be pair-identical to
+// one frozen run over the final relations, at identical purchased cost.
+func TestIncrementalMatchesFrozen(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		w := testkit.Generate(seed)
+		frozen, want := frozenMatches(t, w.Alice, w.Bob, frozenConfig(t, w, ample))
+		eng, err := incremental.New(w.Alice.Schema(), incrementalConfig(w, ample))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendInterleaved(t, eng, w.Alice, w.Bob)
+		diffPairSets(t, got, want, fmt.Sprintf("seed %d", seed))
+		st := eng.Stats()
+		if st.Purchased != frozen.Invocations {
+			t.Errorf("seed %d: incremental purchased %d comparisons, frozen run %d", seed, st.Purchased, frozen.Invocations)
+		}
+		if st.Used != st.LiveSpent || st.Used != st.Purchased {
+			t.Errorf("seed %d: accounting drift: used=%d live=%d purchased=%d", seed, st.Used, st.LiveSpent, st.Purchased)
+		}
+		if st.Epoch == 0 || st.Batches == 0 {
+			t.Errorf("seed %d: stats not advancing: %+v", seed, st)
+		}
+	}
+}
+
+// TestIncrementalDPMatchesFrozen checks the DP mode: same delta set, and
+// the telescoped dummy charges sum to exactly the frozen run's padding
+// spend, so K appends cost what one release over the final counts costs.
+func TestIncrementalDPMatchesFrozen(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		w := testkit.Generate(seed)
+		cfg := frozenConfig(t, w, ample)
+		cfg.AliceAnonymizer, cfg.BobAnonymizer = nil, nil
+		cfg.Epsilon = 1.0
+		cfg.DPSeed = seed
+		frozen, want := frozenMatches(t, w.Alice, w.Bob, cfg)
+
+		icfg := incrementalConfig(w, ample)
+		icfg.Epsilon = 1.0
+		icfg.DPSeed = seed
+		eng, err := incremental.New(w.Alice.Schema(), icfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendInterleaved(t, eng, w.Alice, w.Bob)
+		diffPairSets(t, got, want, fmt.Sprintf("dp seed %d", seed))
+		st := eng.Stats()
+		if st.Purchased != frozen.Invocations {
+			t.Errorf("dp seed %d: purchased %d, frozen %d", seed, st.Purchased, frozen.Invocations)
+		}
+		if frozen.DP == nil {
+			t.Fatalf("dp seed %d: frozen run has no DP stats", seed)
+		}
+		if st.DummySpent != frozen.DP.DummySpent {
+			t.Errorf("dp seed %d: incremental dummy spend %d, frozen %d", seed, st.DummySpent, frozen.DP.DummySpent)
+		}
+		if st.Used != st.Purchased+st.DummySpent {
+			t.Errorf("dp seed %d: used=%d ≠ purchased+dummies=%d", seed, st.Used, st.Purchased+st.DummySpent)
+		}
+	}
+}
+
+// TestIncrementalTierMatchesFrozen checks tier composition: identical
+// delta set and identical purchased invocations (the tier's free labels
+// are deterministic, so both pipelines skip the same pairs).
+func TestIncrementalTierMatchesFrozen(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		w := testkit.Generate(seed)
+		cfg := frozenConfig(t, w, ample)
+		cfg.Tier = core.TierBloom
+		frozen, want := frozenMatches(t, w.Alice, w.Bob, cfg)
+
+		icfg := incrementalConfig(w, ample)
+		icfg.Tier = core.TierBloom
+		eng, err := incremental.New(w.Alice.Schema(), icfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendInterleaved(t, eng, w.Alice, w.Bob)
+		diffPairSets(t, got, want, fmt.Sprintf("tier seed %d", seed))
+		if st := eng.Stats(); st.Purchased != frozen.Invocations {
+			t.Errorf("tier seed %d: purchased %d, frozen %d", seed, st.Purchased, frozen.Invocations)
+		}
+	}
+}
+
+// TestIncrementalDedup checks the self-linkage mode: batch splitting must
+// not change the delta union, pairs are normalized (i < j, no
+// self-pairs), and with an ample allowance the union equals the exact
+// rule's match set over all unordered pairs.
+func TestIncrementalDedup(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		w := testkit.Generate(seed)
+		d, err := w.Alice.Concat(w.Bob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		icfg := incrementalConfig(w, ample)
+		icfg.Dedup = true
+
+		runDedup := func(batches [][]dataset.Record) (map[[2]int]bool, incremental.Stats) {
+			eng, err := incremental.New(d.Schema(), icfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eng.Dedup() {
+				t.Fatal("engine lost the dedup flag")
+			}
+			union := make(map[[2]int]bool)
+			for _, b := range batches {
+				res, err := eng.Append(0, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				addDeltas(t, union, res.Deltas)
+			}
+			return union, eng.Stats()
+		}
+
+		multi, mstats := runDedup(batchesOf(d, d.Len()/4+1))
+		single, sstats := runDedup(batchesOf(d, d.Len()))
+		diffPairSets(t, multi, single, fmt.Sprintf("dedup seed %d multi-vs-single", seed))
+		if mstats.Purchased != sstats.Purchased || mstats.Used != sstats.Used {
+			t.Errorf("dedup seed %d: multi-batch spend (%d,%d) differs from single-batch (%d,%d)",
+				seed, mstats.Purchased, mstats.Used, sstats.Purchased, sstats.Used)
+		}
+
+		// Ground truth: the exact decision rule over all unordered pairs.
+		qids, err := d.Schema().Resolve(d.Schema().Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rule := mustRule(t, d.Schema(), qids, w.Cfg.Theta, w.Cfg.Thresholds)
+		truth := make(map[[2]int]bool)
+		for i := 0; i < d.Len(); i++ {
+			si := blocking.RecordSequence(d, qids, i)
+			for j := i + 1; j < d.Len(); j++ {
+				if rule.DecideExact(si, blocking.RecordSequence(d, qids, j)) {
+					truth[[2]int{i, j}] = true
+				}
+			}
+		}
+		diffPairSets(t, multi, truth, fmt.Sprintf("dedup seed %d vs exact rule", seed))
+		for p := range multi {
+			if p[0] >= p[1] {
+				t.Errorf("dedup seed %d: pair (%d,%d) not normalized to i<j", seed, p[0], p[1])
+			}
+		}
+	}
+}
+
+func mustRule(t *testing.T, schema *dataset.Schema, qids []int, theta float64, thresholds []float64) *blocking.Rule {
+	t.Helper()
+	var rule *blocking.Rule
+	var err error
+	if len(thresholds) > 0 {
+		rule, err = blocking.NewRule(distance.MetricsFor(schema, qids), thresholds)
+	} else {
+		rule, err = blocking.RuleFor(schema, qids, theta)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rule
+}
+
+// commitCrash injects a crash at the delta-exposure barrier: the verdicts
+// of the target batch reach the journal but its commit record does not.
+type commitCrash struct {
+	*journal.Writer
+	failBatch uint32
+}
+
+func (c *commitCrash) RecordBatchCommit(b journal.BatchCommit) error {
+	if b.Batch == c.failBatch {
+		return fmt.Errorf("injected crash before commit of batch %d", b.Batch)
+	}
+	return c.Writer.RecordBatchCommit(b)
+}
+
+// TestIncrementalCrashResume kills the engine between a batch's journaled
+// verdicts and its commit, rebuilds it from the journal, replays the
+// stored batches, and asserts the exposed delta stream equals a
+// never-crashed run's — with the committed prefix replayed at zero live
+// cost and no delta emitted twice.
+func TestIncrementalCrashResume(t *testing.T) {
+	w := testkit.Generate(3)
+	batches := batchesOf(w.Alice, w.Alice.Len()/3+1)
+	if len(batches) < 3 {
+		t.Fatalf("fixture too small: %d batches", len(batches))
+	}
+	bobBatch := w.Bob.Records()
+	icfg := incrementalConfig(w, ample)
+
+	// Reference: an uninterrupted run over the same append sequence.
+	ref, err := incremental.New(w.Alice.Schema(), icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refUnion := make(map[[2]int]bool)
+	var refPerBatch [][]incremental.Delta
+	appendRef := func(side int, recs []dataset.Record) {
+		res, err := ref.Append(side, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addDeltas(t, refUnion, res.Deltas)
+		refPerBatch = append(refPerBatch, res.Deltas)
+	}
+	appendRef(1, bobBatch)
+	for _, b := range batches {
+		appendRef(0, b)
+	}
+
+	// Phase 1: journaled run, crash at batch 2's commit barrier.
+	path := filepath.Join(t.TempDir(), "live.wal")
+	jw, err := journal.Create(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := icfg
+	cfg1.Journal = &commitCrash{Writer: jw, failBatch: 2}
+	eng1, err := incremental.New(w.Alice.Schema(), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposed := make(map[[2]int]bool)
+	r0, err := eng1.Append(1, bobBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addDeltas(t, exposed, r0.Deltas)
+	r1, err := eng1.Append(0, batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	addDeltas(t, exposed, r1.Deltas)
+	if _, err := eng1.Append(0, batches[1]); err == nil {
+		t.Fatal("injected commit crash did not surface")
+	}
+	// The engine is poisoned now; further appends must refuse.
+	if _, err := eng1.Append(0, batches[1]); err == nil {
+		t.Fatal("poisoned engine accepted another batch")
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: rebuild from the journal and re-append everything stored.
+	jw2, err := journal.Resume(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw2.Close()
+	cfg2 := icfg
+	cfg2.Journal = jw2
+	cfg2.Recovered = jw2.Recovered()
+	eng2, err := incremental.New(w.Alice.Schema(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.PendingReplay(); got != 3 {
+		t.Fatalf("PendingReplay() = %d, want 3 (two committed + one open frame)", got)
+	}
+	// Committed batches replay: identical deltas, flagged Replayed, and
+	// not re-exposed.
+	for i, stored := range [][]dataset.Record{bobBatch, batches[0]} {
+		side := 0
+		if i == 0 {
+			side = 1
+		}
+		res, err := eng2.Append(side, stored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Replayed {
+			t.Fatalf("committed batch %d did not replay", i)
+		}
+		want := refPerBatch[i]
+		if len(res.Deltas) != len(want) {
+			t.Fatalf("replayed batch %d emitted %d deltas, original %d", i, len(res.Deltas), len(want))
+		}
+		for k := range want {
+			if res.Deltas[k] != want[k] {
+				t.Fatalf("replayed batch %d delta %d = %+v, want %+v", i, k, res.Deltas[k], want[k])
+			}
+		}
+	}
+	if live := eng2.Stats().LiveSpent; live != 0 {
+		t.Fatalf("committed replay spent %d live allowance, want 0", live)
+	}
+	// The torn batch re-processes: its journaled verdict prefix is free,
+	// its deltas are exposed now (the crash preceded the barrier).
+	res2, err := eng2.Append(0, batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Replayed {
+		t.Fatal("uncommitted tail batch must not report Replayed")
+	}
+	addDeltas(t, exposed, res2.Deltas)
+	// Remaining batches run fresh.
+	for _, b := range batches[2:] {
+		res, err := eng2.Append(0, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addDeltas(t, exposed, res.Deltas)
+	}
+	diffPairSets(t, exposed, refUnion, "crash-resume")
+	st, rst := eng2.Stats(), ref.Stats()
+	if st.Used != rst.Used {
+		t.Errorf("resumed lifetime pool position %d, uninterrupted run %d", st.Used, rst.Used)
+	}
+	if st.Replayed == 0 {
+		t.Error("resume replayed no verdicts despite journaled batches")
+	}
+	if st.Purchased+st.Replayed != rst.Purchased {
+		t.Errorf("purchased %d + replayed %d ≠ uninterrupted purchases %d", st.Purchased, st.Replayed, rst.Purchased)
+	}
+
+	// A tampered stored batch must be refused, not silently relinked.
+	jw3, err := journal.Resume(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw3.Close()
+	cfg3 := icfg
+	cfg3.Journal = jw3
+	cfg3.Recovered = jw3.Recovered()
+	eng3, err := incremental.New(w.Alice.Schema(), cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]dataset.Record(nil), bobBatch...)
+	tampered[0].EntityID += 1000
+	if _, err := eng3.Append(1, tampered); err == nil {
+		t.Fatal("digest mismatch on a stored batch was not detected")
+	}
+}
+
+// TestIncrementalBindingAllowance checks the weaker invariants of an
+// exhausted pool: precision mode emits only true matches and never
+// overdraws; recall mode emits a superset of the true matches.
+func TestIncrementalBindingAllowance(t *testing.T) {
+	w := testkit.Generate(7)
+	qids, err := w.Alice.Schema().Resolve(w.Alice.Schema().Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := mustRule(t, w.Alice.Schema(), qids, w.Cfg.Theta, w.Cfg.Thresholds)
+	truth := make(map[[2]int]bool)
+	for i := 0; i < w.Alice.Len(); i++ {
+		si := blocking.RecordSequence(w.Alice, qids, i)
+		for j := 0; j < w.Bob.Len(); j++ {
+			if rule.DecideExact(si, blocking.RecordSequence(w.Bob, qids, j)) {
+				truth[[2]int{i, j}] = true
+			}
+		}
+	}
+	for _, strat := range []core.Strategy{core.MaximizePrecision, core.MaximizeRecall} {
+		icfg := incrementalConfig(w, 25)
+		icfg.Strategy = strat
+		eng, err := incremental.New(w.Alice.Schema(), icfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendInterleaved(t, eng, w.Alice, w.Bob)
+		st := eng.Stats()
+		if st.Used > 25 {
+			t.Errorf("%v: pool overdrawn: used %d of 25", strat, st.Used)
+		}
+		switch strat {
+		case core.MaximizePrecision:
+			for p := range got {
+				if !truth[p] {
+					t.Errorf("precision mode emitted false pair (%d,%d)", p[0], p[1])
+				}
+			}
+		case core.MaximizeRecall:
+			for p := range truth {
+				if !got[p] {
+					t.Errorf("recall mode missed true pair (%d,%d)", p[0], p[1])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalRejects exercises the config and batch validation edges.
+func TestIncrementalRejects(t *testing.T) {
+	w := testkit.Generate(1)
+	schema := w.Alice.Schema()
+	if _, err := incremental.New(schema, incremental.Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	bad := incrementalConfig(w, 0)
+	bad.Strategy = core.TrainClassifier
+	if _, err := incremental.New(schema, bad); err == nil {
+		t.Error("TrainClassifier accepted")
+	}
+	eng, err := incremental.New(schema, incrementalConfig(w, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append(0, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := eng.Append(2, w.Alice.Records()); err == nil {
+		t.Error("out-of-range side accepted")
+	}
+	ded := incrementalConfig(w, 0)
+	ded.Dedup = true
+	deng, err := incremental.New(schema, ded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deng.Append(1, w.Alice.Records()); err == nil {
+		t.Error("dedup engine accepted side 1")
+	}
+}

@@ -1,0 +1,88 @@
+package index_test
+
+import (
+	"testing"
+
+	"pprl/internal/blocking"
+	"pprl/internal/index"
+)
+
+// TestLiveIndexSoundness grows a live index one bin at a time and checks
+// the same exclusion contract the static index carries: a bin the
+// admission sets drop is always one the rule labels NonMatch, at every
+// prefix of the insertion order, so candidate generation over a growing
+// population never loses a Match or Unknown pair.
+func TestLiveIndexSoundness(t *testing.T) {
+	av, bv, rule := fixture(t, 900, 3, 0.05)
+	live := index.NewLive(rule)
+
+	check := func(prefix int) {
+		for ri := range av.Classes {
+			admitted := make(map[int]bool)
+			live.Candidates(av.Classes[ri].Sequence, func(si int) { admitted[si] = true })
+			for si := 0; si < prefix; si++ {
+				l := rule.Decide(av.Classes[ri].Sequence, bv.Classes[si].Sequence)
+				if l != blocking.NonMatch && !admitted[si] {
+					t.Fatalf("prefix %d: bin %d excluded for query class %d but rule says %v", prefix, si, ri, l)
+				}
+			}
+		}
+	}
+
+	for si := range bv.Classes {
+		id, err := live.Insert(bv.Classes[si].Sequence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != si {
+			t.Fatalf("insert %d assigned id %d", si, id)
+		}
+		// Checking every prefix is quadratic in classes; probe a spread.
+		if si < 3 || si == len(bv.Classes)/2 {
+			check(si + 1)
+		}
+	}
+	check(len(bv.Classes))
+
+	if got, want := live.Len(), len(bv.Classes); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got, want := live.Epoch(), uint64(len(bv.Classes)); got != want {
+		t.Fatalf("Epoch = %d, want %d (one bump per insert)", got, want)
+	}
+}
+
+// TestLiveIndexMatchesStaticAdmission pins live admission to the static
+// index's: blocking the same views through index.Stream (static) and
+// through a fully populated live index must yield identical candidate
+// label sets for every class pair. The static path is already proven
+// label-identical to the dense scan, so transitively the live index is
+// too.
+func TestLiveIndexMatchesStaticAdmission(t *testing.T) {
+	av, bv, rule := fixture(t, 700, 4, 0.05)
+	dense, err := blocking.Block(av, bv, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := index.NewLive(rule)
+	for si := range bv.Classes {
+		if _, err := live.Insert(bv.Classes[si].Sequence); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ri := range av.Classes {
+		got := make(map[int]blocking.Label)
+		live.Candidates(av.Classes[ri].Sequence, func(si int) {
+			got[si] = rule.Decide(av.Classes[ri].Sequence, bv.Classes[si].Sequence)
+		})
+		for si := range bv.Classes {
+			want := dense.Label(ri, si)
+			if want == blocking.NonMatch {
+				continue // the index may or may not enumerate these
+			}
+			if got[si] != want {
+				t.Fatalf("class pair (%d,%d): live label %v, dense %v", ri, si, got[si], want)
+			}
+		}
+	}
+}

@@ -20,6 +20,12 @@ type Recovered struct {
 	// possibly under different thresholds); they exist so auditors can
 	// distinguish heuristic labels from exact purchased verdicts.
 	TierVerdicts []Verdict
+	// Batches holds the incremental batch frames, in append order; empty
+	// for frozen-run journals. Verdicts recorded inside a batch frame
+	// appear both here and in the flat Verdicts/TierVerdicts lists, so
+	// frozen-run resume accounting is unchanged by the record type's
+	// existence.
+	Batches []BatchFrame
 	// TornBytes is how much of the file's tail was cut short mid-write
 	// (a crash between write and the record's completion) and therefore
 	// discarded; 0 for a cleanly closed journal.
@@ -74,6 +80,9 @@ func parse(data []byte) (*Recovered, error) {
 	}
 	rec := &Recovered{goodOffset: headerLen}
 	sawManifest := false
+	// open is the uncommitted batch frame verdicts currently attach to;
+	// -1 outside any frame (frozen-run journals stay there forever).
+	open := -1
 	off := int64(headerLen)
 	total := int64(len(data))
 	for off < total {
@@ -106,9 +115,45 @@ func parse(data []byte) (*Recovered, error) {
 			}
 			if payload[0] == recTierVerdict {
 				rec.TierVerdicts = append(rec.TierVerdicts, v)
+				if open >= 0 {
+					rec.Batches[open].TierVerdicts = append(rec.Batches[open].TierVerdicts, v)
+				}
 			} else {
 				rec.Verdicts = append(rec.Verdicts, v)
+				if open >= 0 {
+					rec.Batches[open].Verdicts = append(rec.Batches[open].Verdicts, v)
+				}
 			}
+		case recBatch:
+			if !sawManifest {
+				return nil, fmt.Errorf("journal: batch record before the manifest at offset %d", off)
+			}
+			if open >= 0 {
+				return nil, fmt.Errorf("journal: batch %d opened at offset %d while batch %d is uncommitted", len(rec.Batches), off, rec.Batches[open].Mark.Batch)
+			}
+			m, err := decodeBatchMark(payload)
+			if err != nil {
+				return nil, err
+			}
+			if int(m.Batch) != len(rec.Batches) {
+				return nil, fmt.Errorf("journal: batch mark %d at offset %d, want %d (marks must be dense and ordered)", m.Batch, off, len(rec.Batches))
+			}
+			rec.Batches = append(rec.Batches, BatchFrame{Mark: m})
+			open = len(rec.Batches) - 1
+		case recBatchCommit:
+			c, err := decodeBatchCommit(payload)
+			if err != nil {
+				return nil, err
+			}
+			if open < 0 {
+				return nil, fmt.Errorf("journal: batch commit %d at offset %d without an open batch", c.Batch, off)
+			}
+			if c.Batch != rec.Batches[open].Mark.Batch {
+				return nil, fmt.Errorf("journal: batch commit %d at offset %d closes open batch %d", c.Batch, off, rec.Batches[open].Mark.Batch)
+			}
+			rec.Batches[open].Committed = true
+			rec.Batches[open].Commit = c
+			open = -1
 		default:
 			return nil, fmt.Errorf("journal: unknown record type %d at offset %d", payload[0], off)
 		}

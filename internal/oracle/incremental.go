@@ -1,0 +1,83 @@
+package oracle
+
+import (
+	"fmt"
+
+	"pprl/internal/core"
+)
+
+// CheckIncrementalDeltas verifies the incremental subsystem's delta
+// contract against a frozen reference run over the union of all appended
+// batches: every pair may be emitted at most once, and the union of
+// emitted pairs must equal the frozen run's match set exactly — no
+// retraction is representable, so a single missing or surplus pair is a
+// hard fault. The frozen result must cover the same final relations the
+// deltas were accumulated over (aliceLen × bobLen records).
+//
+// The check is only sound when both runs could afford every uncertain
+// pair (ample allowance): under a binding pool the two spend orders
+// legitimately diverge, and the weaker invariants (no overdraw, strategy
+// bounds) apply instead.
+func CheckIncrementalDeltas(pairs [][2]int, frozen *core.Result, aliceLen, bobLen int) error {
+	seen := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= aliceLen || p[1] < 0 || p[1] >= bobLen {
+			return fmt.Errorf("oracle: delta (%d,%d) outside the %d×%d pair space", p[0], p[1], aliceLen, bobLen)
+		}
+		if seen[p] {
+			return fmt.Errorf("oracle: pair (%d,%d) emitted as a delta twice — the delta stream retracted or restated a verdict", p[0], p[1])
+		}
+		seen[p] = true
+	}
+	for i := 0; i < aliceLen; i++ {
+		for j := 0; j < bobLen; j++ {
+			want := frozen.PairMatched(i, j)
+			got := seen[[2]int{i, j}]
+			switch {
+			case want && !got:
+				return fmt.Errorf("oracle: frozen run matches pair (%d,%d) but no append batch ever emitted it", i, j)
+			case got && !want:
+				return fmt.Errorf("oracle: delta stream emitted pair (%d,%d) which the frozen run does not match", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDedupDeltas verifies a dedup engine's delta union against the
+// exact decision rule over one relation linked with itself: pairs must be
+// normalized (i < j), never duplicated, never self-referential, and —
+// under an ample allowance — exactly the unordered pairs the rule
+// matches. Build the oracle with the same dataset on both sides.
+func CheckDedupDeltas(pairs [][2]int, o *Oracle) error {
+	if o.alice != o.bob {
+		return fmt.Errorf("oracle: dedup check needs the same relation on both sides")
+	}
+	n := o.alice.Len()
+	seen := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		if p[0] >= p[1] {
+			return fmt.Errorf("oracle: dedup delta (%d,%d) is not normalized to i < j", p[0], p[1])
+		}
+		if p[0] < 0 || p[1] >= n {
+			return fmt.Errorf("oracle: dedup delta (%d,%d) outside the %d-record relation", p[0], p[1], n)
+		}
+		if seen[p] {
+			return fmt.Errorf("oracle: dedup pair (%d,%d) emitted twice", p[0], p[1])
+		}
+		seen[p] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			want := o.Matches(i, j)
+			got := seen[[2]int{i, j}]
+			switch {
+			case want && !got:
+				return fmt.Errorf("oracle: records %d and %d match under the exact rule but were never emitted as a dedup delta", i, j)
+			case got && !want:
+				return fmt.Errorf("oracle: dedup delta (%d,%d) does not match under the exact rule", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -289,7 +289,11 @@ type JobResult struct {
 	TruthPairs int `json:"truth_pairs,omitempty"`
 }
 
-// apiError is the uniform error body.
+// apiError is the uniform error body. Kind and Retryable classify the
+// failure (see ErrKind): retryable errors also carry a Retry-After
+// header, terminal ones mean the request must change before resending.
 type apiError struct {
-	Error string `json:"error"`
+	Error     string  `json:"error"`
+	Kind      ErrKind `json:"kind,omitempty"`
+	Retryable bool    `json:"retryable,omitempty"`
 }

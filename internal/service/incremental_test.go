@@ -1,0 +1,473 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pprl/internal/adult"
+	"pprl/internal/blocking"
+	"pprl/internal/core"
+	"pprl/internal/dataset"
+	"pprl/internal/dpblock"
+	"pprl/internal/journal"
+	"pprl/internal/oracle"
+	"pprl/internal/testkit"
+)
+
+// serviceAmple is an allowance no smoke-scale run exhausts, so the
+// delta-equivalence oracle applies.
+const serviceAmple = 1 << 30
+
+// writeCSV writes one dataset (or slice) as a CSV batch file.
+func writeCSV(t *testing.T, dir, name string, d *dataset.Dataset) string {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+// sliceBatches cuts a relation into n contiguous batch files named
+// <prefix>0.csv … and returns the refs. The concatenation equals the
+// original relation, so frozen-run record indexes line up with the
+// incremental engine's.
+func sliceBatches(t *testing.T, dir, prefix string, d *dataset.Dataset, n int) []string {
+	t.Helper()
+	refs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*d.Len()/n, (i+1)*d.Len()/n
+		refs = append(refs, writeCSV(t, dir, fmt.Sprintf("%s%d.csv", prefix, i), d.Slice(lo, hi)))
+	}
+	return refs
+}
+
+func registerDataset(t *testing.T, ts *httptest.Server, spec DatasetSpec) DatasetStatus {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("register returned %d: %s", resp.StatusCode, raw)
+	}
+	var st DatasetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// appendBatch posts one append; returns the HTTP code and, on 202, the ack.
+func appendBatch(t *testing.T, ts *httptest.Server, id string, req AppendRequest) (int, AppendAck) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/datasets/"+id+"/records", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, AppendAck{}
+	}
+	var ack AppendAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, ack
+}
+
+func getDatasetStatus(t *testing.T, ts *httptest.Server, id string) DatasetStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/datasets/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st DatasetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitDataset polls until cond holds or the deadline passes.
+func waitDataset(t *testing.T, ts *httptest.Server, id string, what string, cond func(DatasetStatus) bool) DatasetStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getDatasetStatus(t, ts, id)
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dataset %s never reached %q; last status %+v", id, what, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getDeltas(t *testing.T, ts *httptest.Server, id string, from int) DeltasResponse {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/datasets/%s/deltas?from=%d", ts.URL, id, from))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("deltas returned %d: %s", resp.StatusCode, raw)
+	}
+	var dr DeltasResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	return dr
+}
+
+// TestServiceIncrementalSmoke is the acceptance path for live datasets:
+// register → append batches → simulated kill mid-ingest → restart →
+// journal replay plus fresh appends → the exposed delta union is
+// pair-identical to a frozen run over the final relations, with exact
+// allowance accounting across the crash.
+func TestServiceIncrementalSmoke(t *testing.T) {
+	dataDir := t.TempDir()
+	full := adult.Generate(120, 31)
+	da, db := dataset.SplitOverlap(full, rand.New(rand.NewSource(32)))
+	aliceRefs := sliceBatches(t, dataDir, "a", da, 3)
+	bobRefs := sliceBatches(t, dataDir, "b", db, 2)
+	// The append schedule interleaves sides, exercising both directions
+	// of the live index.
+	schedule := []AppendRequest{
+		{Side: "alice", Path: aliceRefs[0]},
+		{Side: "bob", Path: bobRefs[0]},
+		{Side: "alice", Path: aliceRefs[1]},
+		{Side: "bob", Path: bobRefs[1]},
+		{Side: "alice", Path: aliceRefs[2]},
+	}
+
+	// Frozen oracle: one run over the final relations under the same
+	// fixed-level binning the live dataset uses.
+	lb, err := dpblock.NewLevelBinner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := core.DefaultConfig(adult.DefaultQIDs())
+	fcfg.AliceAnonymizer, fcfg.BobAnonymizer = lb, lb
+	fcfg.AliceK, fcfg.BobK = 1, 1
+	fcfg.Allowance = serviceAmple
+	fcfg.Scale = 1
+	frozen, err := core.Link(core.Holder{Data: da}, core.Holder{Data: db}, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.Invocations < 3 {
+		t.Fatalf("frozen run purchased only %d comparisons; workload too small to crash mid-ingest", frozen.Invocations)
+	}
+
+	// Phase 1: the ingest journal dies after a handful of appends —
+	// like a SIGKILL, nothing terminal reaches disk.
+	dir := t.TempDir()
+	crashAfter := int(frozen.Invocations / 2)
+	s1, err := New(Config{
+		Dir: dir, DataDir: dataDir, JournalSync: 1,
+		Hooks: Hooks{
+			WrapDatasetJournal: func(id string, w *journal.Writer) journal.BatchSink {
+				return &testkit.CrashSink{W: w, Remaining: crashAfter}
+			},
+			HardStop: testkit.ErrCrash,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	ds := registerDataset(t, ts1, DatasetSpec{Allowance: serviceAmple})
+
+	accepted := make([]bool, len(schedule))
+	for i, req := range schedule {
+		code, ack := appendBatch(t, ts1, ds.ID, req)
+		switch code {
+		case http.StatusAccepted:
+			accepted[i] = true
+			if ack.Batch < 0 || ack.Records == 0 {
+				t.Fatalf("ack %+v malformed", ack)
+			}
+		case http.StatusConflict:
+			// The drainer already hit the injected crash; later batches
+			// are refused and will be re-posted after the restart.
+		default:
+			t.Fatalf("append %d returned %d", i, code)
+		}
+	}
+	failed := waitDataset(t, ts1, ds.ID, "failed", func(st DatasetStatus) bool {
+		return st.State == DatasetFailed
+	})
+	if failed.Error == "" {
+		t.Error("failed dataset carries no error")
+	}
+	// The injected crash must look like a kill: no terminal state file.
+	if _, err := os.Stat(filepath.Join(dir, "datasets", ds.ID, "status.json")); !os.IsNotExist(err) {
+		t.Errorf("simulated crash persisted a terminal status (stat err %v)", err)
+	}
+	// Appends to a failed dataset classify as terminal conflicts.
+	code, _ := appendBatch(t, ts1, ds.ID, schedule[0])
+	if code != http.StatusConflict {
+		t.Errorf("append to failed dataset returned %d, want 409", code)
+	}
+	ts1.Close()
+	s1.Drain()
+
+	// Phase 2: restart on the same root, crash hooks gone. Recovery
+	// replays the accepted schedule through the journal.
+	s2, err := New(Config{Dir: dir, DataDir: dataDir, JournalSync: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Drain()
+	}()
+	waitDataset(t, ts2, ds.ID, "replay done", func(st DatasetStatus) bool {
+		return st.State == DatasetActive && st.Applied == st.Accepted
+	})
+	for i, req := range schedule {
+		if accepted[i] {
+			continue
+		}
+		if code, _ := appendBatch(t, ts2, ds.ID, req); code != http.StatusAccepted {
+			t.Fatalf("re-append %d returned %d", i, code)
+		}
+	}
+	final := waitDataset(t, ts2, ds.ID, "all batches applied", func(st DatasetStatus) bool {
+		return st.Applied == len(schedule)
+	})
+
+	// The exposed delta union must be pair-identical to the frozen run.
+	dr := getDeltas(t, ts2, ds.ID, 0)
+	if dr.Next != len(schedule) {
+		t.Errorf("deltas next = %d, want %d", dr.Next, len(schedule))
+	}
+	pairs := make([][2]int, 0, len(dr.Deltas))
+	for _, d := range dr.Deltas {
+		pairs = append(pairs, [2]int{d.I, d.J})
+	}
+	if err := oracle.CheckIncrementalDeltas(pairs, frozen, da.Len(), db.Len()); err != nil {
+		t.Error(err)
+	}
+
+	// Exact accounting across the crash: replayed + live purchases equal
+	// the frozen run's comparisons, nothing bought twice.
+	if got := final.Stats.Purchased + final.Stats.Replayed; got != frozen.Invocations {
+		t.Errorf("purchased %d + replayed %d != frozen invocations %d",
+			final.Stats.Purchased, final.Stats.Replayed, frozen.Invocations)
+	}
+	if final.Stats.Replayed == 0 {
+		t.Error("restart replayed no verdicts; the crash point never bit")
+	}
+
+	// Incremental paging: from=N serves only batches ≥ N.
+	page := getDeltas(t, ts2, ds.ID, 3)
+	for _, d := range page.Deltas {
+		if d.Batch < 3 {
+			t.Errorf("deltas?from=3 returned batch %d", d.Batch)
+		}
+	}
+	if want := len(getDeltas(t, ts2, ds.ID, 0).Deltas) - len(deltasBefore(dr, 3)); len(page.Deltas) != want {
+		t.Errorf("paged deltas = %d, want %d", len(page.Deltas), want)
+	}
+
+	// The SSE variant serves the same window as its first event.
+	streamResp, err := http.Get(fmt.Sprintf("%s/v1/datasets/%s/deltas?from=0&stream=1", ts2.URL, ds.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if ct := streamResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(streamResp.Body)
+	var event DeltasResponse
+	for sc.Scan() {
+		if line, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			if err := json.Unmarshal([]byte(line), &event); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if len(event.Deltas) != len(dr.Deltas) || event.Next != dr.Next {
+		t.Errorf("stream event (%d deltas, next %d) diverges from poll (%d, %d)",
+			len(event.Deltas), event.Next, len(dr.Deltas), dr.Next)
+	}
+
+	// Correlation ids: echoed when supplied, minted otherwise.
+	req, _ := http.NewRequest("GET", ts2.URL+"/v1/datasets/"+ds.ID, nil)
+	req.Header.Set("X-Request-Id", "smoke-req-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "smoke-req-7" {
+		t.Errorf("request id echoed as %q", got)
+	}
+	resp2, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-Id") == "" {
+		t.Error("no request id minted for an id-less request")
+	}
+}
+
+// deltasBefore counts a response's deltas with batch < n.
+func deltasBefore(dr DeltasResponse, n int) []int {
+	var out []int
+	for _, d := range dr.Deltas {
+		if d.Batch < n {
+			out = append(out, d.Batch)
+		}
+	}
+	return out
+}
+
+// TestServiceDedupDataset: a dedup registration links one relation with
+// itself; the delta union over multiple appends equals the exact rule's
+// unordered match pairs, normalized i < j.
+func TestServiceDedupDataset(t *testing.T) {
+	dataDir := t.TempDir()
+	d := adult.Generate(60, 41)
+	refs := sliceBatches(t, dataDir, "d", d, 3)
+
+	_, ts := newTestServer(t, Config{Dir: t.TempDir(), DataDir: dataDir})
+	ds := registerDataset(t, ts, DatasetSpec{Dedup: true, Allowance: serviceAmple})
+	if !ds.Dedup {
+		t.Error("registration lost the dedup flag")
+	}
+
+	// Dedup datasets have one side.
+	if code, _ := appendBatch(t, ts, ds.ID, AppendRequest{Side: "bob", Path: refs[0]}); code != http.StatusUnprocessableEntity {
+		t.Errorf("bob append to dedup dataset returned %d, want 422", code)
+	}
+	for _, ref := range refs {
+		if code, _ := appendBatch(t, ts, ds.ID, AppendRequest{Path: ref}); code != http.StatusAccepted {
+			t.Fatalf("append %s returned %d", ref, code)
+		}
+	}
+	waitDataset(t, ts, ds.ID, "applied", func(st DatasetStatus) bool {
+		return st.Applied == len(refs)
+	})
+
+	schema := d.Schema()
+	qids, err := schema.Resolve(adult.DefaultQIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := blocking.RuleFor(schema, qids, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := oracle.New(d, d, qids, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := getDeltas(t, ts, ds.ID, 0)
+	pairs := make([][2]int, 0, len(dr.Deltas))
+	for _, del := range dr.Deltas {
+		pairs = append(pairs, [2]int{del.I, del.J})
+	}
+	if err := oracle.CheckDedupDeltas(pairs, orc); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestServiceDatasetValidation: registrations and appends are rejected
+// at the door with classified errors.
+func TestServiceDatasetValidation(t *testing.T) {
+	dataDir := t.TempDir()
+	d := adult.Generate(20, 5)
+	ref := writeCSV(t, dataDir, "d.csv", d)
+	_, ts := newTestServer(t, Config{Dir: t.TempDir(), DataDir: dataDir})
+
+	bad := []DatasetSpec{
+		{Theta: -1},                  // negative threshold
+		{Strategy: "classifier"},     // needs the full residual population
+		{Heuristic: "nope"},          // unknown heuristic
+		{Epsilon: -2},                // bad DP budget
+		{SchemaPath: "missing.json"}, // unloadable schema
+	}
+	for i, spec := range bad {
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ae struct {
+			Kind      string `json:"kind"`
+			Retryable bool   `json:"retryable"`
+		}
+		json.NewDecoder(resp.Body).Decode(&ae)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad spec %d returned %d, want 400", i, resp.StatusCode)
+		}
+		if ae.Kind != "bad_request" || ae.Retryable {
+			t.Errorf("bad spec %d classified kind=%q retryable=%v", i, ae.Kind, ae.Retryable)
+		}
+	}
+
+	// Unknown dataset: classified not_found.
+	resp, err := http.Get(ts.URL + "/v1/datasets/ds-000099")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ae apiError
+	json.NewDecoder(resp.Body).Decode(&ae)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || ae.Kind != KindNotFound {
+		t.Errorf("unknown dataset returned %d kind=%q", resp.StatusCode, ae.Kind)
+	}
+
+	// Bad appends against a real dataset.
+	ds := registerDataset(t, ts, DatasetSpec{})
+	appends := []struct {
+		req  AppendRequest
+		code int
+	}{
+		{AppendRequest{Path: ""}, http.StatusBadRequest},
+		{AppendRequest{Side: "carol", Path: ref}, http.StatusBadRequest},
+		{AppendRequest{Path: "missing.csv"}, http.StatusBadRequest},
+		{AppendRequest{Path: "../escape.csv"}, http.StatusBadRequest},
+	}
+	for i, c := range appends {
+		if code, _ := appendBatch(t, ts, ds.ID, c.req); code != c.code {
+			t.Errorf("append case %d returned %d, want %d", i, code, c.code)
+		}
+	}
+}

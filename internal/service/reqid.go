@@ -1,0 +1,61 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// requestIDHeader is the correlation-id header: clients may supply one
+// (so a retry and its original share an id in the daemon log), the
+// daemon generates one otherwise, and every response echoes it.
+const requestIDHeader = "X-Request-Id"
+
+type reqIDKey struct{}
+
+// requestID extracts the correlation id installed by withRequestID.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// newRequestID draws a fresh correlation id: 8 random bytes, hex — short
+// enough for a log line, unique enough across daemon restarts.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts client-supplied ids that are safe to echo into
+// headers and log lines: short, printable ASCII, no whitespace.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' {
+			return false
+		}
+	}
+	return true
+}
+
+// withRequestID is the correlation-id middleware: accept or mint the id,
+// stash it in the request context for handler log lines (req=… job=…
+// dataset=…), and echo it in the response so the client can quote it
+// back when reporting a problem.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+	})
+}

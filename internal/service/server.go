@@ -28,6 +28,9 @@ type Hooks struct {
 	// core pipeline sees it. Tests inject testkit.CrashSink here to
 	// simulate a daemon killed mid-SMC.
 	WrapJournal func(jobID string, w *journal.Writer) journal.Sink
+	// WrapDatasetJournal is the same seam for live datasets' ingest
+	// journals (the incremental engine records through a BatchSink).
+	WrapDatasetJournal func(datasetID string, w *journal.Writer) journal.BatchSink
 	// HardStop is the error a wrapped journal returns to simulate that
 	// kill. A job failing with it settles in memory as interrupted but —
 	// exactly like a SIGKILL — writes no terminal state to disk, so the
@@ -78,9 +81,14 @@ type Server struct {
 	sched *Scheduler
 	reg   *metrics.Registry
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	byKey map[string]string // idempotency key → job ID
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	byKey    map[string]string // idempotency key → job ID
+	datasets map[string]*liveDataset
+
+	// dsStop ends every dataset drainer at Drain; dsWG waits for them.
+	dsStop chan struct{}
+	dsWG   sync.WaitGroup
 
 	mJobsSubmitted *metrics.Var
 	mJobsDone      *metrics.Var
@@ -110,6 +118,13 @@ type Server struct {
 	mDPDummyPairs   *metrics.Var
 	mDPDummySpent   *metrics.Var
 
+	mDatasets        *metrics.Var
+	mDatasetBatches  *metrics.Var
+	mDatasetRecords  *metrics.Var
+	mDatasetDeltas   *metrics.Var
+	mDatasetSpent    *metrics.Var
+	mDatasetReplayed *metrics.Var
+
 	mWorkerChunks    *metrics.VarVec
 	mWorkerFailures  *metrics.VarVec
 	mWorkerHeartbeat *metrics.VarVec
@@ -135,11 +150,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		reg:   metrics.NewRegistry("pprl"),
-		jobs:  make(map[string]*Job),
-		byKey: make(map[string]string),
+		cfg:      cfg,
+		store:    store,
+		reg:      metrics.NewRegistry("pprl"),
+		jobs:     make(map[string]*Job),
+		byKey:    make(map[string]string),
+		datasets: make(map[string]*liveDataset),
+		dsStop:   make(chan struct{}),
 	}
 	s.mJobsSubmitted = s.reg.Counter("jobs_submitted_total", "Jobs accepted over the API.")
 	s.mJobsDone = s.reg.Counter("jobs_done_total", "Jobs completed successfully.")
@@ -165,6 +182,12 @@ func New(cfg Config) (*Server, error) {
 	s.mDPEpsilonMilli = s.reg.Counter("dp_epsilon_spent_milli_total", "Composed epsilon spent across completed DP jobs, in thousandths.")
 	s.mDPDummyPairs = s.reg.Counter("dp_dummy_pairs_total", "Dummy candidate pairs introduced by noise padding across completed DP jobs.")
 	s.mDPDummySpent = s.reg.Counter("dp_dummy_spent_total", "SMC allowance consumed by dummy-pair charges across completed DP jobs.")
+	s.mDatasets = s.reg.Counter("datasets_registered_total", "Live datasets registered over the API.")
+	s.mDatasetBatches = s.reg.Counter("dataset_batches_total", "Append batches applied across live datasets (excluding journal replays).")
+	s.mDatasetRecords = s.reg.Counter("dataset_records_total", "Records ingested across live datasets (excluding journal replays).")
+	s.mDatasetDeltas = s.reg.Counter("dataset_deltas_total", "Delta Match pairs emitted across live datasets (excluding journal replays).")
+	s.mDatasetSpent = s.reg.Counter("dataset_allowance_spent_total", "SMC allowance consumed by live-dataset appends (excluding journal replays).")
+	s.mDatasetReplayed = s.reg.Counter("dataset_batches_replayed_total", "Committed batches reconstructed from ingest journals at daemon start.")
 	s.mWorkerChunks = s.reg.CounterVec("worker_chunks_total", "worker", "Comparison chunks completed per fleet worker.")
 	s.mWorkerFailures = s.reg.CounterVec("worker_failures_total", "worker", "Failures observed per fleet worker (chunks reassigned).")
 	s.mWorkerHeartbeat = s.reg.GaugeVec("worker_heartbeat_seconds", "worker", "Unix time of each fleet worker's last heartbeat.")
@@ -194,6 +217,31 @@ func New(cfg Config) (*Server, error) {
 				return nil, err
 			}
 		}
+	}
+	recoveredDS, err := store.RecoverDatasets()
+	if err != nil {
+		s.Drain()
+		return nil, err
+	}
+	for _, rd := range recoveredDS {
+		if rd.Failed != "" {
+			// A persisted ingest failure: surface the dataset read-only
+			// instead of replaying into the same wall.
+			s.datasets[rd.File.ID] = &liveDataset{
+				ID: rd.File.ID, Seq: rd.File.Seq, Spec: rd.File.Spec,
+				CreatedAt: rd.File.CreatedAt, accepted: len(rd.Batches),
+				state: DatasetFailed, errMsg: rd.Failed,
+				changed: make(chan struct{}),
+			}
+			continue
+		}
+		ld, err := s.buildDataset(rd.File, rd.Batches)
+		if err != nil {
+			s.Drain()
+			return nil, err
+		}
+		s.datasets[ld.ID] = ld
+		s.logf("dataset=%s recovered batches=%d", ld.ID, len(rd.Batches))
 	}
 	return s, nil
 }
@@ -266,7 +314,15 @@ func (s *Server) FleetWorkers() []string {
 // resume on the next daemon start. The worker fleet, if any, is
 // released — workers exit cleanly on the hangup.
 func (s *Server) Drain() {
-	s.sched.Drain()
+	if s.sched != nil {
+		s.sched.Drain()
+	}
+	select {
+	case <-s.dsStop:
+	default:
+		close(s.dsStop)
+	}
+	s.dsWG.Wait()
 	if s.fleetCancel != nil {
 		s.fleetCancel()
 	}
@@ -284,6 +340,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetStatus)
+	mux.HandleFunc("POST /v1/datasets/{id}/records", s.handleDatasetAppend)
+	mux.HandleFunc("GET /v1/datasets/{id}/deltas", s.handleDatasetDeltas)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -293,10 +354,10 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return withRequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.mHTTPRequests.Inc()
 		mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 func writeAPI(w http.ResponseWriter, code int, v any) {
@@ -308,7 +369,15 @@ func writeAPI(w http.ResponseWriter, code int, v any) {
 }
 
 func writeAPIError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeAPI(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+	kind := kindFromStatus(code)
+	if kind.Retryable() {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeAPI(w, code, apiError{
+		Error:     fmt.Sprintf(format, args...),
+		Kind:      kind,
+		Retryable: kind.Retryable(),
+	})
 }
 
 // maxSpecBytes bounds a submission body; specs are a page of JSON, not
@@ -328,7 +397,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if spec.Distributed && s.pool == nil {
-		writeAPIError(w, http.StatusBadRequest, "distributed jobs need a worker fleet: start the daemon with -fleet-listen or -worker")
+		// The spec is well-formed; it's this daemon that can't honor it —
+		// 422, terminal, so clients don't retry into the same wall.
+		writeErr(w, Errf(KindInvalid, "distributed jobs need a worker fleet: start the daemon with -fleet-listen or -worker"))
 		return
 	}
 	// Reject unresolvable dataset references at submit time rather than
@@ -368,6 +439,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mJobsSubmitted.Inc()
+	s.logf("req=%s job=%s state=queued", requestID(r.Context()), j.ID)
 	writeAPI(w, http.StatusCreated, j.Status())
 }
 
@@ -421,6 +493,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mJobsCanceled.Inc()
 	}
+	s.logf("req=%s job=%s cancel requested", requestID(r.Context()), j.ID)
 	writeAPI(w, http.StatusAccepted, j.Status())
 }
 

@@ -641,8 +641,9 @@ func TestServiceDistributedFleet(t *testing.T) {
 		t.Errorf("metrics missing worker heartbeat gauge:\n%s", mraw)
 	}
 
-	// A daemon without a fleet must refuse distributed work up front.
-	if _, code := submitCode(t, tsLocal, spec); code != http.StatusBadRequest {
-		t.Errorf("fleetless daemon accepted distributed job with HTTP %d", code)
+	// A daemon without a fleet must refuse distributed work up front: the
+	// spec is well-formed but this daemon cannot honor it — 422, not 400.
+	if _, code := submitCode(t, tsLocal, spec); code != http.StatusUnprocessableEntity {
+		t.Errorf("fleetless daemon refused distributed job with HTTP %d, want 422", code)
 	}
 }

@@ -30,8 +30,9 @@ type Store struct {
 	jobsDir string
 	dataDir string
 
-	mu      sync.Mutex
-	nextSeq int
+	mu        sync.Mutex
+	nextSeq   int
+	nextDSSeq int
 }
 
 // NewStore opens (creating if needed) the service root. dataDir, when
@@ -50,6 +51,13 @@ func NewStore(root, dataDir string) (*Store, error) {
 	for _, e := range entries {
 		if seq, ok := parseJobID(e.Name()); ok && seq > st.nextSeq {
 			st.nextSeq = seq
+		}
+	}
+	if dsEntries, err := os.ReadDir(st.datasetsDir()); err == nil {
+		for _, e := range dsEntries {
+			if seq, ok := parseDatasetID(e.Name()); ok && seq > st.nextDSSeq {
+				st.nextDSSeq = seq
+			}
 		}
 	}
 	return st, nil

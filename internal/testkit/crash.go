@@ -51,3 +51,27 @@ func (c *CrashSink) RecordTier(i, j int, matched bool) error {
 
 // Sync delegates to the wrapped writer.
 func (c *CrashSink) Sync() error { return c.W.Sync() }
+
+// RecordBatch makes CrashSink a journal.BatchSink for incremental runs.
+// Like RecordTier it fails once the budget is spent but does not consume
+// it: the budget counts purchased verdicts, so the same Remaining value
+// lands the kill at the same pair boundary whether the run is frozen or
+// incremental.
+func (c *CrashSink) RecordBatch(m journal.BatchMark) error {
+	if c.Remaining <= 0 {
+		return ErrCrash
+	}
+	return c.W.RecordBatch(m)
+}
+
+// RecordBatchCommit fails at a spent budget without consuming it,
+// modeling the most interesting crash point of the incremental protocol:
+// the batch's verdicts are durable but the delta-exposure barrier never
+// lands, so resume must finish the open frame without re-emitting or
+// re-purchasing anything.
+func (c *CrashSink) RecordBatchCommit(cm journal.BatchCommit) error {
+	if c.Remaining <= 0 {
+		return ErrCrash
+	}
+	return c.W.RecordBatchCommit(cm)
+}
